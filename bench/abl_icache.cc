@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation H — front-end instruction supply. The paper's Appendix A
+ * holds the I-cache fixed across core types (only the data hierarchy
+ * is explored), which this library mirrors by defaulting to a
+ * perfect I-cache. This ablation turns the 64KB L1I model on and
+ * asks two questions: how much single-core performance the
+ * instruction supply costs on the synthetic workloads, and whether
+ * contesting's benefit survives it.
+ */
+
+#include "bench/bench_common.hh"
+
+namespace contest
+{
+namespace
+{
+
+CoreConfig
+withICache(const CoreConfig &base)
+{
+    CoreConfig c = base;
+    c.modelICache = true;
+    return c;
+}
+
+void
+runAblation()
+{
+    printBenchPreamble("Ablation H: instruction-cache modeling");
+    Runner &runner = benchRunner();
+
+    TextTable t("Ablation H: perfect vs 64KB L1I, alone and "
+                "contested");
+    t.header({"bench", "own perfect-I$", "own 64KB-I$", "cost",
+              "pair contest w/ I$", "contest speedup"});
+
+    std::vector<double> costs;
+    std::vector<double> speedups;
+    std::vector<std::string> benches{"gcc", "crafty", "twolf",
+                                     "gzip", "perl", "vpr"};
+    for (const auto &bench : benches) {
+        auto trace = runner.trace(bench);
+        const auto &own = coreConfigByName(bench);
+        double perfect = runner.single(bench, bench).result.ipt;
+        auto own_ic = withICache(own);
+        double with_ic = runSingle(own_ic, trace).ipt;
+        double cost = speedup(with_ic, perfect);
+        costs.push_back(cost);
+
+        auto choice = runner.bestContestingPair(bench, {}, 3);
+        ContestSystem sys(
+            {withICache(coreConfigByName(choice.coreA)),
+             withICache(coreConfigByName(choice.coreB))},
+            trace);
+        auto contested = sys.run();
+        double best_single_ic = std::max(
+            with_ic,
+            runSingle(withICache(coreConfigByName(
+                          choice.coreA == bench ? choice.coreB
+                                                : choice.coreA)),
+                      trace)
+                .ipt);
+        double sp = speedup(contested.ipt, best_single_ic);
+        speedups.push_back(sp);
+        t.row({bench, TextTable::num(perfect),
+               TextTable::num(with_ic), TextTable::pct(cost),
+               TextTable::num(contested.ipt), TextTable::pct(sp)});
+    }
+    t.print();
+
+    std::printf(
+        "Modeling a 64KB L1I costs %s single-core performance on "
+        "these synthetic code footprints (~100KB of flat code per "
+        "benchmark — far larger than real hot code), and contesting "
+        "moves by %s against the best I-cached single core: when "
+        "instruction supply dominates, both cores stall on the same "
+        "fills, write-through store traffic thrashes the unified L2 "
+        "that feeds the I-cache, and fine-grain lead changes stop "
+        "paying. This is exactly why the palette (like Appendix A, "
+        "which explores only the data hierarchy) runs with the "
+        "I-cache held perfect by default.\n\n",
+        TextTable::pct(arithmeticMean(costs)).c_str(),
+        TextTable::pct(arithmeticMean(speedups)).c_str());
+    std::fflush(stdout);
+}
+
+} // namespace
+} // namespace contest
+
+CONTEST_BENCH_MAIN(contest::runAblation)

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation A — result-injection style (paper Section 4.1.3): the
+ * primary port-stealing scheme (injected results complete at rename
+ * and bypass the issue queue) versus the "more straightforward
+ * alternative" that dispatches injected instructions into the issue
+ * queue marked immediately ready.
+ */
+
+#include "bench/bench_common.hh"
+
+namespace contest
+{
+namespace
+{
+
+void
+runAblation()
+{
+    printBenchPreamble("Ablation A: injection style");
+    Runner &runner = benchRunner();
+
+    TextTable t("Ablation A: contested IPT with port-stealing vs "
+                "mark-ready injection");
+    t.header({"bench", "pair", "port-steal", "mark-ready", "delta"});
+
+    std::vector<double> deltas;
+    for (const auto &bench : profileNames()) {
+        auto choice = runner.bestContestingPair(bench, {}, 3);
+
+        ContestConfig mark;
+        mark.injectionStyle = InjectionStyle::MarkReady;
+        auto mr = runner.contestedPair(bench, choice.coreA,
+                                       choice.coreB, mark);
+        double delta = speedup(choice.result.ipt, mr.ipt);
+        deltas.push_back(delta);
+        t.row({bench, choice.coreA + "+" + choice.coreB,
+               TextTable::num(choice.result.ipt),
+               TextTable::num(mr.ipt), TextTable::pct(delta)});
+    }
+    t.print();
+    std::printf(
+        "Port stealing over mark-ready: avg %s. Injected results "
+        "that bypass the issue queue free issue slots and queue "
+        "capacity for the lagger's catch-up sprint.\n\n",
+        TextTable::pct(arithmeticMean(deltas)).c_str());
+    std::fflush(stdout);
+}
+
+} // namespace
+} // namespace contest
+
+CONTEST_BENCH_MAIN(contest::runAblation)

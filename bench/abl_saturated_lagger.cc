@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation D — saturated-lagger handling (paper Section 4.1.4).
+ * When one core's peak retirement rate exceeds what the other can
+ * absorb, the lagger's result FIFO overflows. The paper disables
+ * contesting for the saturated lagger; the ablation compares that
+ * policy against dropping overflowed results and limping along.
+ */
+
+#include "bench/bench_common.hh"
+
+namespace contest
+{
+namespace
+{
+
+void
+runAblation()
+{
+    printBenchPreamble("Ablation D: saturated lagger policy");
+    Runner &runner = benchRunner();
+    const auto &m = runner.matrix();
+
+    // HET-B (har) is the design the paper observes saturation on:
+    // it pairs a fast core with the slow-clocked memory core.
+    auto het_b = designCmp(m, 2, Merit::Har, "HET-B");
+    const std::string core_a = m.coreNames[het_b.cores[0]];
+    const std::string core_b = m.coreNames[het_b.cores[1]];
+
+    TextTable t("Ablation D: " + core_a + "+" + core_b
+                + " contesting with park vs drop policy "
+                  "(small FIFOs force saturation)");
+    t.header({"bench", "park (paper)", "drop", "delta", "parked?"});
+
+    std::vector<double> deltas;
+    unsigned parked_count = 0;
+    for (const auto &bench : profileNames()) {
+        ContestConfig park_cfg;
+        park_cfg.fifoCapacity = 512;
+        park_cfg.parkSaturatedLaggers = true;
+        auto park = runner.contestedPair(bench, core_a, core_b,
+                                         park_cfg);
+
+        ContestConfig drop_cfg = park_cfg;
+        drop_cfg.parkSaturatedLaggers = false;
+        auto drop = runner.contestedPair(bench, core_a, core_b,
+                                         drop_cfg);
+
+        bool parked = park.unitStats[0].saturated
+            || park.unitStats[1].saturated;
+        parked_count += parked ? 1 : 0;
+        double delta = speedup(park.ipt, drop.ipt);
+        deltas.push_back(delta);
+        t.row({bench, TextTable::num(park.ipt),
+               TextTable::num(drop.ipt), TextTable::pct(delta),
+               parked ? "yes" : "no"});
+    }
+    t.print();
+    std::printf(
+        "Parking vs dropping: avg %s; %u of %zu benchmarks "
+        "saturated a lagger. Paper: a saturated lagger falls behind "
+        "unboundedly, so contesting is simply disabled for it.\n\n",
+        TextTable::pct(arithmeticMean(deltas)).c_str(),
+        parked_count, profileNames().size());
+    std::fflush(stdout);
+}
+
+} // namespace
+} // namespace contest
+
+CONTEST_BENCH_MAIN(contest::runAblation)

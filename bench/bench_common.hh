@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shared scaffolding for the bench binaries: a google-benchmark
+ * main that runs the experiment exactly once (the experiment prints
+ * its paper-style tables to stdout), plus the HET-design experiment
+ * used by Figures 10-13.
+ */
+
+#ifndef CONTEST_BENCH_COMMON_HH
+#define CONTEST_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "explore/cmp_design.hh"
+#include "harness/experiment.hh"
+
+namespace contest
+{
+
+/**
+ * Figure 10/11/12 style experiment: each benchmark on the HOM core,
+ * on the best core of a two-type HET design, and contested between
+ * the design's two core types.
+ */
+struct HetRow
+{
+    std::string bench;
+    double homIpt = 0.0;
+    double bestIpt = 0.0;     //!< best available core, no contesting
+    double contestIpt = 0.0;  //!< contested between the two types
+    bool parked = false;      //!< a saturated lagger was parked
+};
+
+struct HetExperiment
+{
+    CmpDesign design;
+    CmpDesign hom;
+    std::vector<HetRow> rows;
+    double avgContestSpeedup = 0.0; //!< vs best available core
+    double maxContestSpeedup = 0.0;
+    std::string maxSpeedupBench;
+    double avgVsHom = 0.0;          //!< contesting vs HOM
+    double avgNoContestVsHom = 0.0; //!< best-available vs HOM
+};
+
+/** Run the HET experiment for a given two-type design. */
+inline HetExperiment
+runHetExperiment(Runner &runner, const CmpDesign &design,
+                 const CmpDesign &hom)
+{
+    const auto &m = runner.matrix();
+    fatal_if(design.cores.size() != 2,
+             "runHetExperiment needs a two-type design");
+    const std::string core_a = m.coreNames[design.cores[0]];
+    const std::string core_b = m.coreNames[design.cores[1]];
+    const std::string hom_core = m.coreNames[hom.cores[0]];
+
+    HetExperiment exp;
+    exp.design = design;
+    exp.hom = hom;
+
+    std::vector<double> contest_speedups;
+    std::vector<double> vs_hom;
+    std::vector<double> nocontest_vs_hom;
+    for (std::size_t b = 0; b < m.numBenches(); ++b) {
+        HetRow row;
+        row.bench = m.benchNames[b];
+        row.homIpt = m.ipt[b][hom.cores[0]];
+        row.bestIpt = m.ipt[b][bestCoreFor(m, b, design.cores)];
+        auto r = runner.contestedPair(row.bench, core_a, core_b);
+        row.contestIpt = r.ipt;
+        row.parked =
+            r.unitStats[0].saturated || r.unitStats[1].saturated;
+        exp.rows.push_back(row);
+
+        double sp = speedup(row.contestIpt, row.bestIpt);
+        contest_speedups.push_back(sp);
+        vs_hom.push_back(speedup(row.contestIpt, row.homIpt));
+        nocontest_vs_hom.push_back(speedup(row.bestIpt, row.homIpt));
+        if (sp >= exp.maxContestSpeedup) {
+            exp.maxContestSpeedup = sp;
+            exp.maxSpeedupBench = row.bench;
+        }
+    }
+    exp.avgContestSpeedup = arithmeticMean(contest_speedups);
+    exp.avgVsHom = arithmeticMean(vs_hom);
+    exp.avgNoContestVsHom = arithmeticMean(nocontest_vs_hom);
+    return exp;
+}
+
+/** Print a HET experiment in the Figure 10-12 format. */
+inline void
+printHetExperiment(const HetExperiment &exp, const IptMatrix &m,
+                   const std::string &figure)
+{
+    TextTable t(figure + ": IPT on HOM ("
+                + m.coreNames[exp.hom.cores[0]] + "), "
+                + exp.design.name + " ("
+                + designCoreNames(m, exp.design)
+                + ") without and with contesting");
+    t.header({"bench", "HOM", exp.design.name + " no-contest",
+              exp.design.name + " contest", "speedup", "lagger"});
+    for (const auto &row : exp.rows) {
+        t.row({row.bench, TextTable::num(row.homIpt),
+               TextTable::num(row.bestIpt),
+               TextTable::num(row.contestIpt),
+               TextTable::pct(speedup(row.contestIpt, row.bestIpt)),
+               row.parked ? "parked" : "-"});
+    }
+    t.print();
+    std::printf(
+        "%s contesting: avg %s / max %s (%s) over the best "
+        "available core; avg %s over HOM (no contesting: %s)\n\n",
+        exp.design.name.c_str(),
+        TextTable::pct(exp.avgContestSpeedup).c_str(),
+        TextTable::pct(exp.maxContestSpeedup).c_str(),
+        exp.maxSpeedupBench.c_str(),
+        TextTable::pct(exp.avgVsHom).c_str(),
+        TextTable::pct(exp.avgNoContestVsHom).c_str());
+    std::fflush(stdout);
+}
+
+} // namespace contest
+
+/**
+ * Define the single-iteration google-benchmark entry point. The
+ * experiment body runs once inside the timing loop, so the reported
+ * wall time is the cost of regenerating the figure.
+ */
+#define CONTEST_BENCH_MAIN(fn)                                       \
+    static void BM_Experiment(benchmark::State &state)              \
+    {                                                               \
+        for (auto _ : state)                                        \
+            fn();                                                   \
+    }                                                               \
+    BENCHMARK(BM_Experiment)                                        \
+        ->Iterations(1)                                             \
+        ->Unit(benchmark::kSecond);                                 \
+    int main(int argc, char **argv)                                 \
+    {                                                               \
+        benchmark::Initialize(&argc, argv);                         \
+        benchmark::RunSpecifiedBenchmarks();                        \
+        benchmark::Shutdown();                                      \
+        return 0;                                                   \
+    }
+
+#endif // CONTEST_BENCH_COMMON_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 13 — contesting between two core types (HET-C) versus
+ * exploiting more core types without contesting: HET-D (the best
+ * three-type design under har) and HET-ALL (every benchmark on its
+ * own customized core, as in the paper).
+ */
+
+#include "bench/bench_common.hh"
+
+namespace contest
+{
+namespace
+{
+
+void
+runFig13()
+{
+    printBenchPreamble("Figure 13: contesting vs more core types");
+    Runner &runner = benchRunner();
+    const auto &m = runner.matrix();
+
+    auto het_c = designCmp(m, 2, Merit::CwHar, "HET-C");
+    auto het_d = designCmp(m, 3, Merit::Har, "HET-D");
+    const std::string core_a = m.coreNames[het_c.cores[0]];
+    const std::string core_b = m.coreNames[het_c.cores[1]];
+
+    TextTable t("Figure 13: HET-C (" + designCoreNames(m, het_c)
+                + ") contesting vs HET-D ("
+                + designCoreNames(m, het_d)
+                + ") and HET-ALL without contesting");
+    t.header({"bench", "HET-C contest", "HET-D no-contest",
+              "HET-ALL (own core)"});
+
+    std::vector<double> c_ipts;
+    std::vector<double> d_ipts;
+    std::vector<double> all_ipts;
+    for (std::size_t b = 0; b < m.numBenches(); ++b) {
+        const auto &bench = m.benchNames[b];
+        auto r = runner.contestedPair(bench, core_a, core_b);
+        double d_ipt = m.ipt[b][bestCoreFor(m, b, het_d.cores)];
+        double own_ipt = m.ipt[b][m.coreIndex(bench)];
+        c_ipts.push_back(r.ipt);
+        d_ipts.push_back(d_ipt);
+        all_ipts.push_back(own_ipt);
+        t.row({bench, TextTable::num(r.ipt), TextTable::num(d_ipt),
+               TextTable::num(own_ipt)});
+    }
+    t.row({"HAR-MEAN", TextTable::num(harmonicMean(c_ipts)),
+           TextTable::num(harmonicMean(d_ipts)),
+           TextTable::num(harmonicMean(all_ipts))});
+    t.print();
+
+    std::printf(
+        "Two-type contesting vs three-type selection: %s "
+        "(harmonic mean). Paper: contesting between two core types "
+        "matches or beats executing on the best of three types, and "
+        "on average matches eleven types — a more cost-effective "
+        "route to single-thread performance than more core "
+        "types.\n\n",
+        TextTable::pct(speedup(harmonicMean(c_ipts),
+                               harmonicMean(d_ipts)))
+            .c_str());
+    std::fflush(stdout);
+}
+
+} // namespace
+} // namespace contest
+
+CONTEST_BENCH_MAIN(contest::runFig13)

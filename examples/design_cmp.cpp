@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Designing a constrained heterogeneous CMP (the paper's Section 6
+ * methodology as a library): measure the benchmark-by-core IPT
+ * matrix, score core-type combinations under the three figures of
+ * merit, and compare the resulting designs with and without
+ * contesting.
+ *
+ * Build & run:
+ *   ./build/examples/design_cmp
+ */
+
+#include <cstdio>
+
+#include "explore/cmp_design.hh"
+#include "harness/runner.hh"
+
+int
+main()
+{
+    using namespace contest;
+
+    // Short traces keep the example snappy; the bench binaries use
+    // longer ones.
+    Runner runner(/*trace_len=*/60'000, /*seed=*/2009);
+    std::printf("measuring the 11x11 benchmark-by-core IPT matrix "
+                "(121 simulations)...\n");
+    const IptMatrix &m = runner.matrix();
+
+    for (Merit merit : {Merit::Avg, Merit::Har, Merit::CwHar}) {
+        auto design = designCmp(m, 2, merit, "HET");
+        std::printf("best two-type design under %-6s: %-18s "
+                    "(score %.3f, harmonic-mean IPT %.3f)\n",
+                    meritName(merit),
+                    designCoreNames(m, design).c_str(), design.score,
+                    designHarmonicIpt(m, design));
+    }
+
+    auto hom = designHom(m, Merit::Avg, "HOM");
+    auto het = designCmp(m, 2, Merit::CwHar, "HET-C");
+    std::printf("\nHOM = %s (harmonic-mean IPT %.3f)\n",
+                designCoreNames(m, hom).c_str(),
+                designHarmonicIpt(m, hom));
+
+    // Contest the chosen pair on every benchmark.
+    std::printf("\ncontesting %s on every benchmark:\n",
+                designCoreNames(m, het).c_str());
+    const std::string a = m.coreNames[het.cores[0]];
+    const std::string b = m.coreNames[het.cores[1]];
+    double sum_no_contest = 0.0;
+    double sum_contest = 0.0;
+    for (std::size_t bench = 0; bench < m.numBenches(); ++bench) {
+        double best = m.ipt[bench][bestCoreFor(m, bench, het.cores)];
+        auto r = runner.contestedPair(m.benchNames[bench], a, b);
+        sum_no_contest += 1.0 / best;
+        sum_contest += 1.0 / r.ipt;
+        std::printf("  %-7s best-of-two %.2f -> contested %.2f "
+                    "(%+.1f%%)\n",
+                    m.benchNames[bench].c_str(), best, r.ipt,
+                    (r.ipt / best - 1.0) * 100.0);
+    }
+    double n = static_cast<double>(m.numBenches());
+    std::printf("\nharmonic-mean IPT: best-of-two %.3f, contested "
+                "%.3f, HOM %.3f\n",
+                n / sum_no_contest, n / sum_contest,
+                designHarmonicIpt(m, hom));
+    std::printf("contesting turns the constrained design's deficit "
+                "into a robust win — the paper's Section 7.1 "
+                "conclusion.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: generate a synthetic SPEC2000-like workload, run it
+ * on one customized core, then contest it between two cores, and
+ * compare.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "contest/system.hh"
+#include "core/palette.hh"
+#include "trace/generator.hh"
+
+int
+main()
+{
+    using namespace contest;
+
+    // 1. A workload: the gcc-like profile, 200k instructions,
+    //    deterministic for the given seed.
+    TracePtr trace = makeBenchmarkTrace("gcc", /*seed=*/42,
+                                        /*num_insts=*/200'000);
+    auto mix = trace->mix();
+    std::printf("workload: %zu insts (%llu loads, %llu stores, "
+                "%llu branches), %llu fine-grain phase changes\n",
+                trace->size(),
+                static_cast<unsigned long long>(mix.loads),
+                static_cast<unsigned long long>(mix.stores),
+                static_cast<unsigned long long>(mix.condBranches),
+                static_cast<unsigned long long>(
+                    trace->phaseChanges()));
+
+    // 2. Run it alone on two customized cores from the paper's
+    //    Appendix A palette.
+    const CoreConfig &twolf_core = coreConfigByName("twolf");
+    const CoreConfig &gzip_core = coreConfigByName("gzip");
+    auto on_twolf = runSingle(twolf_core, trace);
+    auto on_gzip = runSingle(gzip_core, trace);
+    std::printf("alone on the twolf core: %.2f inst/ns "
+                "(IPC %.2f at %.2f GHz)\n",
+                on_twolf.ipt, on_twolf.stats.ipc(),
+                twolf_core.frequencyGHz());
+    std::printf("alone on the gzip  core: %.2f inst/ns "
+                "(IPC %.2f at %.2f GHz)\n",
+                on_gzip.ipt, on_gzip.stats.ipc(),
+                gzip_core.frequencyGHz());
+
+    // 3. Contest the two cores: both execute the same stream,
+    //    results broadcast over 1ns global result buses, and the
+    //    better core for each fine-grain region takes the lead.
+    ContestSystem system({twolf_core, gzip_core}, trace);
+    ContestResult contested = system.run();
+    std::printf("contested (2-way):       %.2f inst/ns\n",
+                contested.ipt);
+    std::printf("  lead share twolf/gzip: %.0f%% / %.0f%%, "
+                "%llu lead changes\n",
+                contested.leadFraction[0] * 100.0,
+                contested.leadFraction[1] * 100.0,
+                static_cast<unsigned long long>(
+                    contested.leadChanges));
+
+    double best = std::max(on_twolf.ipt, on_gzip.ipt);
+    std::printf("  speedup over the better single core: %+.1f%%\n",
+                (contested.ipt / best - 1.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,182 @@
+#include "bpred/bpred.hh"
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+BranchPredictor::BranchPredictor(const BPredConfig &config)
+    : cfg(config)
+{
+    fatal_if(cfg.tableBits == 0 || cfg.tableBits > 24,
+             "predictor tableBits %u out of range", cfg.tableBits);
+    fatal_if(cfg.historyBits > 32,
+             "predictor historyBits %u out of range", cfg.historyBits);
+    fatal_if(cfg.localHistBits == 0 || cfg.localHistBits > 16,
+             "predictor localHistBits %u out of range",
+             cfg.localHistBits);
+    fatal_if(cfg.localTableBits == 0 || cfg.localTableBits > 20,
+             "predictor localTableBits %u out of range",
+             cfg.localTableBits);
+
+    std::size_t entries = std::size_t{1} << cfg.tableBits;
+    historyMask = (std::uint64_t{1} << cfg.historyBits) - 1;
+    localHistMask =
+        (std::uint32_t{1} << cfg.localHistBits) - 1;
+
+    auto make_local = [&]() {
+        local.assign(std::size_t{1} << cfg.localHistBits,
+                     SatCounter2(1));
+        localHist.assign(std::size_t{1} << cfg.localTableBits, 0);
+    };
+
+    switch (cfg.kind) {
+      case BPredConfig::Kind::Bimodal:
+        bimodal.assign(entries, SatCounter2(1));
+        break;
+      case BPredConfig::Kind::GShare:
+        gshare.assign(entries, SatCounter2(1));
+        break;
+      case BPredConfig::Kind::Local:
+        make_local();
+        break;
+      case BPredConfig::Kind::Tournament:
+        gshare.assign(entries, SatCounter2(1));
+        make_local();
+        choice.assign(entries, SatCounter2(1));
+        break;
+    }
+}
+
+std::size_t
+BranchPredictor::bimodalIndex(Addr pc) const
+{
+    return (pc >> 2) & ((std::size_t{1} << cfg.tableBits) - 1);
+}
+
+std::size_t
+BranchPredictor::gshareIndex(Addr pc) const
+{
+    return ((pc >> 2) ^ (history & historyMask))
+        & ((std::size_t{1} << cfg.tableBits) - 1);
+}
+
+std::size_t
+BranchPredictor::localHistIndex(Addr pc) const
+{
+    return (pc >> 2) & ((std::size_t{1} << cfg.localTableBits) - 1);
+}
+
+bool
+BranchPredictor::predictAndTrain(Addr pc, bool actual_taken,
+                                 bool count)
+{
+    if (count)
+        ++numLookups;
+
+    bool prediction = false;
+    switch (cfg.kind) {
+      case BPredConfig::Kind::Bimodal:
+        {
+            auto &ctr = bimodal[bimodalIndex(pc)];
+            prediction = ctr.taken();
+            ctr.train(actual_taken);
+        }
+        break;
+      case BPredConfig::Kind::GShare:
+        {
+            auto &ctr = gshare[gshareIndex(pc)];
+            prediction = ctr.taken();
+            ctr.train(actual_taken);
+        }
+        break;
+      case BPredConfig::Kind::Local:
+        {
+            std::uint32_t &hist = localHist[localHistIndex(pc)];
+            auto &ctr = local[hist & localHistMask];
+            prediction = ctr.taken();
+            ctr.train(actual_taken);
+            hist = ((hist << 1) | (actual_taken ? 1 : 0))
+                & localHistMask;
+        }
+        break;
+      case BPredConfig::Kind::Tournament:
+        {
+            // Alpha-21264-style: a per-branch local-history
+            // component competes with a global gshare component.
+            std::uint32_t &hist = localHist[localHistIndex(pc)];
+            auto &loc = local[hist & localHistMask];
+            auto &gsh = gshare[gshareIndex(pc)];
+            auto &sel = choice[bimodalIndex(pc)];
+            bool loc_pred = loc.taken();
+            bool gsh_pred = gsh.taken();
+            prediction = sel.taken() ? gsh_pred : loc_pred;
+            if (loc_pred != gsh_pred)
+                sel.train(gsh_pred == actual_taken);
+            loc.train(actual_taken);
+            gsh.train(actual_taken);
+            hist = ((hist << 1) | (actual_taken ? 1 : 0))
+                & localHistMask;
+        }
+        break;
+    }
+
+    history = ((history << 1) | (actual_taken ? 1 : 0)) & historyMask;
+
+    if (count && prediction != actual_taken)
+        ++numMispredicts;
+    return prediction;
+}
+
+Btb::Btb(const BtbConfig &config)
+    : cfg(config)
+{
+    fatal_if(cfg.sets == 0 || (cfg.sets & (cfg.sets - 1)) != 0,
+             "BTB sets must be a non-zero power of two (got %u)",
+             cfg.sets);
+    fatal_if(cfg.assoc == 0, "BTB associativity must be non-zero");
+    entries.assign(std::size_t{cfg.sets} * cfg.assoc, Entry{});
+}
+
+bool
+Btb::lookupAndTrain(Addr pc, Addr actual_target)
+{
+    ++numLookups;
+    ++useClock;
+
+    std::size_t set = (pc >> 2) & (cfg.sets - 1);
+    Entry *base = &entries[set * cfg.assoc];
+
+    Entry *found = nullptr;
+    Entry *victim = &base[0];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == pc) {
+            found = &e;
+            break;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+
+    bool correct = false;
+    if (found != nullptr) {
+        correct = found->target == actual_target;
+        found->target = actual_target;
+        found->lastUse = useClock;
+    } else {
+        victim->valid = true;
+        victim->tag = pc;
+        victim->target = actual_target;
+        victim->lastUse = useClock;
+    }
+
+    if (correct)
+        ++numHits;
+    return correct;
+}
+
+} // namespace contest

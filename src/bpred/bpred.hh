@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Branch direction predictors and branch target buffer.
+ *
+ * Appendix A of the paper does not vary predictor geometry across
+ * the customized cores, so every core instantiates the same default
+ * tournament predictor; the classes are nonetheless fully
+ * parameterized and unit-tested independently.
+ *
+ * The core model fetches only correct-path instructions (trace
+ * driven), so predictors are updated with the architectural outcome
+ * at prediction time; a misprediction is detected by comparing the
+ * prediction with the trace's outcome and charged as a timing
+ * penalty when the branch resolves.
+ */
+
+#ifndef CONTEST_BPRED_BPRED_HH
+#define CONTEST_BPRED_BPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace contest
+{
+
+/** Saturating 2-bit counter helper. */
+class SatCounter2
+{
+  public:
+    /** Construct with an initial value in [0, 3]. */
+    explicit SatCounter2(std::uint8_t init = 1) : val(init) {}
+
+    /** Increment, saturating at 3. */
+    void
+    inc()
+    {
+        if (val < 3)
+            ++val;
+    }
+
+    /** Decrement, saturating at 0. */
+    void
+    dec()
+    {
+        if (val > 0)
+            --val;
+    }
+
+    /** Train toward the given outcome. */
+    void
+    train(bool taken)
+    {
+        if (taken)
+            inc();
+        else
+            dec();
+    }
+
+    /** Predicted direction. */
+    bool taken() const { return val >= 2; }
+
+    /** Raw counter value. */
+    std::uint8_t raw() const { return val; }
+
+  private:
+    std::uint8_t val;
+};
+
+/** Geometry and flavor of a direction predictor. */
+struct BPredConfig
+{
+    enum class Kind { Bimodal, GShare, Local, Tournament };
+
+    Kind kind = Kind::Tournament;
+    unsigned tableBits = 13;    //!< log2 entries of each PHT
+    unsigned historyBits = 12;  //!< global history length (GShare)
+    unsigned localHistBits = 10;//!< per-branch history length
+    unsigned localTableBits = 10;//!< log2 entries of the local
+                                 //!< history table
+};
+
+/**
+ * Branch direction predictor: bimodal, gshare, per-branch local
+ * history, or an Alpha-21264-style tournament of gshare and local
+ * with a choice table. The local component is what captures short
+ * loop periods that pollute the shared global history.
+ */
+class BranchPredictor
+{
+  public:
+    /** Build the tables described by the config. */
+    explicit BranchPredictor(const BPredConfig &config);
+
+    /**
+     * Predict the direction of the branch at pc, then train all
+     * tables and the global history with the actual outcome.
+     *
+     * @param pc branch address
+     * @param actual_taken architectural outcome from the trace
+     * @param count update the lookup/misprediction statistics
+     *        (false when training on an injected branch whose
+     *        outcome came from a result FIFO and was never
+     *        predicted)
+     * @return the direction that was predicted (before training)
+     */
+    bool predictAndTrain(Addr pc, bool actual_taken,
+                         bool count = true);
+
+    /** Lifetime conditional-branch predictions made. */
+    std::uint64_t lookups() const { return numLookups; }
+
+    /** Lifetime mispredictions. */
+    std::uint64_t mispredicts() const { return numMispredicts; }
+
+    /** Misprediction rate in [0, 1]. */
+    double
+    mispredictRate() const
+    {
+        return numLookups
+            ? static_cast<double>(numMispredicts)
+                / static_cast<double>(numLookups)
+            : 0.0;
+    }
+
+  private:
+    std::size_t bimodalIndex(Addr pc) const;
+    std::size_t gshareIndex(Addr pc) const;
+    std::size_t localHistIndex(Addr pc) const;
+
+    BPredConfig cfg;
+    std::vector<SatCounter2> bimodal;
+    std::vector<SatCounter2> gshare;
+    std::vector<SatCounter2> local;
+    std::vector<std::uint32_t> localHist;
+    std::vector<SatCounter2> choice;
+    std::uint64_t history = 0;
+    std::uint64_t historyMask;
+    std::uint32_t localHistMask = 0;
+    std::uint64_t numLookups = 0;
+    std::uint64_t numMispredicts = 0;
+};
+
+/** Branch target buffer configuration. */
+struct BtbConfig
+{
+    unsigned sets = 512;
+    unsigned assoc = 4;
+};
+
+/** Set-associative branch target buffer with LRU replacement. */
+class Btb
+{
+  public:
+    explicit Btb(const BtbConfig &config);
+
+    /**
+     * Look up the target for the branch at pc and train the entry
+     * with the actual target.
+     *
+     * @param pc branch address
+     * @param actual_target architectural target from the trace
+     * @return true iff the BTB held the correct target before
+     *         training (i.e. the front end could redirect at fetch)
+     */
+    bool lookupAndTrain(Addr pc, Addr actual_target);
+
+    /** Lifetime lookups. */
+    std::uint64_t lookups() const { return numLookups; }
+
+    /** Lifetime lookups that hit with the correct target. */
+    std::uint64_t hits() const { return numHits; }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    BtbConfig cfg;
+    std::vector<Entry> entries;
+    std::uint64_t useClock = 0;
+    std::uint64_t numLookups = 0;
+    std::uint64_t numHits = 0;
+};
+
+} // namespace contest
+
+#endif // CONTEST_BPRED_BPRED_HH

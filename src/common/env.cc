@@ -1,0 +1,45 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+
+namespace contest
+{
+
+std::uint64_t
+envU64(const std::string &name, std::uint64_t def)
+{
+    const char *raw = std::getenv(name.c_str());
+    if (raw == nullptr || *raw == '\0')
+        return def;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(raw, &end, 10);
+    if (end == raw)
+        return def;
+    return static_cast<std::uint64_t>(v);
+}
+
+bool
+envFlag(const std::string &name)
+{
+    return envU64(name, 0) != 0;
+}
+
+std::uint64_t
+benchTraceLen()
+{
+    return envU64("CONTEST_TRACE_LEN", 400'000);
+}
+
+bool
+benchFastMode()
+{
+    return envFlag("CONTEST_FAST");
+}
+
+std::uint64_t
+benchSeed()
+{
+    return envU64("CONTEST_SEED", 2009);
+}
+
+} // namespace contest

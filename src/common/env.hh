@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Environment-variable knobs shared by the bench binaries.
+ *
+ * CONTEST_TRACE_LEN — instructions per benchmark trace (default 400k).
+ * CONTEST_FAST      — when set to a non-zero value, shrinks parameter
+ *                     sweeps so the whole bench suite completes
+ *                     quickly (used by CI-style runs).
+ * CONTEST_SEED      — base seed for workload generation (default 2009,
+ *                     the paper's publication year).
+ */
+
+#ifndef CONTEST_COMMON_ENV_HH
+#define CONTEST_COMMON_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace contest
+{
+
+/** Read an unsigned integer env var, falling back to a default. */
+std::uint64_t envU64(const std::string &name, std::uint64_t def);
+
+/** Read a boolean (non-zero integer) env var. */
+bool envFlag(const std::string &name);
+
+/** Instructions per benchmark trace for bench binaries. */
+std::uint64_t benchTraceLen();
+
+/** Whether to shrink sweeps for a quick run. */
+bool benchFastMode();
+
+/** Base seed for deterministic workload generation. */
+std::uint64_t benchSeed();
+
+} // namespace contest
+
+#endif // CONTEST_COMMON_ENV_HH

@@ -1,0 +1,65 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+namespace contest
+{
+
+double
+arithmeticMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double recip_sum = 0.0;
+    for (double x : xs) {
+        fatal_if(x <= 0.0, "harmonicMean requires positive values");
+        recip_sum += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / recip_sum;
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        fatal_if(x <= 0.0, "geometricMean requires positive values");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+weightedHarmonicMean(const std::vector<double> &xs,
+                     const std::vector<double> &weights)
+{
+    fatal_if(xs.size() != weights.size(),
+             "weightedHarmonicMean: size mismatch (%zu vs %zu)",
+             xs.size(), weights.size());
+    if (xs.empty())
+        return 0.0;
+    double w_sum = 0.0;
+    double ratio_sum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        fatal_if(xs[i] <= 0.0 || weights[i] <= 0.0,
+                 "weightedHarmonicMean requires positive inputs");
+        w_sum += weights[i];
+        ratio_sum += weights[i] / xs[i];
+    }
+    return w_sum / ratio_sum;
+}
+
+} // namespace contest

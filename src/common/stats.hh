@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the core models and the
+ * experiment harness: running scalar summaries, histograms, and the
+ * mean families (arithmetic / harmonic / geometric) the paper's
+ * figures of merit are built from.
+ */
+
+#ifndef CONTEST_COMMON_STATS_HH
+#define CONTEST_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+/** Incremental min / max / mean / variance over a stream of samples. */
+class RunningStat
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double x)
+    {
+        ++n;
+        double delta = x - meanAcc;
+        meanAcc += delta / static_cast<double>(n);
+        m2 += delta * (x - meanAcc);
+        if (x < minV)
+            minV = x;
+        if (x > maxV)
+            maxV = x;
+    }
+
+    /** Number of samples recorded so far. */
+    std::uint64_t count() const { return n; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n ? meanAcc : 0.0; }
+
+    /** Population variance; 0 when fewer than two samples. */
+    double
+    variance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return minV; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return maxV; }
+
+    /** Forget all samples. */
+    void
+    reset()
+    {
+        n = 0;
+        meanAcc = 0.0;
+        m2 = 0.0;
+        minV = std::numeric_limits<double>::infinity();
+        maxV = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t n = 0;
+    double meanAcc = 0.0;
+    double m2 = 0.0;
+    double minV = std::numeric_limits<double>::infinity();
+    double maxV = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width bucketed histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket (> 0)
+     * @param num_buckets number of regular buckets before overflow
+     */
+    Histogram(double bucket_width, std::size_t num_buckets)
+        : width(bucket_width), counts(num_buckets + 1, 0)
+    {
+        fatal_if(bucket_width <= 0.0, "Histogram bucket width must be > 0");
+        fatal_if(num_buckets == 0, "Histogram needs at least one bucket");
+    }
+
+    /** Record one sample; negatives clamp into the first bucket. */
+    void
+    sample(double x)
+    {
+        ++total;
+        if (x < 0.0) {
+            ++counts.front();
+            return;
+        }
+        auto idx = static_cast<std::size_t>(x / width);
+        if (idx >= counts.size() - 1)
+            ++counts.back();
+        else
+            ++counts[idx];
+    }
+
+    /** Count in regular bucket i (overflow is bucket numBuckets()). */
+    std::uint64_t
+    bucket(std::size_t i) const
+    {
+        panic_if(i >= counts.size(), "Histogram bucket out of range");
+        return counts[i];
+    }
+
+    /** Number of regular buckets. */
+    std::size_t numBuckets() const { return counts.size() - 1; }
+
+    /** Count in the overflow bucket. */
+    std::uint64_t overflow() const { return counts.back(); }
+
+    /** Total samples recorded. */
+    std::uint64_t samples() const { return total; }
+
+  private:
+    double width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+};
+
+/** Arithmetic mean of a vector; 0 when empty. */
+double arithmeticMean(const std::vector<double> &xs);
+
+/** Harmonic mean of a vector of positive values; 0 when empty. */
+double harmonicMean(const std::vector<double> &xs);
+
+/** Geometric mean of a vector of positive values; 0 when empty. */
+double geometricMean(const std::vector<double> &xs);
+
+/**
+ * Weighted harmonic mean: sum(w) / sum(w / x). Weights and values
+ * must be positive and the two vectors the same length.
+ */
+double weightedHarmonicMean(const std::vector<double> &xs,
+                            const std::vector<double> &weights);
+
+} // namespace contest
+
+#endif // CONTEST_COMMON_STATS_HH

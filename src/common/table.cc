@@ -1,0 +1,88 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    fatal_if(cells.empty(), "TextTable header must not be empty");
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    fatal_if(head.empty(), "TextTable::row() before header()");
+    fatal_if(cells.size() != head.size(),
+             "TextTable row width %zu does not match header width %zu",
+             cells.size(), head.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(head.size(), 0);
+    for (std::size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit_row = [&](std::ostringstream &out,
+                        const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << (c == 0 ? "| " : " | ");
+            out << cells[c];
+            out << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        out << " |\n";
+    };
+
+    std::ostringstream out;
+    out << "== " << title << " ==\n";
+    if (head.empty())
+        return out.str();
+    emit_row(out, head);
+    for (std::size_t c = 0; c < head.size(); ++c) {
+        out << (c == 0 ? "|-" : "-|-");
+        out << std::string(widths[c], '-');
+    }
+    out << "-|\n";
+    for (const auto &r : rows)
+        emit_row(out, r);
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace contest

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table formatting for bench output. Every bench binary
+ * prints its figure/table in the same aligned format so the
+ * reproduction numbers are easy to diff against EXPERIMENTS.md.
+ */
+
+#ifndef CONTEST_COMMON_TABLE_HH
+#define CONTEST_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace contest
+{
+
+/** Column-aligned text table with a title and header row. */
+class TextTable
+{
+  public:
+    /** @param table_title printed above the table */
+    explicit TextTable(std::string table_title)
+        : title(std::move(table_title))
+    {}
+
+    /** Set the header row (defines the column count). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double value, int precision = 2);
+
+    /** Convenience: format a percentage with a sign, e.g. "+15.3%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace contest
+
+#endif // CONTEST_COMMON_TABLE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module.
+ *
+ * The simulator measures global time in integer picoseconds, which is
+ * finer than the paper's 0.01 ns (10 ps) handshake unit, so all of the
+ * paper's clock periods (0.19 ns ... 0.49 ns) are exactly
+ * representable.
+ */
+
+#ifndef CONTEST_COMMON_TYPES_HH
+#define CONTEST_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace contest
+{
+
+/** Global simulated time in picoseconds. */
+using TimePs = std::uint64_t;
+
+/** Core-local time in cycles of that core's clock. */
+using Cycles = std::uint64_t;
+
+/** Position in the dynamic (retired) instruction stream, 0-based. */
+using InstSeq = std::uint64_t;
+
+/** Byte address in the simulated flat address space. */
+using Addr = std::uint64_t;
+
+/** Architectural register index. */
+using RegId = std::uint16_t;
+
+/** Identifier of a core within a contesting system or CMP. */
+using CoreId = std::uint32_t;
+
+/** Picoseconds per nanosecond, for IPT conversions. */
+constexpr TimePs psPerNs = 1000;
+
+/**
+ * Instructions per nanosecond ("instructions per time", IPT) — the
+ * performance metric used throughout the paper.
+ *
+ * @param retired number of retired instructions
+ * @param elapsed elapsed simulated time in picoseconds
+ * @return IPT; 0.0 when no time has elapsed
+ */
+inline double
+instPerNs(InstSeq retired, TimePs elapsed)
+{
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(retired) * psPerNs
+        / static_cast<double>(elapsed);
+}
+
+} // namespace contest
+
+#endif // CONTEST_COMMON_TYPES_HH

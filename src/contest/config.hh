@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Configuration of a contesting system (paper Section 4).
+ */
+
+#ifndef CONTEST_CONTEST_CONFIG_HH
+#define CONTEST_CONTEST_CONFIG_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+#include "core/ooo_core.hh"
+
+namespace contest
+{
+
+/** Knobs of the contesting machinery shared by all cores. */
+struct ContestConfig
+{
+    /**
+     * Core-to-core propagation latency of the global result buses,
+     * in picoseconds. The paper's baseline is 1 ns (three cycles of
+     * a 3 GHz core); Figure 8 sweeps it up to 100 ns.
+     */
+    TimePs grbLatencyPs = 1000;
+
+    /**
+     * Result FIFO capacity in entries. This bounds the lagging
+     * distance (Section 4.1.4): a core whose FIFO overflows cannot
+     * keep up with the leader and is a saturated lagger.
+     */
+    std::size_t fifoCapacity = 8192;
+
+    /** Synchronizing store queue capacity (Section 4.2). */
+    std::size_t storeQueueCapacity = 4096;
+
+    /** How popped results complete instructions (Section 4.1.3). */
+    InjectionStyle injectionStyle = InjectionStyle::PortSteal;
+
+    /** Enable the Figure 5 early-branch-resolution corner case. */
+    bool earlyBranchResolve = true;
+
+    /** Park saturated laggers instead of letting them drop results
+     *  (Section 4.1.4's "disabling contesting mode"). */
+    bool parkSaturatedLaggers = true;
+
+    /** Cost of the parallelized exception handler, once every
+     *  contesting core has reached the exception (Section 4.3). */
+    TimePs syscallHandlerPs = 20'000;
+
+    /**
+     * Period of asynchronous external interrupts in picoseconds;
+     * 0 disables them. Interrupts use the paper's
+     * terminate-and-refork approach (Section 4.3): the designated
+     * core (core 0) services the interrupt, the redundant threads
+     * on the other cores are terminated, and all cores refork at
+     * the designated core's retired position.
+     */
+    TimePs interruptPeriodPs = 0;
+
+    /** Service time of one asynchronous interrupt. */
+    TimePs interruptHandlerPs = 500'000;
+};
+
+} // namespace contest
+
+#endif // CONTEST_CONTEST_CONFIG_HH

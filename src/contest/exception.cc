@@ -1,0 +1,79 @@
+#include "contest/exception.hh"
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+ExceptionCoordinator::ExceptionCoordinator(unsigned num_cores,
+                                           TimePs handler_ps)
+    : handlerPs(handler_ps), active(num_cores, true),
+      numActive(num_cores)
+{
+    fatal_if(num_cores == 0,
+             "ExceptionCoordinator needs at least one core");
+}
+
+bool
+ExceptionCoordinator::complete(const Rendezvous &r) const
+{
+    // Every still-active core must have arrived; arrivals from cores
+    // that have since been dropped do not block completion.
+    for (std::size_t c = 0; c < active.size(); ++c)
+        if (active[c] && !r.arrived[c])
+            return false;
+    return true;
+}
+
+std::optional<TimePs>
+ExceptionCoordinator::arrive(CoreId core, InstSeq seq, TimePs now)
+{
+    panic_if(core >= active.size(),
+             "ExceptionCoordinator: core %u out of range", core);
+
+    auto [it, inserted] = pending.try_emplace(seq);
+    Rendezvous &r = it->second;
+    if (inserted)
+        r.arrived.assign(active.size(), false);
+
+    if (!r.arrived[core]) {
+        r.arrived[core] = true;
+        ++r.count;
+    }
+
+    if (!r.resumeAt && complete(r)) {
+        // Last arrival wakes all sleeping handlers; the coordinated
+        // handler then runs for handlerPs.
+        r.resumeAt = now + handlerPs;
+        ++numHandled;
+    }
+
+    if (!r.resumeAt)
+        return std::nullopt;
+
+    // Entries are kept for the lifetime of the run (a trace carries
+    // only a handful of exceptions): a slower-clocked core may query
+    // a completed rendezvous long after the others resumed.
+    return *r.resumeAt;
+}
+
+void
+ExceptionCoordinator::dropCore(CoreId core, TimePs now)
+{
+    panic_if(core >= active.size(),
+             "ExceptionCoordinator: core %u out of range", core);
+    if (!active[core])
+        return;
+    active[core] = false;
+    --numActive;
+    // A drop may complete rendezvous that were waiting on this core.
+    for (auto &[seq, r] : pending) {
+        (void)seq;
+        if (!r.resumeAt && r.count > 0 && complete(r)) {
+            r.resumeAt = now + handlerPs;
+            ++numHandled;
+        }
+    }
+}
+
+} // namespace contest

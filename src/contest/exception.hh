@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Redundant-thread-aware parallelized exception handling (paper
+ * Section 4.3).
+ *
+ * A core that reaches a synchronous exception calls the handler,
+ * which increments a semaphore; until every participating core has
+ * reached the exception the caller sleeps. Once the last core
+ * arrives, all handlers run in coordination and every core resumes
+ * after the handler latency. Parked (saturated-lagger) cores no
+ * longer participate.
+ */
+
+#ifndef CONTEST_CONTEST_EXCEPTION_HH
+#define CONTEST_CONTEST_EXCEPTION_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace contest
+{
+
+/** Semaphore-style rendezvous for synchronous exceptions. */
+class ExceptionCoordinator
+{
+  public:
+    /**
+     * @param num_cores participating cores
+     * @param handler_ps handler latency after the rendezvous
+     */
+    ExceptionCoordinator(unsigned num_cores, TimePs handler_ps);
+
+    /**
+     * Core @p core reached the exception at stream position @p seq
+     * at time @p now (idempotent per core and position).
+     *
+     * @return the time at which this core may resume, or nullopt
+     *         while other participating cores have not yet arrived
+     */
+    std::optional<TimePs> arrive(CoreId core, InstSeq seq, TimePs now);
+
+    /** Core @p core stops participating (parked or finished) at
+     *  time @p now. */
+    void dropCore(CoreId core, TimePs now);
+
+    /** Number of exceptions fully handled so far. */
+    std::uint64_t handled() const { return numHandled; }
+
+  private:
+    struct Rendezvous
+    {
+        std::vector<bool> arrived;
+        unsigned count = 0;
+        std::optional<TimePs> resumeAt;
+    };
+
+    bool complete(const Rendezvous &r) const;
+
+    TimePs handlerPs;
+    std::vector<bool> active;
+    unsigned numActive;
+    std::map<InstSeq, Rendezvous> pending;
+    std::uint64_t numHandled = 0;
+};
+
+} // namespace contest
+
+#endif // CONTEST_CONTEST_EXCEPTION_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Result FIFO with pop-counter semantics (paper Section 4.1.2).
+ *
+ * A core receives the retired-instruction results of every other
+ * core through per-source result FIFOs. Because a source retires
+ * the shared dynamic instruction stream in order, the FIFO's content
+ * is fully described by the stream position of its head entry (the
+ * pop counter) plus the arrival time of each buffered entry. An
+ * entry is "in the FIFO" once its GRB propagation delay has elapsed;
+ * entries pushed but not yet arrived model results in flight on the
+ * bus.
+ */
+
+#ifndef CONTEST_CONTEST_RESULT_FIFO_HH
+#define CONTEST_CONTEST_RESULT_FIFO_HH
+
+#include <deque>
+#include <optional>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace contest
+{
+
+/** One incoming result FIFO (one per source core). */
+class ResultFifo
+{
+  public:
+    /** @param capacity maximum buffered entries (lagging window) */
+    explicit ResultFifo(std::size_t capacity) : cap(capacity)
+    {
+        fatal_if(capacity == 0, "ResultFifo capacity must be non-zero");
+    }
+
+    /**
+     * The source core retired instruction @p seq; its result arrives
+     * here at @p arrival. Results are pushed in retirement order.
+     *
+     * @return false if the FIFO overflowed (the receiving core is a
+     *         saturated lagger); the entry is not recorded.
+     */
+    bool
+    push(InstSeq seq, TimePs arrival)
+    {
+        panic_if(seq != headSeq_ + arrivals.size(),
+                 "ResultFifo: out-of-order push (%llu, expected %llu)",
+                 static_cast<unsigned long long>(seq),
+                 static_cast<unsigned long long>(
+                     headSeq_ + arrivals.size()));
+        if (arrivals.size() >= cap)
+            return false;
+        arrivals.push_back(arrival);
+        return true;
+    }
+
+    /** Stream position of the head entry — the pop counter. */
+    InstSeq headSeq() const { return headSeq_; }
+
+    /** Number of buffered (including in-flight) entries. */
+    std::size_t size() const { return arrivals.size(); }
+
+    /** Is the FIFO empty of pushed entries? */
+    bool empty() const { return arrivals.empty(); }
+
+    /**
+     * Has the head entry physically arrived by time @p now? An
+     * empty FIFO has no arrived head.
+     */
+    bool
+    headArrived(TimePs now) const
+    {
+        return !arrivals.empty() && arrivals.front() <= now;
+    }
+
+    /** Arrival time of the head entry, if one was pushed. */
+    std::optional<TimePs>
+    headArrival() const
+    {
+        if (arrivals.empty())
+            return std::nullopt;
+        return arrivals.front();
+    }
+
+    /** Pop the head entry, advancing the pop counter. */
+    void
+    pop()
+    {
+        panic_if(arrivals.empty(), "ResultFifo: pop from empty FIFO");
+        arrivals.pop_front();
+        ++headSeq_;
+    }
+
+    /**
+     * Discard every entry strictly older than @p seq — late results
+     * a non-trailing core pops and drops (Scenario #1).
+     *
+     * @return number of discarded entries
+     */
+    std::size_t
+    discardBelow(InstSeq seq)
+    {
+        std::size_t n = 0;
+        while (!arrivals.empty() && headSeq_ < seq) {
+            arrivals.pop_front();
+            ++headSeq_;
+            ++n;
+        }
+        return n;
+    }
+
+    /** Forget all state (core parked). */
+    void
+    clear()
+    {
+        arrivals.clear();
+    }
+
+    /**
+     * Drop all buffered entries and move the pop counter to @p seq:
+     * used when the whole system reforks at a common stream position
+     * after an asynchronous interrupt (Section 4.3) — every source
+     * resumes retiring from @p seq, so contiguity is re-established.
+     */
+    void
+    seekTo(InstSeq seq)
+    {
+        arrivals.clear();
+        headSeq_ = seq;
+    }
+
+  private:
+    std::size_t cap;
+    std::deque<TimePs> arrivals;
+    InstSeq headSeq_ = 0;
+};
+
+} // namespace contest
+
+#endif // CONTEST_CONTEST_RESULT_FIFO_HH

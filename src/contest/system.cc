@@ -1,0 +1,260 @@
+#include "contest/system.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+ContestSystem::ContestSystem(std::vector<CoreConfig> core_configs,
+                             TracePtr trace_ptr,
+                             const ContestConfig &contest_config)
+    : configs(std::move(core_configs)), trace(std::move(trace_ptr)),
+      cfg(contest_config)
+{
+    fatal_if(configs.empty(), "ContestSystem needs at least one core");
+    fatal_if(!trace || trace->empty(),
+             "ContestSystem needs a non-empty trace");
+
+    const auto n = static_cast<unsigned>(configs.size());
+    storeQ = std::make_unique<SyncStoreQueue>(n,
+                                              cfg.storeQueueCapacity);
+    excCoord = std::make_unique<ExceptionCoordinator>(
+        n, cfg.syscallHandlerPs);
+    leadCounts.assign(n, 0);
+
+    for (CoreId i = 0; i < n; ++i)
+        units.push_back(
+            std::make_unique<CoreContestUnit>(i, cfg, this, n));
+    for (CoreId i = 0; i < n; ++i) {
+        cores.push_back(
+            std::make_unique<OooCore>(configs[i], trace, i));
+        cores[i]->attachContest(units[i].get(), cfg.injectionStyle);
+        // Section 4.2: private levels are write-through in
+        // contesting mode.
+        cores[i]->memory().setWriteThrough(true);
+        units[i]->setCore(cores[i].get());
+    }
+
+    fatal_if(cfg.interruptPeriodPs > 0
+                 && cfg.interruptPeriodPs <= cfg.interruptHandlerPs,
+             "interrupt period (%llu ps) must exceed the handler "
+             "time (%llu ps) or the system never executes",
+             static_cast<unsigned long long>(cfg.interruptPeriodPs),
+             static_cast<unsigned long long>(
+                 cfg.interruptHandlerPs));
+    if (cfg.interruptPeriodPs > 0) {
+        // Prefix store counts let a refork reposition the
+        // synchronizing store queue in O(1).
+        storePrefix.reserve(trace->size() + 1);
+        std::uint32_t count = 0;
+        storePrefix.push_back(0);
+        for (std::size_t i = 0; i < trace->size(); ++i) {
+            if ((*trace)[i].op == OpClass::Store)
+                ++count;
+            storePrefix.push_back(count);
+        }
+    }
+
+    // Section 4.1.4 static condition: the peak retirement rate of
+    // any core should be sustainable by every other core.
+    double max_peak = 0.0;
+    for (const auto &c : configs)
+        max_peak = std::max(max_peak, c.peakIps());
+    for (const auto &c : configs) {
+        if (c.peakIps() < max_peak * 0.5) {
+            inform("core type '%s' (peak %.1f inst/ns) may be a "
+                   "saturated lagger (system peak %.1f inst/ns)",
+                   c.name.c_str(), c.peakIps(), max_peak);
+        }
+    }
+}
+
+ContestSystem::~ContestSystem() = default;
+
+void
+ContestSystem::broadcast(CoreId from, InstSeq seq, TimePs now)
+{
+    for (CoreId c = 0; c < units.size(); ++c) {
+        if (c == from || units[c]->parked())
+            continue;
+        units[c]->receiveResult(from, seq, now + cfg.grbLatencyPs);
+    }
+}
+
+void
+ContestSystem::corePark(CoreId core, TimePs now)
+{
+    storeQ->dropCore(core);
+    excCoord->dropCore(core, now);
+    inform("core %u ('%s') parked as a saturated lagger at %.1f ns",
+           core, configs[core].name.c_str(),
+           static_cast<double>(now) / psPerNs);
+}
+
+void
+ContestSystem::noteRetire(CoreId core, InstSeq seq)
+{
+    if (seq != frontier)
+        return; // a lagger re-retiring an already-led instruction
+    if (frontier > 0 && core != lastLeader)
+        ++leadChanges;
+    lastLeader = core;
+    ++leadCounts[core];
+    ++frontier;
+}
+
+void
+ContestSystem::serviceInterrupt(TimePs now,
+                                std::vector<TimePs> &next_tick)
+{
+    // The designated core (core 0) listens for external interrupts.
+    // Stopping every redundant thread at the same point would need
+    // elaborate handshaking, so the paper terminates the
+    // non-designated threads, services the interrupt on the
+    // designated core, and reforks everyone at its position.
+    InstSeq refork_at = cores[0]->retired();
+    for (CoreId c = 0; c < cores.size(); ++c) {
+        if (units[c]->parked())
+            continue;
+        cores[c]->reforkTo(refork_at);
+        units[c]->reforkTo(refork_at);
+        next_tick[c] = now + cfg.interruptHandlerPs;
+    }
+    storeQ->reforkAll(storePrefix[refork_at]);
+    ++interrupts;
+    inform("interrupt at %.1f ns: reforked all cores at "
+           "instruction %llu",
+           static_cast<double>(now) / psPerNs,
+           static_cast<unsigned long long>(refork_at));
+}
+
+ContestResult
+ContestSystem::run()
+{
+    const auto n = cores.size();
+    constexpr TimePs never = std::numeric_limits<TimePs>::max();
+    std::vector<TimePs> next_tick(n, 0);
+
+    TimePs finish_time = 0;
+    CoreId finisher = 0;
+    bool finished = false;
+    TimePs nextInterruptPs = cfg.interruptPeriodPs;
+
+    // Deadlock watchdog: global ticks since the retire frontier
+    // last advanced.
+    InstSeq last_frontier = 0;
+    std::uint64_t stuck_ticks = 0;
+    constexpr std::uint64_t stuck_limit = 40'000'000;
+
+    while (!finished) {
+        // Pick the core with the earliest next clock edge; ties go
+        // to the lower core id (the paper's round-robin handshake
+        // order made the same choice deterministic).
+        CoreId pick = 0;
+        TimePs t = never;
+        for (CoreId c = 0; c < n; ++c) {
+            if (units[c]->parked())
+                continue;
+            if (next_tick[c] < t) {
+                t = next_tick[c];
+                pick = c;
+            }
+        }
+        panic_if(t == never,
+                 "contest deadlock: every core is parked");
+
+        if (cfg.interruptPeriodPs > 0 && t >= nextInterruptPs) {
+            serviceInterrupt(nextInterruptPs, next_tick);
+            nextInterruptPs += cfg.interruptPeriodPs;
+            continue; // re-pick with the updated tick times
+        }
+
+        cores[pick]->tick(t);
+        next_tick[pick] = t + cores[pick]->periodPs();
+
+        if (cores[pick]->done()) {
+            finished = true;
+            finisher = pick;
+            finish_time = t + cores[pick]->periodPs();
+        }
+
+        if (frontier != last_frontier) {
+            last_frontier = frontier;
+            stuck_ticks = 0;
+        } else if (++stuck_ticks > stuck_limit) {
+            panic("contest deadlock: no retirement in %llu ticks "
+                  "(frontier %llu of %zu)",
+                  static_cast<unsigned long long>(stuck_limit),
+                  static_cast<unsigned long long>(frontier),
+                  trace->size());
+        }
+    }
+
+    ContestResult result;
+    result.timePs = finish_time;
+    result.ipt = instPerNs(trace->size(), finish_time);
+    for (CoreId c = 0; c < n; ++c) {
+        result.coreStats.push_back(cores[c]->stats());
+        result.unitStats.push_back(units[c]->stats());
+        result.leadFraction.push_back(
+            static_cast<double>(leadCounts[c])
+            / static_cast<double>(trace->size()));
+
+        // A parked core stops burning static power when it leaves
+        // contesting mode.
+        TimePs powered = units[c]->stats().saturated
+            ? units[c]->stats().parkedAt
+            : finish_time;
+        ActivityCounts activity;
+        activity.l1Accesses = cores[c]->memory().l1().accesses();
+        activity.l1Misses = cores[c]->memory().l1().misses();
+        activity.l2Accesses = cores[c]->memory().l2().accesses();
+        activity.l2Misses = cores[c]->memory().l2().misses();
+        activity.grbBroadcasts = units[c]->stats().broadcasts;
+        activity.injections = cores[c]->stats().injected;
+        result.energy.push_back(
+            estimateEnergy(configs[c], cores[c]->stats(), activity,
+                           powered));
+    }
+    result.leadChanges = leadChanges;
+    result.mergedStores = storeQ->mergedCount();
+    result.exceptionsHandled = excCoord->handled();
+    result.interruptsHandled = interrupts;
+
+    inform("contest finished: core %u ('%s') first at %.1f ns, "
+           "IPT %.3f, %llu lead changes",
+           finisher, configs[finisher].name.c_str(),
+           static_cast<double>(finish_time) / psPerNs, result.ipt,
+           static_cast<unsigned long long>(leadChanges));
+    return result;
+}
+
+SingleRunResult
+runSingle(const CoreConfig &config, TracePtr trace)
+{
+    fatal_if(!trace || trace->empty(),
+             "runSingle needs a non-empty trace");
+    OooCore core(config, trace);
+    TimePs t = 0;
+    while (!core.done()) {
+        core.tick(t);
+        t += core.periodPs();
+    }
+    SingleRunResult r;
+    r.timePs = t;
+    r.ipt = instPerNs(trace->size(), t);
+    r.stats = core.stats();
+
+    ActivityCounts activity;
+    activity.l1Accesses = core.memory().l1().accesses();
+    activity.l1Misses = core.memory().l1().misses();
+    activity.l2Accesses = core.memory().l2().accesses();
+    activity.l2Misses = core.memory().l2().misses();
+    r.energy = estimateEnergy(config, core.stats(), activity, t);
+    return r;
+}
+
+} // namespace contest

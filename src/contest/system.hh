@@ -1,0 +1,156 @@
+/**
+ * @file
+ * An architectural contesting multi-core system (paper Figure 2):
+ * N cores concurrently executing the same dynamic instruction
+ * stream, cross-connected by global result buses, backed by a
+ * synchronizing store queue at the shared level and a rendezvous
+ * exception coordinator, all stepped time-synchronously on a global
+ * picosecond timeline.
+ */
+
+#ifndef CONTEST_CONTEST_SYSTEM_HH
+#define CONTEST_CONTEST_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "contest/config.hh"
+#include "contest/exception.hh"
+#include "contest/unit.hh"
+#include "core/ooo_core.hh"
+#include "core/stats.hh"
+#include "mem/sync_store_queue.hh"
+#include "power/energy.hh"
+#include "trace/trace.hh"
+
+namespace contest
+{
+
+/** Outcome of one contested execution. */
+struct ContestResult
+{
+    /** Global time when the first core retired the whole trace. */
+    TimePs timePs = 0;
+    /** Instructions retired per nanosecond (the paper's IPT). */
+    double ipt = 0.0;
+    /** Per-core pipeline statistics. */
+    std::vector<CoreStats> coreStats;
+    /** Per-core contesting-unit statistics. */
+    std::vector<UnitStats> unitStats;
+    /**
+     * Fraction of instructions each core retired first — how
+     * actively each core led the contest.
+     */
+    std::vector<double> leadFraction;
+    /** Number of times the leading core changed. */
+    std::uint64_t leadChanges = 0;
+    /** Stores merged to the shared level. */
+    std::uint64_t mergedStores = 0;
+    /** Exceptions handled by the rendezvous handler. */
+    std::uint64_t exceptionsHandled = 0;
+    /** Asynchronous interrupts serviced (terminate-and-refork). */
+    std::uint64_t interruptsHandled = 0;
+    /** Per-core energy estimate for the run. */
+    std::vector<EnergyBreakdown> energy;
+
+    /** Total energy over all cores, in nanojoules. */
+    double
+    totalEnergyNj() const
+    {
+        double sum = 0.0;
+        for (const auto &e : energy)
+            sum += e.totalNj();
+        return sum;
+    }
+};
+
+/** N-way architectural contesting system. */
+class ContestSystem
+{
+  public:
+    /**
+     * @param core_configs one configuration per contesting core
+     * @param trace_ptr the shared dynamic instruction stream
+     * @param contest_config contesting machinery configuration
+     */
+    ContestSystem(std::vector<CoreConfig> core_configs,
+                  TracePtr trace_ptr,
+                  const ContestConfig &contest_config = {});
+
+    ~ContestSystem();
+
+    ContestSystem(const ContestSystem &) = delete;
+    ContestSystem &operator=(const ContestSystem &) = delete;
+
+    /**
+     * Run the contest to completion: execution ends when the first
+     * core retires the final instruction. Statically mismatched
+     * peak rates (Section 4.1.4) are reported through warn(); the
+     * dynamic saturation detector parks offenders either way.
+     */
+    ContestResult run();
+
+    /** Access a core (valid after construction). */
+    const OooCore &core(CoreId id) const { return *cores.at(id); }
+
+    /** @name Services used by the per-core units */
+    /** @{ */
+    /** Route a retired result from @p from to every other core. */
+    void broadcast(CoreId from, InstSeq seq, TimePs now);
+    /** A unit parked itself as a saturated lagger. */
+    void corePark(CoreId core, TimePs now);
+    /** The shared synchronizing store queue. */
+    SyncStoreQueue &storeQueue() { return *storeQ; }
+    /** The exception coordinator. */
+    ExceptionCoordinator &exceptions() { return *excCoord; }
+    /** First core to retire each instruction (lead tracking). */
+    void noteRetire(CoreId core, InstSeq seq);
+    /** @} */
+
+  private:
+    std::vector<CoreConfig> configs;
+    TracePtr trace;
+    ContestConfig cfg;
+
+    std::vector<std::unique_ptr<OooCore>> cores;
+    std::vector<std::unique_ptr<CoreContestUnit>> units;
+    std::unique_ptr<SyncStoreQueue> storeQ;
+    std::unique_ptr<ExceptionCoordinator> excCoord;
+
+    /** @name Lead tracking */
+    /** @{ */
+    InstSeq frontier = 0;
+    CoreId lastLeader = 0;
+    std::uint64_t leadChanges = 0;
+    std::vector<std::uint64_t> leadCounts;
+    /** @} */
+
+    /** @name Asynchronous interrupts (Section 4.3) */
+    /** @{ */
+    /** Terminate-and-refork all cores at the designated core's
+     *  position at global time @p now. */
+    void serviceInterrupt(TimePs now, std::vector<TimePs> &next_tick);
+    /** Stores preceding each stream position (prefix counts). */
+    std::vector<std::uint32_t> storePrefix;
+    std::uint64_t interrupts = 0;
+    /** @} */
+};
+
+/**
+ * Convenience: run one benchmark trace alone on one core type
+ * (no contesting) and return its IPT result.
+ */
+struct SingleRunResult
+{
+    TimePs timePs = 0;
+    double ipt = 0.0;
+    CoreStats stats;
+    EnergyBreakdown energy;
+};
+
+/** Execute the trace on a single core of the given configuration. */
+SingleRunResult runSingle(const CoreConfig &config, TracePtr trace);
+
+} // namespace contest
+
+#endif // CONTEST_CONTEST_SYSTEM_HH

@@ -1,0 +1,193 @@
+#include "contest/unit.hh"
+
+#include <algorithm>
+
+#include "contest/system.hh"
+
+namespace contest
+{
+
+CoreContestUnit::CoreContestUnit(CoreId self_id,
+                                 const ContestConfig &contest_config,
+                                 ContestSystem *owner,
+                                 unsigned num_cores)
+    : self(self_id), cfg(contest_config), sys(owner)
+{
+    fatal_if(owner == nullptr, "CoreContestUnit needs a system");
+    fifos.reserve(num_cores);
+    for (unsigned c = 0; c < num_cores; ++c)
+        fifos.emplace_back(cfg.fifoCapacity);
+}
+
+InstSeq
+CoreContestUnit::maxPopCounter() const
+{
+    InstSeq max_pop = 0;
+    for (std::size_t c = 0; c < fifos.size(); ++c)
+        if (c != self)
+            max_pop = std::max(max_pop, fifos[c].headSeq());
+    return max_pop;
+}
+
+FetchOutcome
+CoreContestUnit::onFetch(InstSeq seq, TimePs now)
+{
+    FetchOutcome out;
+    if (stats_.saturated)
+        return out;
+
+    for (std::size_t c = 0; c < fifos.size(); ++c) {
+        if (c == self)
+            continue;
+        ResultFifo &fifo = fifos[c];
+        // Scenario #1: late results are popped and discarded.
+        stats_.discarded += fifo.discardBelow(seq);
+        // Scenario #2: the pop counter has caught the fetch counter
+        // and the head result has physically arrived — pair it with
+        // this fetch and complete the instruction early.
+        if (!out.injected && fifo.headSeq() == seq
+            && fifo.headArrived(now)) {
+            fifo.pop();
+            ++stats_.paired;
+            out.injected = true;
+        }
+    }
+    return out;
+}
+
+std::optional<TimePs>
+CoreContestUnit::externalBranchResolve(InstSeq seq, TimePs now)
+{
+    (void)now;
+    if (stats_.saturated || !cfg.earlyBranchResolve)
+        return std::nullopt;
+
+    std::optional<TimePs> best;
+    for (std::size_t c = 0; c < fifos.size(); ++c) {
+        if (c == self)
+            continue;
+        ResultFifo &fifo = fifos[c];
+        stats_.discarded += fifo.discardBelow(seq);
+        if (fifo.headSeq() == seq) {
+            auto arrival = fifo.headArrival();
+            if (arrival && (!best || *arrival < *best))
+                best = arrival;
+        }
+    }
+    return best;
+}
+
+void
+CoreContestUnit::confirmEarlyResolve(InstSeq seq, TimePs now)
+{
+    (void)now;
+    // Pop the retired branch instance that resolved us early; the
+    // pop counter now equals the restored fetch counter, so the
+    // next fetch pairs in Scenario #2.
+    for (std::size_t c = 0; c < fifos.size(); ++c) {
+        if (c == self)
+            continue;
+        ResultFifo &fifo = fifos[c];
+        if (fifo.headSeq() == seq && !fifo.empty()) {
+            fifo.pop();
+            ++stats_.paired;
+            return;
+        }
+    }
+    panic("confirmEarlyResolve(%llu): no FIFO holds the branch",
+          static_cast<unsigned long long>(seq));
+}
+
+void
+CoreContestUnit::onRetire(InstSeq seq, const TraceInst &inst,
+                          TimePs now)
+{
+    (void)inst;
+    sys->noteRetire(self, seq);
+    if (stats_.saturated)
+        return;
+    ++stats_.broadcasts;
+    sys->broadcast(self, seq, now);
+}
+
+bool
+CoreContestUnit::storeCanCommit(TimePs)
+{
+    if (stats_.saturated)
+        return true;
+    return sys->storeQueue().canAccept(self);
+}
+
+void
+CoreContestUnit::onStoreCommit(Addr addr, TimePs)
+{
+    if (stats_.saturated)
+        return;
+    sys->storeQueue().performStore(self, addr);
+}
+
+std::optional<TimePs>
+CoreContestUnit::onSyscall(InstSeq seq, TimePs now)
+{
+    if (stats_.saturated)
+        return now;
+    return sys->exceptions().arrive(self, seq, now);
+}
+
+void
+CoreContestUnit::receiveResult(CoreId src, InstSeq seq,
+                               TimePs arrival)
+{
+    if (stats_.saturated)
+        return;
+    panic_if(src == self, "core %u received its own result", self);
+    if (fifos[src].push(seq, arrival))
+        return;
+
+    // The FIFO is full. If the buffered entries are already behind
+    // this core's fetch counter they are late results that would be
+    // discarded at the next fetch anyway (the core may simply be
+    // stalled); dropping them is Scenario #1 behaviour, not
+    // saturation.
+    if (core != nullptr) {
+        stats_.discarded +=
+            fifos[src].discardBelow(core->nextFetchSeq());
+        if (fifos[src].push(seq, arrival))
+            return;
+    }
+
+    // Genuine overflow: this core cannot sustain the leader's
+    // retirement rate. Disable contesting mode for it (Sec. 4.1.4),
+    // or — if parking is disabled for ablation — drop the oldest
+    // buffered result to keep the stream contiguous, abandoning the
+    // chance to pair it.
+    if (cfg.parkSaturatedLaggers) {
+        park(arrival);
+    } else {
+        fifos[src].pop();
+        ++stats_.discarded;
+        bool pushed = fifos[src].push(seq, arrival);
+        panic_if(!pushed, "ResultFifo refill failed after drop");
+    }
+}
+
+void
+CoreContestUnit::reforkTo(InstSeq seq)
+{
+    for (auto &fifo : fifos)
+        fifo.seekTo(seq);
+}
+
+void
+CoreContestUnit::park(TimePs now)
+{
+    if (stats_.saturated)
+        return;
+    stats_.saturated = true;
+    stats_.parkedAt = now;
+    for (auto &fifo : fifos)
+        fifo.clear();
+    sys->corePark(self, now);
+}
+
+} // namespace contest

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-core contesting unit: pop counters, fetch-counter pairing,
+ * late-result discarding, early branch resolution, store-merge and
+ * exception bridging (paper Sections 4.1-4.3).
+ *
+ * One unit is attached to each core through the ContestHooks
+ * interface. Because the core model is trace driven (only correct
+ * path instructions are fetched), the core's fetch stream position
+ * *is* the paper's checkpoint-restored fetch counter: wrong-path
+ * over-counting and its checkpoint/restore never materialize, and
+ * the Scenario #1 / #2 comparison reduces to comparing the fetch
+ * position against each FIFO's pop counter.
+ */
+
+#ifndef CONTEST_CONTEST_UNIT_HH
+#define CONTEST_CONTEST_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "contest/config.hh"
+#include "contest/result_fifo.hh"
+#include "core/contest_iface.hh"
+
+namespace contest
+{
+
+class ContestSystem;
+
+/** Statistics specific to the contesting unit. */
+struct UnitStats
+{
+    std::uint64_t paired = 0;      //!< results paired with fetches
+    std::uint64_t discarded = 0;   //!< late results dropped
+    std::uint64_t broadcasts = 0;  //!< results sent on the GRB
+    bool saturated = false;        //!< parked as a saturated lagger
+    TimePs parkedAt = 0;
+};
+
+/** ContestHooks implementation backing one core. */
+class CoreContestUnit : public ContestHooks
+{
+  public:
+    /**
+     * @param self this core's id within the system
+     * @param contest_config shared contesting configuration
+     * @param owner the system providing GRB routing, the store
+     *              queue and the exception coordinator
+     * @param num_cores total cores in the system
+     */
+    CoreContestUnit(CoreId self, const ContestConfig &contest_config,
+                    ContestSystem *owner, unsigned num_cores);
+
+    /** @name ContestHooks */
+    /** @{ */
+    FetchOutcome onFetch(InstSeq seq, TimePs now) override;
+    std::optional<TimePs> externalBranchResolve(InstSeq seq,
+                                                TimePs now) override;
+    void confirmEarlyResolve(InstSeq seq, TimePs now) override;
+    void onRetire(InstSeq seq, const TraceInst &inst,
+                  TimePs now) override;
+    bool storeCanCommit(TimePs now) override;
+    void onStoreCommit(Addr addr, TimePs now) override;
+    std::optional<TimePs> onSyscall(InstSeq seq, TimePs now) override;
+    bool parked() const override { return stats_.saturated; }
+    /** @} */
+
+    /**
+     * A result from core @p src arrives on this core's incoming GRB
+     * (arrival pre-delayed by the bus latency). Overflow makes this
+     * core a saturated lagger.
+     */
+    void receiveResult(CoreId src, InstSeq seq, TimePs arrival);
+
+    /** Unit statistics. */
+    const UnitStats &stats() const { return stats_; }
+
+    /** Maximum pop counter over all incoming FIFOs. */
+    InstSeq maxPopCounter() const;
+
+    /** Late-bind the core this unit serves (for its fetch counter). */
+    void setCore(const OooCore *core_model) { core = core_model; }
+
+    /** System-wide refork (asynchronous interrupt): every FIFO is
+     *  emptied and its pop counter moved to the refork position. */
+    void reforkTo(InstSeq seq);
+
+  private:
+    void park(TimePs now);
+
+    CoreId self;
+    const ContestConfig &cfg;
+    ContestSystem *sys;
+    const OooCore *core = nullptr;
+    /** Incoming FIFOs indexed by source core id (self unused). */
+    std::vector<ResultFifo> fifos;
+    UnitStats stats_;
+};
+
+} // namespace contest
+
+#endif // CONTEST_CONTEST_UNIT_HH

@@ -1,0 +1,32 @@
+#include "core/config.hh"
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+void
+CoreConfig::validate() const
+{
+    fatal_if(width == 0 || width > 16,
+             "core '%s': width %u out of range", name.c_str(), width);
+    fatal_if(robSize < width,
+             "core '%s': ROB (%u) smaller than width (%u)",
+             name.c_str(), robSize, width);
+    fatal_if(iqSize == 0 || iqSize > robSize,
+             "core '%s': issue queue size %u invalid", name.c_str(),
+             iqSize);
+    fatal_if(lsqSize == 0,
+             "core '%s': LSQ size must be non-zero", name.c_str());
+    fatal_if(frontEndDepth == 0 || frontEndDepth > 32,
+             "core '%s': front-end depth %u out of range",
+             name.c_str(), frontEndDepth);
+    fatal_if(clockPeriodPs == 0,
+             "core '%s': clock period must be non-zero", name.c_str());
+    fatal_if(l1dPorts == 0,
+             "core '%s': need at least one L1D port", name.c_str());
+    fatal_if(mshrs == 0,
+             "core '%s': need at least one MSHR", name.c_str());
+}
+
+} // namespace contest

@@ -1,0 +1,503 @@
+#include "core/ooo_core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+OooCore::OooCore(const CoreConfig &core_config, TracePtr trace_ptr,
+                 CoreId core_id)
+    : cfg(core_config), trace(std::move(trace_ptr)), coreId(core_id),
+      hier(cfg.l1d, cfg.l2, cfg.memAccessCycles,
+           cfg.loadFillGapCycles(), cfg.storeDrainGapCycles()),
+      bpred(cfg.bpred), btb(cfg.btb)
+{
+    cfg.validate();
+    fatal_if(!trace, "core '%s' constructed without a trace",
+             cfg.name.c_str());
+    if (cfg.wakeupLatency > cfg.schedDepth)
+        warn("core '%s': wakeup latency (%llu) exceeds scheduler depth "
+             "(%llu); committed producers are treated as ready",
+             cfg.name.c_str(),
+             static_cast<unsigned long long>(cfg.wakeupLatency),
+             static_cast<unsigned long long>(cfg.schedDepth));
+    fetchQueueCap = std::size_t{cfg.width} * (cfg.frontEndDepth + 2);
+    renameMap.assign(numArchRegs, RenameRef{});
+    if (cfg.modelICache)
+        icache = std::make_unique<Cache>(cfg.l1i);
+}
+
+void
+OooCore::attachContest(ContestHooks *contest_hooks,
+                       InjectionStyle injection_style)
+{
+    hooks = contest_hooks;
+    style = injection_style;
+}
+
+OooCore::RobEntry &
+OooCore::robFor(InstSeq seq)
+{
+    panic_if(rob.empty(), "robFor(%llu) on empty ROB",
+             static_cast<unsigned long long>(seq));
+    InstSeq head = rob.front().seq;
+    panic_if(seq < head || seq >= head + rob.size(),
+             "robFor(%llu) outside window [%llu, %llu)",
+             static_cast<unsigned long long>(seq),
+             static_cast<unsigned long long>(head),
+             static_cast<unsigned long long>(head + rob.size()));
+    return rob[static_cast<std::size_t>(seq - head)];
+}
+
+bool
+OooCore::srcStatus(InstSeq producer, Cycles &ready_at) const
+{
+    if (rob.empty() || producer < rob.front().seq) {
+        // The producer has committed; its value is architectural.
+        ready_at = 0;
+        return true;
+    }
+    InstSeq head = rob.front().seq;
+    panic_if(producer >= head + rob.size(),
+             "source producer %llu not yet dispatched",
+             static_cast<unsigned long long>(producer));
+    const RobEntry &e = rob[static_cast<std::size_t>(producer - head)];
+    if (!e.issued)
+        return false;
+    ready_at = e.valueReadyAt;
+    return true;
+}
+
+void
+OooCore::reforkTo(InstSeq seq)
+{
+    fatal_if(seq > trace->size(),
+             "reforkTo(%llu) beyond trace end",
+             static_cast<unsigned long long>(seq));
+    fetchQueue.clear();
+    rob.clear();
+    iq.clear();
+    completions = {};
+    loadReleases = {};
+    mshrReleases = {};
+    lsqOcc = 0;
+    stalledBranch.reset();
+    earlyResolved.reset();
+    stalledSyscall = false;
+    syscallResumePs.reset();
+    for (auto &ref : renameMap)
+        ref.inFlight = false;
+    fetchSeq = seq;
+    numRetired = seq;
+    // The refilled pipeline starts fetching next cycle.
+    fetchResumeAt = curCycle + 1;
+}
+
+void
+OooCore::tick(TimePs now)
+{
+    if (done())
+        return;
+    if (hooks != nullptr && hooks->parked())
+        return;
+
+    doComplete(now);
+    doCommit(now);
+    doIssue(now);
+    doDispatch(now);
+    doFetch(now);
+
+    ++curCycle;
+    ++st.cycles;
+}
+
+void
+OooCore::doComplete(TimePs)
+{
+    while (!completions.empty() && completions.top().first <= curCycle) {
+        InstSeq seq = completions.top().second;
+        completions.pop();
+        if (rob.empty() || seq < rob.front().seq)
+            continue; // early-resolved and already committed
+        RobEntry &e = robFor(seq);
+        if (e.completed)
+            continue; // early resolution beat own execution
+        e.completed = true;
+        if (stalledBranch && *stalledBranch == seq) {
+            stalledBranch.reset();
+            fetchResumeAt = std::max(fetchResumeAt, curCycle + 1);
+        }
+    }
+}
+
+void
+OooCore::doCommit(TimePs now)
+{
+    unsigned committed = 0;
+    while (committed < cfg.width && !rob.empty()) {
+        RobEntry &head = rob.front();
+        if (!head.completed)
+            break;
+
+        InstSeq seq = head.seq;
+        bool injected = head.injected;
+        const TraceInst &inst = (*trace)[seq];
+
+        if (inst.op == OpClass::Store) {
+            if (hooks != nullptr && !hooks->storeCanCommit(now)) {
+                ++st.storeQueueStalls;
+                break;
+            }
+            // Redundant private store (write-through in contesting
+            // mode); its latency is hidden by the store buffer.
+            hier.access(inst.addr, true, curCycle);
+            if (hooks != nullptr)
+                hooks->onStoreCommit(inst.addr, now);
+            if (!injected) {
+                panic_if(lsqOcc == 0, "LSQ underflow at store commit");
+                --lsqOcc;
+            }
+        } else if (inst.op == OpClass::Syscall) {
+            if (!syscallResumePs) {
+                if (hooks != nullptr) {
+                    auto resume = hooks->onSyscall(seq, now);
+                    if (!resume) {
+                        ++st.syscallStalls;
+                        break; // rendezvous incomplete; retry
+                    }
+                    syscallResumePs = *resume;
+                } else {
+                    syscallResumePs = now
+                        + cfg.syscallHandlerCycles * cfg.clockPeriodPs;
+                }
+            }
+            if (now < *syscallResumePs) {
+                ++st.syscallStalls;
+                break;
+            }
+            syscallResumePs.reset();
+            stalledSyscall = false;
+            fetchResumeAt = std::max(fetchResumeAt, curCycle + 1);
+            ++st.syscalls;
+        }
+
+        if (inst.producesValue()) {
+            RenameRef &ref = renameMap[inst.dst];
+            if (ref.inFlight && ref.producer == seq)
+                ref.inFlight = false;
+        }
+
+        if (hooks != nullptr)
+            hooks->onRetire(seq, inst, now);
+        if (retireCb)
+            retireCb(seq, now);
+
+        rob.pop_front();
+        ++numRetired;
+        ++st.retired;
+        ++committed;
+    }
+}
+
+void
+OooCore::doIssue(TimePs)
+{
+    // Release LSQ slots of returned loads and MSHRs of returned
+    // misses before selecting.
+    while (!loadReleases.empty() && loadReleases.top() <= curCycle) {
+        loadReleases.pop();
+        panic_if(lsqOcc == 0, "LSQ underflow at load return");
+        --lsqOcc;
+    }
+    while (!mshrReleases.empty() && mshrReleases.top() <= curCycle)
+        mshrReleases.pop();
+
+    unsigned issued = 0;
+    unsigned mem_issued = 0;
+    for (auto it = iq.begin(); it != iq.end() && issued < cfg.width;) {
+        if (rob.empty() || it->seq < rob.front().seq) {
+            // The instruction was completed externally (early
+            // branch resolution) and has already committed.
+            it = iq.erase(it);
+            continue;
+        }
+        RobEntry &re = robFor(it->seq);
+        if (re.completed) {
+            // Early-resolved branch: its popped outcome already
+            // completed it; drop the queue entry.
+            it = iq.erase(it);
+            continue;
+        }
+
+        const TraceInst &inst = (*trace)[it->seq];
+
+        bool ready = true;
+        for (int s = 0; s < 2; ++s) {
+            if (it->srcPending[s]) {
+                Cycles r = 0;
+                if (srcStatus(it->srcProd[s], r)) {
+                    it->srcPending[s] = false;
+                    it->srcReadyAt[s] = r;
+                } else {
+                    ready = false;
+                }
+            }
+            if (!it->srcPending[s] && it->srcReadyAt[s] > curCycle)
+                ready = false;
+        }
+        if (!ready) {
+            ++it;
+            continue;
+        }
+
+        bool is_mem = inst.isMem() && !it->injected;
+        if (is_mem && mem_issued >= cfg.l1dPorts) {
+            ++it;
+            continue;
+        }
+
+        Cycles lat_total = 0;
+        if (it->injected) {
+            // MarkReady injection: the value travels with the
+            // instruction; issuing just writes it back.
+            lat_total = 1;
+        } else if (inst.op == OpClass::Load) {
+            bool l1_hit = hier.l1().probe(inst.addr);
+            if (!l1_hit && mshrReleases.size() >= cfg.mshrs) {
+                ++it;
+                continue; // no MSHR for the miss
+            }
+            auto res = hier.access(inst.addr, false, curCycle);
+            lat_total = res.latency;
+            if (res.level != MemLevel::L1)
+                mshrReleases.push(curCycle + lat_total);
+        } else if (inst.op == OpClass::Store) {
+            lat_total = 1; // address generation; data at commit
+        } else {
+            lat_total = inst.execLatency();
+        }
+
+        re.issued = true;
+        re.valueReadyAt = curCycle + lat_total + cfg.wakeupLatency;
+        re.completeAt = curCycle + cfg.schedDepth + lat_total;
+        completions.push({re.completeAt, re.seq});
+        if (inst.op == OpClass::Load && !it->injected)
+            loadReleases.push(re.completeAt);
+
+        if (is_mem)
+            ++mem_issued;
+        ++issued;
+        it = iq.erase(it);
+    }
+}
+
+void
+OooCore::doDispatch(TimePs)
+{
+    unsigned dispatched = 0;
+    while (dispatched < cfg.width && !fetchQueue.empty()) {
+        const FetchEntry &fe = fetchQueue.front();
+        if (fe.renameReadyAt > curCycle)
+            break;
+
+        const TraceInst &inst = (*trace)[fe.seq];
+        bool injected = fe.injected;
+        if (earlyResolved && *earlyResolved == fe.seq) {
+            injected = true;
+            earlyResolved.reset();
+            ++st.injected;
+        }
+
+        bool is_syscall = inst.op == OpClass::Syscall;
+        if (is_syscall && !rob.empty())
+            break; // serialize: drain before dispatching
+
+        if (rob.size() >= cfg.robSize) {
+            ++st.robFullStalls;
+            break;
+        }
+        bool port_steal =
+            injected && style == InjectionStyle::PortSteal;
+        bool needs_iq = !is_syscall && !port_steal;
+        if (needs_iq && iq.size() >= cfg.iqSize) {
+            ++st.iqFullStalls;
+            break;
+        }
+        bool needs_lsq = inst.isMem() && !injected;
+        if (needs_lsq && lsqOcc >= cfg.lsqSize) {
+            ++st.lsqFullStalls;
+            break;
+        }
+
+        RobEntry re;
+        re.seq = fe.seq;
+        re.injected = injected;
+        if (port_steal || is_syscall) {
+            // Injected results complete at rename (port stealing);
+            // syscalls execute in the handler, not the pipeline.
+            re.issued = true;
+            re.completeAt = curCycle + 1;
+            re.valueReadyAt = curCycle + 1;
+            completions.push({re.completeAt, re.seq});
+        } else {
+            IqEntry qe;
+            qe.seq = fe.seq;
+            qe.injected = injected;
+            if (!injected) {
+                RegId srcs[2] = {inst.src1, inst.src2};
+                for (int s = 0; s < 2; ++s) {
+                    if (srcs[s] == invalidReg)
+                        continue;
+                    const RenameRef &ref = renameMap[srcs[s]];
+                    if (!ref.inFlight)
+                        continue; // value already architectural
+                    Cycles r = 0;
+                    if (srcStatus(ref.producer, r)) {
+                        qe.srcReadyAt[s] = r;
+                    } else {
+                        qe.srcPending[s] = true;
+                        qe.srcProd[s] = ref.producer;
+                    }
+                }
+            }
+            iq.push_back(qe);
+            if (needs_lsq)
+                ++lsqOcc;
+        }
+
+        if (inst.producesValue())
+            renameMap[inst.dst] = RenameRef{fe.seq, true};
+
+        rob.push_back(re);
+        fetchQueue.pop_front();
+        ++dispatched;
+    }
+}
+
+void
+OooCore::doFetch(TimePs now)
+{
+    if (fetchSeq >= trace->size())
+        return;
+
+    if (stalledBranch) {
+        // Figure 5 corner case: a retired instance of the branch may
+        // arrive on a result FIFO before the core resolves it.
+        if (hooks != nullptr) {
+            auto arrival =
+                hooks->externalBranchResolve(*stalledBranch, now);
+            if (arrival && *arrival <= now) {
+                InstSeq bseq = *stalledBranch;
+                hooks->confirmEarlyResolve(bseq, now);
+                ++st.earlyResolves;
+                stalledBranch.reset();
+                fetchResumeAt = std::max(fetchResumeAt, curCycle + 1);
+                if (!rob.empty() && bseq >= rob.front().seq
+                    && bseq < rob.front().seq + rob.size()) {
+                    RobEntry &e = robFor(bseq);
+                    if (!e.completed) {
+                        e.completed = true;
+                        e.injected = true;
+                        e.issued = true;
+                        e.valueReadyAt = curCycle + 1;
+                    }
+                } else {
+                    // Still in the front-end pipe: complete it as an
+                    // injected instruction at dispatch.
+                    earlyResolved = bseq;
+                }
+            }
+        }
+        if (stalledBranch) {
+            ++st.fetchStallBranch;
+            return;
+        }
+    }
+
+    if (curCycle < fetchResumeAt || stalledSyscall)
+        return;
+
+    // The fetch group's leading access probes the I-cache; a miss
+    // stalls the front end while the block fills through L2.
+    if (icache && fetchQueue.size() < fetchQueueCap) {
+        Addr pc = (*trace)[fetchSeq].pc;
+        auto probe = icache->access(pc, false);
+        if (!probe.hit) {
+            ++st.icacheMisses;
+            fetchResumeAt = curCycle + cfg.l1i.latency
+                + hier.instrFill(pc, curCycle);
+            return;
+        }
+    }
+
+    unsigned fetched = 0;
+    while (fetched < cfg.width && fetchQueue.size() < fetchQueueCap
+           && fetchSeq < trace->size()) {
+        const TraceInst &inst = (*trace)[fetchSeq];
+
+        FetchOutcome out;
+        if (hooks != nullptr)
+            out = hooks->onFetch(fetchSeq, now);
+
+        bool end_group = false;
+        bool mispred = false;
+        if (out.injected) {
+            ++st.injected;
+            if (inst.op == OpClass::BranchCond) {
+                ++st.condBranches;
+                // The injected outcome still trains the predictor
+                // and history (hardware trains at retirement), so
+                // the core predicts well when it later takes the
+                // lead.
+                bpred.predictAndTrain(inst.pc, inst.taken, false);
+            }
+            if (inst.isBranch() && inst.taken) {
+                btb.lookupAndTrain(inst.pc, inst.target);
+                end_group = true;
+            }
+        } else if (inst.op == OpClass::BranchCond) {
+            ++st.condBranches;
+            bool pred = bpred.predictAndTrain(inst.pc, inst.taken);
+            bool btb_ok = true;
+            if (inst.taken)
+                btb_ok = btb.lookupAndTrain(inst.pc, inst.target);
+            if (pred != inst.taken) {
+                mispred = true;
+            } else if (inst.taken) {
+                end_group = true;
+                if (!btb_ok) {
+                    ++st.btbMissRedirects;
+                    fetchResumeAt =
+                        curCycle + 1 + cfg.btbMissPenalty;
+                }
+            }
+        } else if (inst.op == OpClass::BranchUncond) {
+            bool btb_ok = btb.lookupAndTrain(inst.pc, inst.target);
+            end_group = true;
+            if (!btb_ok) {
+                ++st.btbMissRedirects;
+                fetchResumeAt = curCycle + 1 + cfg.btbMissPenalty;
+            }
+        } else if (inst.op == OpClass::Syscall) {
+            stalledSyscall = true;
+        }
+
+        fetchQueue.push_back(
+            FetchEntry{fetchSeq, curCycle + cfg.frontEndDepth,
+                       out.injected});
+        ++fetchSeq;
+        ++fetched;
+
+        if (mispred) {
+            ++st.mispredicts;
+            stalledBranch = fetchSeq - 1;
+            break;
+        }
+        if (stalledSyscall || end_group)
+            break;
+    }
+}
+
+} // namespace contest

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Trace-driven cycle-level out-of-order superscalar core model.
+ *
+ * The model honors every Appendix A parameter: fetch is width-bound
+ * and taken-branch-bound; fetched instructions spend frontEndDepth
+ * cycles reaching rename; dispatch is bound by ROB/IQ/LSQ occupancy;
+ * issue selects up to width ready instructions oldest-first with
+ * wakeupLatency between a producer's execution and its dependents'
+ * earliest issue; loads occupy MSHRs on misses and L1D ports at
+ * issue; schedDepth cycles separate issue from completion (paid by
+ * branch resolution and retirement, hidden from dependents by the
+ * bypass network); commit is in-order and width-bound.
+ *
+ * Wrong-path instructions are not modeled (trace-driven): a
+ * misprediction stalls fetch until the branch resolves, which
+ * charges the same resolution + front-end-refill penalty to baseline
+ * and contested runs alike.
+ *
+ * Contesting hooks (fetch pairing, retirement broadcast, store
+ * merging, exception rendezvous, saturated-lagger parking) are
+ * injected through the ContestHooks interface so the core library
+ * has no dependency on the contesting machinery.
+ */
+
+#ifndef CONTEST_CORE_OOO_CORE_HH
+#define CONTEST_CORE_OOO_CORE_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "bpred/bpred.hh"
+#include "core/config.hh"
+#include "core/contest_iface.hh"
+#include "core/stats.hh"
+#include "mem/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace contest
+{
+
+/** How a popped result completes a trailing core's instruction. */
+enum class InjectionStyle
+{
+    /**
+     * Write the value into the physical register at rename, using
+     * write ports transferred from the writeback stage (the paper's
+     * primary scheme, Section 4.1.3). Injected instructions bypass
+     * the issue queue entirely.
+     */
+    PortSteal,
+    /**
+     * Dispatch into the issue queue marked immediately ready (the
+     * paper's "more straightforward alternative"). Injected
+     * instructions consume issue-queue slots and issue bandwidth.
+     */
+    MarkReady,
+};
+
+/** Cycle-level out-of-order core executing one trace. */
+class OooCore
+{
+  public:
+    /** Called on every retirement: (stream position, global time). */
+    using RetireCallback = std::function<void(InstSeq, TimePs)>;
+
+    /**
+     * @param core_config validated core parameters
+     * @param trace_ptr the retired instruction stream to execute
+     * @param core_id identifier within a multi-core system
+     */
+    OooCore(const CoreConfig &core_config, TracePtr trace_ptr,
+            CoreId core_id = 0);
+
+    /** Attach contesting hooks (optional; pass nullptr to detach). */
+    void attachContest(ContestHooks *contest_hooks,
+                       InjectionStyle injection_style);
+
+    /** Register a retirement observer (region logging etc.). */
+    void setRetireCallback(RetireCallback cb) { retireCb = std::move(cb); }
+
+    /** Advance one clock cycle at global time @p now (picoseconds). */
+    void tick(TimePs now);
+
+    /**
+     * Squash all in-flight work and restart execution at stream
+     * position @p seq — the terminate-and-refork step of the
+     * paper's asynchronous interrupt handling (Section 4.3). Cache
+     * and predictor state is preserved (it is architectural
+     * history, not thread context).
+     */
+    void reforkTo(InstSeq seq);
+
+    /** Has the whole trace retired on this core? */
+    bool done() const { return numRetired == trace->size(); }
+
+    /** Instructions retired so far. */
+    InstSeq retired() const { return numRetired; }
+
+    /** Stream position of the next instruction to fetch — the
+     *  paper's (checkpoint-corrected) fetch counter. */
+    InstSeq nextFetchSeq() const { return fetchSeq; }
+
+    /** Core cycles elapsed. */
+    Cycles cycle() const { return curCycle; }
+
+    /** Clock period in picoseconds. */
+    TimePs periodPs() const { return cfg.clockPeriodPs; }
+
+    /** This core's identifier. */
+    CoreId id() const { return coreId; }
+
+    /** The active configuration. */
+    const CoreConfig &config() const { return cfg; }
+
+    /** Execution statistics. */
+    const CoreStats &stats() const { return st; }
+
+    /** The private data-memory hierarchy (for statistics). */
+    const DataHierarchy &memory() const { return hier; }
+
+    /** The L1 instruction cache, if modeled. */
+    const Cache *instructionCache() const { return icache.get(); }
+
+    /** Mutable hierarchy access (write-policy switching). */
+    DataHierarchy &memory() { return hier; }
+
+  private:
+    /** One reorder-buffer entry. */
+    struct RobEntry
+    {
+        InstSeq seq = 0;
+        bool issued = false;
+        bool completed = false;
+        bool injected = false;
+        Cycles completeAt = 0;
+        Cycles valueReadyAt = 0;
+    };
+
+    /** One front-end (fetch-to-rename) pipeline entry. */
+    struct FetchEntry
+    {
+        InstSeq seq = 0;
+        Cycles renameReadyAt = 0;
+        bool injected = false;
+    };
+
+    /** One issue-queue entry. */
+    struct IqEntry
+    {
+        InstSeq seq = 0;
+        InstSeq srcProd[2] = {0, 0};
+        bool srcPending[2] = {false, false};
+        Cycles srcReadyAt[2] = {0, 0};
+        bool injected = false;
+    };
+
+    /** Rename-map entry for one architectural register. */
+    struct RenameRef
+    {
+        InstSeq producer = 0;
+        bool inFlight = false;
+    };
+
+    void doCommit(TimePs now);
+    void doComplete(TimePs now);
+    void doIssue(TimePs now);
+    void doDispatch(TimePs now);
+    void doFetch(TimePs now);
+
+    /** ROB entry for an in-flight stream position. */
+    RobEntry &robFor(InstSeq seq);
+
+    /** Is the given producer's value available, and when? */
+    bool srcStatus(InstSeq producer, Cycles &ready_at) const;
+
+    const CoreConfig cfg;
+    TracePtr trace;
+    const CoreId coreId;
+
+    DataHierarchy hier;
+    BranchPredictor bpred;
+    Btb btb;
+    /** Optional L1 instruction cache (perfect when absent). */
+    std::unique_ptr<Cache> icache;
+
+    ContestHooks *hooks = nullptr;
+    InjectionStyle style = InjectionStyle::PortSteal;
+    RetireCallback retireCb;
+
+    Cycles curCycle = 0;
+    InstSeq fetchSeq = 0;
+    InstSeq numRetired = 0;
+
+    std::deque<FetchEntry> fetchQueue;
+    std::size_t fetchQueueCap;
+    std::deque<RobEntry> rob;
+    std::vector<IqEntry> iq;
+    std::vector<RenameRef> renameMap;
+
+    unsigned lsqOcc = 0;
+    /** Completion times of in-flight loads (LSQ release). */
+    std::priority_queue<Cycles, std::vector<Cycles>,
+                        std::greater<Cycles>> loadReleases;
+    /** Data-return times of outstanding misses (MSHR release). */
+    std::priority_queue<Cycles, std::vector<Cycles>,
+                        std::greater<Cycles>> mshrReleases;
+    /** (completeAt, seq) of issued-but-incomplete instructions. */
+    using CompletionEvent = std::pair<Cycles, InstSeq>;
+    std::priority_queue<CompletionEvent,
+                        std::vector<CompletionEvent>,
+                        std::greater<CompletionEvent>> completions;
+
+    /** @name Fetch-stall state */
+    /** @{ */
+    std::optional<InstSeq> stalledBranch;
+    /** Early-resolved (Fig. 5) branch not yet dispatched/patched. */
+    std::optional<InstSeq> earlyResolved;
+    bool stalledSyscall = false;
+    Cycles fetchResumeAt = 0;
+    /** @} */
+
+    /** Syscall commit-block state. */
+    std::optional<TimePs> syscallResumePs;
+    bool syscallHandled = false;
+
+    CoreStats st;
+};
+
+} // namespace contest
+
+#endif // CONTEST_CORE_OOO_CORE_HH

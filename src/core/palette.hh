@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The benchmark-customized core palette from the paper's Appendix A.
+ *
+ * Each core type is the XpScalar simulated-annealing result for one
+ * SPEC2000 integer benchmark at 70nm, transcribed verbatim from the
+ * appendix table. A core type is named after the benchmark it was
+ * customized for (e.g. the "gcc" core type), exactly as in the paper.
+ */
+
+#ifndef CONTEST_CORE_PALETTE_HH
+#define CONTEST_CORE_PALETTE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+
+namespace contest
+{
+
+/** All eleven Appendix A core types, in the paper's column order. */
+const std::vector<CoreConfig> &appendixAPalette();
+
+/** Look up a core type by name; fatal() if unknown. */
+const CoreConfig &coreConfigByName(const std::string &name);
+
+} // namespace contest
+
+#endif // CONTEST_CORE_PALETTE_HH

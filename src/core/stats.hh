@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-core execution statistics.
+ */
+
+#ifndef CONTEST_CORE_STATS_HH
+#define CONTEST_CORE_STATS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace contest
+{
+
+/** Counters collected by one core over one run. */
+struct CoreStats
+{
+    Cycles cycles = 0;              //!< core cycles ticked
+    std::uint64_t retired = 0;      //!< instructions committed
+    std::uint64_t injected = 0;     //!< completions taken from a FIFO
+    std::uint64_t condBranches = 0; //!< conditional branches fetched
+    std::uint64_t mispredicts = 0;  //!< direction mispredictions
+    std::uint64_t earlyResolves = 0;//!< Fig. 5 early branch resolves
+    std::uint64_t btbMissRedirects = 0;
+    std::uint64_t syscalls = 0;
+    std::uint64_t icacheMisses = 0;
+
+    Cycles fetchStallBranch = 0;    //!< cycles stalled on mispredicts
+    Cycles robFullStalls = 0;       //!< dispatch stalls: ROB full
+    Cycles iqFullStalls = 0;        //!< dispatch stalls: IQ full
+    Cycles lsqFullStalls = 0;       //!< dispatch stalls: LSQ full
+    Cycles storeQueueStalls = 0;    //!< commit stalls: sync store queue
+    Cycles syscallStalls = 0;       //!< commit stalls: exceptions
+
+    /** Committed instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(retired)
+                / static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Misprediction rate over conditional branches. */
+    double
+    mispredictRate() const
+    {
+        return condBranches ? static_cast<double>(mispredicts)
+                / static_cast<double>(condBranches)
+                            : 0.0;
+    }
+};
+
+} // namespace contest
+
+#endif // CONTEST_CORE_STATS_HH

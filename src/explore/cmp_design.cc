@@ -1,0 +1,106 @@
+#include "explore/cmp_design.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace contest
+{
+
+namespace
+{
+
+/** Enumerate k-combinations of [0, n), calling fn on each. */
+template <typename Fn>
+void
+forEachCombination(std::size_t n, unsigned k, Fn &&fn)
+{
+    std::vector<std::size_t> combo(k);
+    for (unsigned i = 0; i < k; ++i)
+        combo[i] = i;
+    if (k == 0 || k > n)
+        return;
+    for (;;) {
+        fn(combo);
+        // Advance to the next combination.
+        unsigned i = k;
+        while (i > 0) {
+            --i;
+            if (combo[i] != i + n - k) {
+                ++combo[i];
+                for (unsigned j = i + 1; j < k; ++j)
+                    combo[j] = combo[j - 1] + 1;
+                break;
+            }
+            if (i == 0)
+                return;
+        }
+    }
+}
+
+} // namespace
+
+CmpDesign
+designCmp(const IptMatrix &matrix, unsigned num_types, Merit merit,
+          const std::string &name)
+{
+    fatal_if(num_types == 0 || num_types > matrix.numCores(),
+             "designCmp: cannot pick %u of %zu core types", num_types,
+             matrix.numCores());
+
+    CmpDesign best;
+    best.name = name;
+    best.merit = merit;
+    best.score = -1.0;
+    forEachCombination(
+        matrix.numCores(), num_types,
+        [&](const std::vector<std::size_t> &combo) {
+            double score = scoreCmp(matrix, combo, merit);
+            if (score > best.score) {
+                best.score = score;
+                best.cores = combo;
+            }
+        });
+    panic_if(best.cores.empty(), "designCmp found no combination");
+    return best;
+}
+
+CmpDesign
+designHom(const IptMatrix &matrix, Merit merit,
+          const std::string &name)
+{
+    return designCmp(matrix, 1, merit, name);
+}
+
+CmpDesign
+designHetAll(const IptMatrix &matrix, const std::string &name)
+{
+    CmpDesign d;
+    d.name = name;
+    d.merit = Merit::Har;
+    for (std::size_t c = 0; c < matrix.numCores(); ++c)
+        d.cores.push_back(c);
+    d.score = scoreCmp(matrix, d.cores, Merit::Har);
+    return d;
+}
+
+std::string
+designCoreNames(const IptMatrix &matrix, const CmpDesign &design)
+{
+    std::string out;
+    for (std::size_t i = 0; i < design.cores.size(); ++i) {
+        if (i > 0)
+            out += " & ";
+        out += matrix.coreNames[design.cores[i]];
+    }
+    return out;
+}
+
+double
+designHarmonicIpt(const IptMatrix &matrix, const CmpDesign &design)
+{
+    return harmonicMean(bestIpts(matrix, design.cores));
+}
+
+} // namespace contest

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Constrained heterogeneous CMP design: exhaustive search over
+ * combinations of core types under a figure of merit (paper
+ * Section 6.2), reproducing the HET-A/B/C/D and HOM designs.
+ */
+
+#ifndef CONTEST_EXPLORE_CMP_DESIGN_HH
+#define CONTEST_EXPLORE_CMP_DESIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "explore/merit.hh"
+
+namespace contest
+{
+
+/** A CMP design: a named set of core-type columns. */
+struct CmpDesign
+{
+    std::string name;
+    std::vector<std::size_t> cores;  //!< column indices
+    Merit merit = Merit::Har;        //!< merit it was designed under
+    double score = 0.0;              //!< merit score achieved
+};
+
+/**
+ * Search all combinations of exactly @p num_types core types for the
+ * one maximizing the figure of merit.
+ */
+CmpDesign designCmp(const IptMatrix &matrix, unsigned num_types,
+                    Merit merit, const std::string &name);
+
+/** The best single core type (the HOM design). */
+CmpDesign designHom(const IptMatrix &matrix, Merit merit,
+                    const std::string &name);
+
+/** The all-core-types design (HET-ALL). */
+CmpDesign designHetAll(const IptMatrix &matrix,
+                       const std::string &name);
+
+/** Comma-joined core-type names of a design. */
+std::string designCoreNames(const IptMatrix &matrix,
+                            const CmpDesign &design);
+
+/** Harmonic-mean IPT of the design (the Table 1 summary column). */
+double designHarmonicIpt(const IptMatrix &matrix,
+                         const CmpDesign &design);
+
+} // namespace contest
+
+#endif // CONTEST_EXPLORE_CMP_DESIGN_HH

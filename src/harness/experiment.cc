@@ -1,0 +1,27 @@
+#include "harness/experiment.hh"
+
+#include <cstdio>
+
+namespace contest
+{
+
+Runner &
+benchRunner()
+{
+    static Runner runner(benchTraceLen(), benchSeed());
+    return runner;
+}
+
+void
+printBenchPreamble(const std::string &experiment)
+{
+    std::printf(
+        "# %s | trace length %llu, seed %llu%s\n",
+        experiment.c_str(),
+        static_cast<unsigned long long>(benchTraceLen()),
+        static_cast<unsigned long long>(benchSeed()),
+        benchFastMode() ? ", fast mode" : "");
+    std::fflush(stdout);
+}
+
+} // namespace contest

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared scaffolding for the bench binaries: the process-wide Runner
+ * configured from the environment, and small formatting helpers so
+ * every figure/table is printed in one consistent style.
+ */
+
+#ifndef CONTEST_HARNESS_EXPERIMENT_HH
+#define CONTEST_HARNESS_EXPERIMENT_HH
+
+#include <string>
+
+#include "common/env.hh"
+#include "common/table.hh"
+#include "harness/runner.hh"
+
+namespace contest
+{
+
+/**
+ * The process-wide runner used by a bench binary, configured from
+ * CONTEST_TRACE_LEN / CONTEST_SEED on first use.
+ */
+Runner &benchRunner();
+
+/** Speedup of @p value over @p baseline as a fraction. */
+inline double
+speedup(double value, double baseline)
+{
+    return baseline > 0.0 ? value / baseline - 1.0 : 0.0;
+}
+
+/** Print the standard bench header (trace length, seed, mode). */
+void printBenchPreamble(const std::string &experiment);
+
+} // namespace contest
+
+#endif // CONTEST_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,75 @@
+#include "harness/migration.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+MigrationResult
+simulateMigration(const std::vector<TimePs> &a,
+                  const std::vector<TimePs> &b,
+                  const MigrationConfig &config)
+{
+    fatal_if(config.regionsPerBlock == 0,
+             "simulateMigration: zero block size");
+    std::size_t n = std::min(a.size(), b.size());
+
+    MigrationResult result;
+    std::uint64_t blocks_on_a = 0;
+    std::uint64_t blocks = 0;
+
+    // Execution starts on whichever core the policy would pick for
+    // the first block (oracle) or core A (history, no past yet).
+    int current = 0;
+    bool first = true;
+    TimePs prev_ta = 0;
+    TimePs prev_tb = 0;
+
+    for (std::size_t start = 0; start < n;
+         start += config.regionsPerBlock) {
+        std::size_t end =
+            std::min(n, start + config.regionsPerBlock);
+        TimePs ta = 0;
+        TimePs tb = 0;
+        for (std::size_t i = start; i < end; ++i) {
+            ta += a[i];
+            tb += b[i];
+        }
+
+        int want = current;
+        switch (config.policy) {
+          case MigrationPolicy::Oracle:
+            want = ta <= tb ? 0 : 1;
+            break;
+          case MigrationPolicy::History:
+            if (first)
+                want = 0;
+            else
+                want = prev_ta <= prev_tb ? 0 : 1;
+            break;
+        }
+
+        if (!first && want != current) {
+            result.totalPs += config.migrationPenaltyPs;
+            ++result.migrations;
+        }
+        current = want;
+        first = false;
+
+        result.totalPs += current == 0 ? ta : tb;
+        blocks_on_a += current == 0 ? 1 : 0;
+        ++blocks;
+        prev_ta = ta;
+        prev_tb = tb;
+    }
+
+    result.shareA = blocks
+        ? static_cast<double>(blocks_on_a)
+            / static_cast<double>(blocks)
+        : 0.0;
+    return result;
+}
+
+} // namespace contest

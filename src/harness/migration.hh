@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Migrational-baseline evaluator: core switching at coarse
+ * granularity with a migration penalty.
+ *
+ * The paper's Section 2/3 argument is that previously proposed
+ * migrational approaches — detect a phase change, decide which core
+ * suits it, transfer execution — operate at granularities of
+ * thousands of instructions at best, and pay a real transfer cost,
+ * so they cannot reach the fine-grain variation that contesting
+ * exploits. This evaluator models such schemes analytically on the
+ * per-region time logs of two cores:
+ *
+ *  - Oracle policy: each decision block runs on whichever core is
+ *    faster for it (an upper bound for any migrational scheme at
+ *    that granularity);
+ *  - History policy: each block runs on the core that was faster in
+ *    the previous block (a realistic phase predictor).
+ *
+ * Every switch pays a migration penalty (register state transfer
+ * plus cold-cache refill).
+ */
+
+#ifndef CONTEST_HARNESS_MIGRATION_HH
+#define CONTEST_HARNESS_MIGRATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace contest
+{
+
+/** Decision policy of the migrational baseline. */
+enum class MigrationPolicy
+{
+    Oracle,  //!< per-block best core (upper bound)
+    History, //!< previous block's winner
+};
+
+/** Configuration of one migration evaluation. */
+struct MigrationConfig
+{
+    /** Decision granularity in 20-instruction regions. */
+    std::uint64_t regionsPerBlock = 64; // 1280 instructions
+    /** Cost of one migration (state transfer + cache warmup). */
+    TimePs migrationPenaltyPs = 5'000'000; // 5 us
+    MigrationPolicy policy = MigrationPolicy::Oracle;
+};
+
+/** Outcome of one migration evaluation. */
+struct MigrationResult
+{
+    TimePs totalPs = 0;
+    std::uint64_t migrations = 0;
+    /** Fraction of blocks executed on the first core. */
+    double shareA = 0.0;
+};
+
+/**
+ * Evaluate migration between two cores given their per-region time
+ * logs (as produced by RegionLog on full runs of the same trace).
+ */
+MigrationResult simulateMigration(const std::vector<TimePs> &a,
+                                  const std::vector<TimePs> &b,
+                                  const MigrationConfig &config);
+
+} // namespace contest
+
+#endif // CONTEST_HARNESS_MIGRATION_HH

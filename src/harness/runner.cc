@@ -1,0 +1,164 @@
+#include "harness/runner.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+Runner::Runner(std::uint64_t trace_len, std::uint64_t seed)
+    : len(trace_len), seed_(seed)
+{
+    fatal_if(trace_len < RegionLog::regionInsts,
+             "Runner: trace length %llu too short",
+             static_cast<unsigned long long>(trace_len));
+}
+
+TracePtr
+Runner::trace(const std::string &bench)
+{
+    auto it = traces.find(bench);
+    if (it != traces.end())
+        return it->second;
+    TracePtr t = makeBenchmarkTrace(bench, seed_, len);
+    traces.emplace(bench, t);
+    return t;
+}
+
+const LoggedRun &
+Runner::single(const std::string &bench, const std::string &core)
+{
+    auto key = std::make_pair(bench, core);
+    auto it = singles.find(key);
+    if (it != singles.end())
+        return it->second;
+
+    TracePtr t = trace(bench);
+    LoggedRun run;
+    run.regions = std::make_shared<RegionLog>();
+
+    OooCore sim(coreConfigByName(core), t);
+    RegionLog *log = run.regions.get();
+    sim.setRetireCallback(
+        [log](InstSeq seq, TimePs now) { log->onRetire(seq, now); });
+
+    TimePs now = 0;
+    while (!sim.done()) {
+        sim.tick(now);
+        now += sim.periodPs();
+    }
+    run.result.timePs = now;
+    run.result.ipt = instPerNs(t->size(), now);
+    run.result.stats = sim.stats();
+
+    ActivityCounts activity;
+    activity.l1Accesses = sim.memory().l1().accesses();
+    activity.l1Misses = sim.memory().l1().misses();
+    activity.l2Accesses = sim.memory().l2().accesses();
+    activity.l2Misses = sim.memory().l2().misses();
+    run.result.energy = estimateEnergy(coreConfigByName(core),
+                                       sim.stats(), activity, now);
+
+    return singles.emplace(key, std::move(run)).first->second;
+}
+
+ContestResult
+Runner::contested(const std::string &bench,
+                  const std::vector<CoreConfig> &cores,
+                  const ContestConfig &config)
+{
+    ContestSystem sys(cores, trace(bench), config);
+    return sys.run();
+}
+
+ContestResult
+Runner::contestedPair(const std::string &bench,
+                      const std::string &core_a,
+                      const std::string &core_b,
+                      const ContestConfig &config)
+{
+    return contested(
+        bench, {coreConfigByName(core_a), coreConfigByName(core_b)},
+        config);
+}
+
+const IptMatrix &
+Runner::matrix()
+{
+    if (cachedMatrix)
+        return *cachedMatrix;
+
+    auto m = std::make_unique<IptMatrix>();
+    m->benchNames = profileNames();
+    for (const auto &core : appendixAPalette())
+        m->coreNames.push_back(core.name);
+    for (const auto &bench : m->benchNames) {
+        std::vector<double> row;
+        for (const auto &core : m->coreNames)
+            row.push_back(single(bench, core).result.ipt);
+        m->ipt.push_back(std::move(row));
+    }
+    m->validate();
+    cachedMatrix = std::move(m);
+    return *cachedMatrix;
+}
+
+Runner::PairChoice
+Runner::bestContestingPair(const std::string &bench,
+                           const ContestConfig &config,
+                           unsigned simulate_top)
+{
+    fatal_if(simulate_top == 0, "bestContestingPair: nothing to try");
+
+    const auto &palette = appendixAPalette();
+
+    // Rank all pairs by the oracle fusion of their region logs at a
+    // fine granularity (the Figure 1 estimate of fine-grain
+    // switching benefit), then contest the most promising ones.
+    struct Ranked
+    {
+        double fusedIpt;
+        std::size_t a;
+        std::size_t b;
+    };
+    std::vector<Ranked> ranked;
+    for (std::size_t a = 0; a < palette.size(); ++a) {
+        const auto &ra = single(bench, palette[a].name);
+        for (std::size_t b = a + 1; b < palette.size(); ++b) {
+            const auto &rb = single(bench, palette[b].name);
+            TimePs fused = fuseRegionTimes(ra.regions->series(),
+                                           rb.regions->series(), 4);
+            std::uint64_t insts =
+                std::min(ra.regions->size(), rb.regions->size())
+                * RegionLog::regionInsts;
+            ranked.push_back(
+                Ranked{instPerNs(insts, fused), a, b});
+        }
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked &x, const Ranked &y) {
+                  return x.fusedIpt > y.fusedIpt;
+              });
+
+    PairChoice best;
+    double best_ipt = -1.0;
+    unsigned tried = 0;
+    for (const auto &cand : ranked) {
+        if (tried >= simulate_top)
+            break;
+        ++tried;
+        ContestResult r = contestedPair(bench, palette[cand.a].name,
+                                        palette[cand.b].name, config);
+        if (r.ipt > best_ipt) {
+            best_ipt = r.ipt;
+            best.coreA = palette[cand.a].name;
+            best.coreB = palette[cand.b].name;
+            best.result = r;
+        }
+    }
+    panic_if(best_ipt < 0.0, "bestContestingPair tried no pairs");
+    return best;
+}
+
+} // namespace contest

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Experiment runners shared by the bench binaries: cached
+ * single-core runs (with optional region logging), contested runs,
+ * the full benchmark-by-core IPT matrix, and best-contesting-pair
+ * search.
+ */
+
+#ifndef CONTEST_HARNESS_RUNNER_HH
+#define CONTEST_HARNESS_RUNNER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "contest/system.hh"
+#include "core/palette.hh"
+#include "explore/merit.hh"
+#include "harness/region_log.hh"
+#include "trace/generator.hh"
+
+namespace contest
+{
+
+/** One single-core run's outcome plus its region log. */
+struct LoggedRun
+{
+    SingleRunResult result;
+    std::shared_ptr<RegionLog> regions;
+};
+
+/**
+ * Caching experiment runner. All bench binaries funnel their
+ * simulations through a Runner so that a single-core (benchmark,
+ * core type) result is simulated exactly once per process.
+ */
+class Runner
+{
+  public:
+    /**
+     * @param trace_len instructions per benchmark trace
+     * @param seed workload generation seed
+     */
+    Runner(std::uint64_t trace_len, std::uint64_t seed);
+
+    /** The (cached) trace of a benchmark. */
+    TracePtr trace(const std::string &bench);
+
+    /** Cached single-core run with region logging. */
+    const LoggedRun &single(const std::string &bench,
+                            const std::string &core);
+
+    /** Contested run (not cached; configs vary per experiment). */
+    ContestResult contested(const std::string &bench,
+                            const std::vector<CoreConfig> &cores,
+                            const ContestConfig &config);
+
+    /** Contested run between two palette core types. */
+    ContestResult contestedPair(const std::string &bench,
+                                const std::string &core_a,
+                                const std::string &core_b,
+                                const ContestConfig &config = {});
+
+    /** The full benchmark x core-type IPT matrix (cached). */
+    const IptMatrix &matrix();
+
+    /**
+     * The best pair of core types to contest for a benchmark.
+     * Candidate pairs are pre-ranked by the Figure 1 oracle fusion
+     * of their region logs at fine granularity, then the top
+     * @p simulate_top pairs are actually contested and the best
+     * contested result wins (this prunes the 55-pair space the way
+     * the paper's own exhaustive search would rank it).
+     */
+    struct PairChoice
+    {
+        std::string coreA;
+        std::string coreB;
+        ContestResult result;
+    };
+    PairChoice bestContestingPair(const std::string &bench,
+                                  const ContestConfig &config = {},
+                                  unsigned simulate_top = 5);
+
+    /** Trace length in use. */
+    std::uint64_t traceLen() const { return len; }
+
+    /** Workload seed in use. */
+    std::uint64_t workloadSeed() const { return seed_; }
+
+  private:
+    std::uint64_t len;
+    std::uint64_t seed_;
+    std::map<std::string, TracePtr> traces;
+    std::map<std::pair<std::string, std::string>, LoggedRun> singles;
+    std::unique_ptr<IptMatrix> cachedMatrix;
+};
+
+} // namespace contest
+
+#endif // CONTEST_HARNESS_RUNNER_HH

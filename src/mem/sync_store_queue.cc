@@ -1,0 +1,130 @@
+#include "mem/sync_store_queue.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+SyncStoreQueue::SyncStoreQueue(unsigned num_cores,
+                               std::size_t queue_capacity)
+    : cap(queue_capacity), performed(num_cores, 0),
+      active(num_cores, true)
+{
+    fatal_if(num_cores == 0, "SyncStoreQueue needs at least one core");
+    fatal_if(queue_capacity == 0,
+             "SyncStoreQueue capacity must be non-zero");
+}
+
+bool
+SyncStoreQueue::canAccept(CoreId core) const
+{
+    panic_if(core >= performed.size(),
+             "SyncStoreQueue: core %u out of range", core);
+    return performed[core] - numMerged < cap;
+}
+
+void
+SyncStoreQueue::performStore(CoreId core, Addr addr)
+{
+    panic_if(core >= performed.size(),
+             "SyncStoreQueue: core %u out of range", core);
+    panic_if(!active[core],
+             "SyncStoreQueue: dropped core %u performed a store", core);
+    panic_if(!canAccept(core),
+             "SyncStoreQueue: core %u overflowed the queue", core);
+
+    std::uint64_t index = performed[core];
+    panic_if(index < numMerged,
+             "SyncStoreQueue: core %u behind the merge frontier", core);
+
+    std::size_t offset =
+        static_cast<std::size_t>(index - pendingBase);
+    if (offset == pendingAddrs.size()) {
+        // First core to reach this store: record its address.
+        pendingAddrs.push_back(addr);
+    } else {
+        panic_if(offset > pendingAddrs.size(),
+                 "SyncStoreQueue: core %u skipped a store", core);
+        panic_if(pendingAddrs[offset] != addr,
+                 "SyncStoreQueue: redundant store streams diverge at "
+                 "store %llu (0x%llx vs 0x%llx)",
+                 static_cast<unsigned long long>(index),
+                 static_cast<unsigned long long>(pendingAddrs[offset]),
+                 static_cast<unsigned long long>(addr));
+    }
+
+    ++performed[core];
+    tryMerge();
+}
+
+void
+SyncStoreQueue::dropCore(CoreId core)
+{
+    panic_if(core >= active.size(),
+             "SyncStoreQueue: core %u out of range", core);
+    if (!active[core])
+        return;
+    active[core] = false;
+    tryMerge();
+}
+
+void
+SyncStoreQueue::reforkAll(std::uint64_t store_count)
+{
+    panic_if(store_count < numMerged,
+             "SyncStoreQueue: refork point %llu precedes the merge "
+             "frontier %llu",
+             static_cast<unsigned long long>(store_count),
+             static_cast<unsigned long long>(numMerged));
+    for (std::size_t c = 0; c < performed.size(); ++c)
+        if (active[c])
+            performed[c] = store_count;
+    // Stores recorded beyond the refork point stay buffered: the
+    // re-executed instances re-verify against them.
+    tryMerge();
+}
+
+std::uint64_t
+SyncStoreQueue::performedBy(CoreId core) const
+{
+    panic_if(core >= performed.size(),
+             "SyncStoreQueue: core %u out of range", core);
+    return performed[core];
+}
+
+std::vector<MergedStore>
+SyncStoreQueue::drainMerged()
+{
+    return std::exchange(mergedSinceDrain, {});
+}
+
+void
+SyncStoreQueue::tryMerge()
+{
+    // The merge frontier is the minimum progress over active cores.
+    std::uint64_t frontier = UINT64_MAX;
+    bool any_active = false;
+    for (std::size_t c = 0; c < performed.size(); ++c) {
+        if (active[c]) {
+            any_active = true;
+            frontier = std::min(frontier, performed[c]);
+        }
+    }
+    if (!any_active)
+        return;
+
+    while (numMerged < frontier) {
+        panic_if(pendingAddrs.empty(),
+                 "SyncStoreQueue: merge frontier beyond recorded stores");
+        mergedSinceDrain.push_back(
+            MergedStore{numMerged, pendingAddrs.front()});
+        pendingAddrs.pop_front();
+        ++pendingBase;
+        ++numMerged;
+    }
+}
+
+} // namespace contest

@@ -1,0 +1,79 @@
+#include "power/energy.hh"
+
+namespace contest
+{
+
+double
+staticPowerW(const CoreConfig &config,
+             const EnergyCoefficients &coeffs)
+{
+    double l1_kb =
+        static_cast<double>(config.l1d.capacityBytes()) / 1024.0;
+    double l2_kb =
+        static_cast<double>(config.l2.capacityBytes()) / 1024.0;
+    return coeffs.baseStaticW
+        + coeffs.staticPerRobEntryW * config.robSize
+        + coeffs.staticPerIqEntryW * config.iqSize
+        + coeffs.staticPerWidthW * config.width
+        + coeffs.staticPerL1KbW * l1_kb
+        + coeffs.staticPerL2KbW * l2_kb;
+}
+
+EnergyBreakdown
+estimateEnergy(const CoreConfig &config, const CoreStats &stats,
+               const ActivityCounts &activity, TimePs elapsed,
+               const EnergyCoefficients &coeffs)
+{
+    EnergyBreakdown e;
+
+    // watts x seconds = joules; elapsed is ps, so W x ps = 1e-12 J
+    // = 1e-3 nJ.
+    double seconds_e12 = static_cast<double>(elapsed); // picoseconds
+    e.staticNj = staticPowerW(config, coeffs) * seconds_e12 * 1e-3;
+
+    // Pipeline activity: injected instructions skip execution, so
+    // they pay fetch/rename and commit but not issue/wakeup.
+    auto executed = static_cast<double>(
+        stats.retired >= stats.injected
+            ? stats.retired - stats.injected
+            : 0);
+    auto retired = static_cast<double>(stats.retired);
+    double width_scale =
+        0.6 + 0.1 * static_cast<double>(config.width);
+    e.pipelineNj = width_scale
+        * (coeffs.fetchDecodeRenamePerInstNj * retired
+           + coeffs.issueWakeupPerInstNj * executed
+           + coeffs.commitPerInstNj * retired);
+
+    // Cache traffic; access energy grows weakly with capacity.
+    auto cache_scale = [](double kb) {
+        return 1.0 + kb / 512.0;
+    };
+    double l1_kb =
+        static_cast<double>(config.l1d.capacityBytes()) / 1024.0;
+    double l2_kb =
+        static_cast<double>(config.l2.capacityBytes()) / 1024.0;
+    e.cacheNj = coeffs.l1AccessNj * cache_scale(l1_kb)
+            * static_cast<double>(activity.l1Accesses)
+        + coeffs.l1MissExtraNj
+            * static_cast<double>(activity.l1Misses)
+        + coeffs.l2AccessNj * cache_scale(l2_kb / 8.0)
+            * static_cast<double>(activity.l2Accesses)
+        + coeffs.l2MissExtraNj
+            * static_cast<double>(activity.l2Misses);
+
+    e.bpredNj = coeffs.bpredLookupNj
+        * static_cast<double>(stats.condBranches);
+    e.squashNj = coeffs.mispredictSquashNj
+        * static_cast<double>(stats.mispredicts)
+        * static_cast<double>(config.frontEndDepth)
+        * static_cast<double>(config.width) / 16.0;
+
+    e.contestNj = coeffs.grbBroadcastNj
+            * static_cast<double>(activity.grbBroadcasts)
+        + coeffs.injectNj
+            * static_cast<double>(activity.injections);
+    return e;
+}
+
+} // namespace contest

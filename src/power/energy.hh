@@ -1,0 +1,108 @@
+/**
+ * @file
+ * First-order energy model for cores and contesting systems.
+ *
+ * The paper positions contesting as a need-to-have mode that trades
+ * power for single-thread performance ("robustness in how resources
+ * are employed ... and how performance and power are balanced",
+ * Section 1). This model makes that tradeoff measurable: static
+ * energy scales with structure sizes and runtime, dynamic energy
+ * with pipeline activity, cache traffic, mispredictions, and —
+ * specific to contesting — global-result-bus broadcasts and
+ * injections. Coefficients are stylized (70nm-era, McPAT-flavored)
+ * but internally consistent, so *ratios* between configurations are
+ * meaningful even though absolute joules are not calibrated.
+ */
+
+#ifndef CONTEST_POWER_ENERGY_HH
+#define CONTEST_POWER_ENERGY_HH
+
+#include <cstdint>
+
+#include "core/config.hh"
+#include "core/stats.hh"
+
+namespace contest
+{
+
+/** Energy coefficients; defaults model a 70nm-class core. */
+struct EnergyCoefficients
+{
+    /** @name Static power (watts) */
+    /** @{ */
+    double baseStaticW = 0.25;
+    double staticPerRobEntryW = 0.0004;
+    double staticPerIqEntryW = 0.0015;
+    double staticPerWidthW = 0.12;
+    double staticPerL1KbW = 0.0015;
+    double staticPerL2KbW = 0.00015;
+    /** @} */
+
+    /** @name Dynamic energy (nanojoules per event) */
+    /** @{ */
+    double fetchDecodeRenamePerInstNj = 0.08;
+    double issueWakeupPerInstNj = 0.05;
+    double commitPerInstNj = 0.03;
+    double l1AccessNj = 0.05;
+    double l1MissExtraNj = 0.10;
+    double l2AccessNj = 0.30;
+    double l2MissExtraNj = 2.00;
+    double mispredictSquashNj = 0.50;
+    double bpredLookupNj = 0.01;
+    /** Receiving + writing one injected result (rename-port write). */
+    double injectNj = 0.02;
+    /** Driving one result across the global result bus. */
+    double grbBroadcastNj = 0.06;
+    /** @} */
+};
+
+/** Energy of one core over one run, decomposed. */
+struct EnergyBreakdown
+{
+    double staticNj = 0.0;
+    double pipelineNj = 0.0; //!< fetch/rename/issue/commit activity
+    double cacheNj = 0.0;
+    double bpredNj = 0.0;
+    double squashNj = 0.0;
+    double contestNj = 0.0;  //!< GRB broadcasts + injections
+
+    double
+    totalNj() const
+    {
+        return staticNj + pipelineNj + cacheNj + bpredNj + squashNj
+            + contestNj;
+    }
+};
+
+/** Raw activity counters the model consumes. */
+struct ActivityCounts
+{
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t grbBroadcasts = 0;
+    std::uint64_t injections = 0;
+};
+
+/**
+ * Estimate the energy one core consumed over a run.
+ *
+ * @param config the core's configuration (structure sizes)
+ * @param stats its pipeline statistics
+ * @param activity cache / contesting activity counters
+ * @param elapsed wall time the core was powered, in picoseconds
+ * @param coeffs model coefficients
+ */
+EnergyBreakdown
+estimateEnergy(const CoreConfig &config, const CoreStats &stats,
+               const ActivityCounts &activity, TimePs elapsed,
+               const EnergyCoefficients &coeffs = {});
+
+/** Static power of a configuration in watts (for reporting). */
+double staticPowerW(const CoreConfig &config,
+                    const EnergyCoefficients &coeffs = {});
+
+} // namespace contest
+
+#endif // CONTEST_POWER_ENERGY_HH

@@ -1,0 +1,358 @@
+#include "trace/generator.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+namespace
+{
+
+/** Stateless 64-bit mix used for deterministic chase walks. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a hash of a string, for per-profile seed salting. */
+std::uint64_t
+hashName(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const BenchmarkProfile &bench_profile,
+                               std::uint64_t seed)
+    : profile(bench_profile), rng(seed ^ hashName(bench_profile.name))
+{
+    fatal_if(profile.phases.empty(),
+             "profile '%s' has no phases", profile.name.c_str());
+
+    states.resize(profile.phases.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        const PhaseParams &params = profile.phases[i].params;
+        PhaseState &st = states[i];
+        // Disjoint 256 MB data region and private code region per
+        // phase spec, so footprints never alias across phases —
+        // unless the profile declares a shared working set. The
+        // per-region stagger keeps different regions from landing
+        // on the same cache sets (256 MB strides alone would map
+        // every region to index 0 of every cache).
+        st.dataBase = profile.shareDataRegions
+            ? 0x1000'0000ULL
+            : 0x1000'0000ULL * (i + 1) + 0x2A'AAA8ULL * i;
+        // Code regions get the same treatment: a pure power-of-two
+        // stride would alias every phase's branch sites onto the
+        // same predictor and BTB entries.
+        st.codeBase = 0x40'0000ULL + (0x4'0000ULL + 0x1A4CULL) * i;
+        st.chainDst.assign(std::max(1u, params.chaseChains),
+                           invalidReg);
+        st.chainPos.assign(std::max(1u, params.chaseChains), 0);
+        for (std::size_t c = 0; c < st.chainPos.size(); ++c)
+            st.chainPos[c] = rng.next();
+        st.sites.resize(std::max(1u, params.numBranchSites));
+        for (std::size_t s = 0; s < st.sites.size(); ++s) {
+            BranchSite &site = st.sites[s];
+            site.pc = st.codeBase + 0x8000 + s * 4;
+            site.takenTarget =
+                st.codeBase + (mix64(s * 31 + 7) % 4096) * 4;
+            if (rng.chance(params.randomSiteFrac)) {
+                site.cls = BranchSite::Class::Random;
+            } else if (rng.chance(0.3)) {
+                site.cls = BranchSite::Class::Loop;
+                // Short periods are fully learnable by the global
+                // history; a handful of longer ones keep predictors
+                // honest.
+                site.loopPeriod =
+                    static_cast<unsigned>(rng.range(2, 10));
+            } else {
+                site.cls = BranchSite::Class::Biased;
+            }
+        }
+    }
+
+    if (profile.syscallGap > 0)
+        syscallCountdown = rng.range(profile.syscallGap / 2,
+                                     profile.syscallGap * 3 / 2);
+}
+
+RegId
+TraceGenerator::producerAt(unsigned distance) const
+{
+    if (recentCount == 0)
+        return invalidReg;
+    unsigned d = std::min(distance, recentCount);
+    d = std::max(d, 1u);
+    unsigned idx = (recentHead + ringSize - d) % ringSize;
+    return recent[idx];
+}
+
+RegId
+TraceGenerator::allocDst()
+{
+    RegId r = nextDstReg;
+    nextDstReg = static_cast<RegId>(nextDstReg + 1);
+    if (nextDstReg >= numArchRegs)
+        nextDstReg = 1;
+    return r;
+}
+
+void
+TraceGenerator::pushProducer(RegId dst)
+{
+    recent[recentHead] = dst;
+    recentHead = (recentHead + 1) % ringSize;
+    if (recentCount < ringSize)
+        ++recentCount;
+}
+
+Addr
+TraceGenerator::hotAddr(std::size_t spec_idx)
+{
+    const PhaseParams &p = profile.phases[spec_idx].params;
+    PhaseState &st = states[spec_idx];
+
+    if (!st.recentAddrs.empty() && rng.chance(p.reuseFrac))
+        return st.recentAddrs[rng.below(st.recentAddrs.size())];
+
+    std::uint64_t slots = std::max<std::uint64_t>(
+        1, p.footprintBytes / 8);
+    Addr addr = st.dataBase + rng.below(slots) * 8;
+    if (st.recentAddrs.size() < p.reuseWindow) {
+        st.recentAddrs.push_back(addr);
+    } else if (!st.recentAddrs.empty()) {
+        st.recentAddrs[st.recentAddrHead] = addr;
+        st.recentAddrHead =
+            (st.recentAddrHead + 1) % st.recentAddrs.size();
+    }
+    return addr;
+}
+
+std::size_t
+TraceGenerator::pickNextPhase(std::size_t current)
+{
+    if (profile.phases.size() == 1)
+        return 0;
+    std::vector<double> weights;
+    weights.reserve(profile.phases.size());
+    for (std::size_t i = 0; i < profile.phases.size(); ++i)
+        weights.push_back(i == current ? 0.0
+                                       : profile.phases[i].weight);
+    return rng.weighted(weights);
+}
+
+void
+TraceGenerator::emitInst(Trace &out, std::size_t spec_idx)
+{
+    const PhaseParams &p = profile.phases[spec_idx].params;
+    PhaseState &st = states[spec_idx];
+
+    TraceInst inst;
+    inst.pc = st.codeBase + (st.pcCursor % 4096) * 4;
+    ++st.pcCursor;
+
+    // Synchronous exceptions are injected independently of the mix.
+    if (profile.syscallGap > 0 && syscallCountdown == 0) {
+        inst.op = OpClass::Syscall;
+        syscallCountdown = rng.range(profile.syscallGap / 2,
+                                     profile.syscallGap * 3 / 2);
+        out.push(inst, static_cast<std::uint8_t>(spec_idx));
+        return;
+    }
+    if (syscallCountdown > 0)
+        --syscallCountdown;
+
+    double roll = rng.uniform();
+    double acc = 0.0;
+    auto in_band = [&](double frac) {
+        acc += frac;
+        return roll < acc;
+    };
+
+    if (in_band(p.fracLoad)) {
+        inst.op = OpClass::Load;
+    } else if (in_band(p.fracStore)) {
+        inst.op = OpClass::Store;
+    } else if (in_band(p.fracCondBranch)) {
+        inst.op = OpClass::BranchCond;
+    } else if (in_band(p.fracUncondBranch)) {
+        inst.op = OpClass::BranchUncond;
+    } else if (in_band(p.fracMul)) {
+        inst.op = OpClass::IntMul;
+    } else if (in_band(p.fracDiv)) {
+        inst.op = OpClass::IntDiv;
+    } else {
+        inst.op = OpClass::IntAlu;
+    }
+
+    auto pick_src = [&]() -> RegId {
+        if (rng.chance(p.serialFrac))
+            return producerAt(1);
+        // Fresh dataflow roots (immediates, stable bases) bound the
+        // global dependence depth.
+        if (rng.chance(p.freshSrcFrac))
+            return invalidReg;
+        unsigned d = static_cast<unsigned>(rng.range(1, p.depWindow));
+        return producerAt(d);
+    };
+
+    switch (inst.op) {
+      case OpClass::Load:
+        {
+            if (p.memPattern == MemPattern::Chase) {
+                // Round-robin over independent chase chains; each
+                // chain's next address depends on its previous load.
+                unsigned chain = st.nextChain;
+                st.nextChain = (st.nextChain + 1)
+                    % static_cast<unsigned>(st.chainDst.size());
+                inst.src1 = st.chainDst[chain];
+                if (inst.src1 == invalidReg)
+                    inst.src1 = pick_src();
+                std::uint64_t slots =
+                    std::max<std::uint64_t>(1, p.footprintBytes / 8);
+                auto hot_slots = static_cast<std::uint64_t>(
+                    static_cast<double>(slots) * p.chaseHotPortion);
+                hot_slots = std::max<std::uint64_t>(1, hot_slots);
+                st.chainPos[chain] = mix64(st.chainPos[chain]);
+                std::uint64_t range =
+                    rng.chance(p.chaseHotFrac) ? hot_slots : slots;
+                inst.addr =
+                    st.dataBase + (st.chainPos[chain] % range) * 8;
+                inst.dst = allocDst();
+                st.chainDst[chain] = inst.dst;
+                pushProducer(inst.dst);
+            } else {
+                inst.src1 = pick_src();
+                if (p.memPattern == MemPattern::Stream) {
+                    st.streamPos += p.strideBytes;
+                    if (st.streamPos >= p.footprintBytes)
+                        st.streamPos = 0;
+                    inst.addr = st.dataBase + st.streamPos;
+                } else { // Hot
+                    inst.addr = hotAddr(spec_idx);
+                }
+                inst.dst = allocDst();
+                pushProducer(inst.dst);
+            }
+        }
+        break;
+
+      case OpClass::Store:
+        {
+            inst.src1 = pick_src();
+            inst.src2 = pick_src();
+            if (p.memPattern == MemPattern::Stream) {
+                st.streamPos += p.strideBytes;
+                if (st.streamPos >= p.footprintBytes)
+                    st.streamPos = 0;
+                inst.addr = st.dataBase + st.streamPos;
+            } else {
+                // Stores in Hot and Chase phases write into the
+                // same reuse set the loads read.
+                inst.addr = hotAddr(spec_idx);
+            }
+        }
+        break;
+
+      case OpClass::BranchCond:
+        {
+            // Branch sites cycle with occasional random re-entry so
+            // predictors see a stable pc -> behaviour mapping.
+            if (rng.chance(0.2))
+                st.branchCursor = rng.next();
+            BranchSite &site =
+                st.sites[st.branchCursor % st.sites.size()];
+            ++st.branchCursor;
+            inst.pc = site.pc;
+            inst.target = site.takenTarget;
+            // Most branch conditions test fresh ALU results such as
+            // induction variables; a workload-dependent fraction
+            // tests loaded data and resolves only when the load
+            // returns.
+            if (rng.chance(p.dataDepBranchFrac))
+                inst.src1 = producerAt(
+                    static_cast<unsigned>(rng.range(1, 2)));
+            else
+                inst.src1 = lastAluDst;
+            switch (site.cls) {
+              case BranchSite::Class::Biased:
+                inst.taken = rng.chance(p.takenBias);
+                break;
+              case BranchSite::Class::Random:
+                inst.taken = rng.chance(0.5);
+                break;
+              case BranchSite::Class::Loop:
+                ++site.counter;
+                inst.taken = (site.counter % site.loopPeriod) != 0;
+                break;
+            }
+        }
+        break;
+
+      case OpClass::BranchUncond:
+        inst.taken = true;
+        inst.target = st.codeBase + (mix64(st.pcCursor) % 4096) * 4;
+        break;
+
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+      case OpClass::IntAlu:
+        inst.src1 = pick_src();
+        if (rng.chance(p.twoSrcFrac))
+            inst.src2 = pick_src();
+        inst.dst = allocDst();
+        pushProducer(inst.dst);
+        lastAluDst = inst.dst;
+        break;
+
+      case OpClass::Syscall:
+      default:
+        panic("unreachable op selection");
+    }
+
+    out.push(inst, static_cast<std::uint8_t>(spec_idx));
+}
+
+TracePtr
+TraceGenerator::generate(std::uint64_t num_insts)
+{
+    auto trace = std::make_shared<Trace>(profile.name);
+    trace->reserve(num_insts);
+
+    std::size_t phase = pickNextPhase(profile.phases.size());
+    while (trace->size() < num_insts) {
+        const PhaseParams &p = profile.phases[phase].params;
+        std::uint64_t len = rng.range(
+            std::max<std::uint64_t>(10, p.meanLen / 2),
+            p.meanLen * 3 / 2);
+        len = std::min<std::uint64_t>(len,
+                                      num_insts - trace->size());
+        for (std::uint64_t i = 0; i < len; ++i)
+            emitInst(*trace, phase);
+        phase = pickNextPhase(phase);
+    }
+    return trace;
+}
+
+TracePtr
+makeBenchmarkTrace(const std::string &name, std::uint64_t seed,
+                   std::uint64_t num_insts)
+{
+    TraceGenerator gen(profileByName(name), seed);
+    return gen.generate(num_insts);
+}
+
+} // namespace contest

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic synthetic trace generation from a benchmark profile.
+ */
+
+#ifndef CONTEST_TRACE_GENERATOR_HH
+#define CONTEST_TRACE_GENERATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/profile.hh"
+#include "trace/trace.hh"
+
+namespace contest
+{
+
+/**
+ * Generates the retired dynamic instruction stream of a synthetic
+ * workload. Generation is a pure function of (profile, seed, length):
+ * repeated calls with the same inputs produce identical traces, and
+ * phase state (stream positions, pointer-chase chains, branch-site
+ * behaviour classes) persists across phase revisits so that returning
+ * to a phase re-touches the same data — which is what makes caches
+ * behave realistically across phase changes.
+ */
+class TraceGenerator
+{
+  public:
+    /**
+     * @param bench_profile workload composition
+     * @param seed deterministic seed for all stochastic choices
+     */
+    TraceGenerator(const BenchmarkProfile &bench_profile,
+                   std::uint64_t seed);
+
+    /** Generate a trace of exactly num_insts instructions. */
+    TracePtr generate(std::uint64_t num_insts);
+
+  private:
+    /** Behaviour class of one static conditional branch site. */
+    struct BranchSite
+    {
+        enum class Class : std::uint8_t { Biased, Random, Loop };
+        Class cls = Class::Biased;
+        unsigned loopPeriod = 8;
+        unsigned counter = 0;
+        Addr pc = 0;
+        Addr takenTarget = 0;
+    };
+
+    /** Mutable state of one phase spec, persisting across revisits. */
+    struct PhaseState
+    {
+        Addr dataBase = 0;
+        Addr codeBase = 0;
+        std::uint64_t streamPos = 0;
+        std::vector<RegId> chainDst;  //!< last dst of each chase chain
+        std::vector<std::uint64_t> chainPos;
+        unsigned nextChain = 0;
+        std::vector<BranchSite> sites;
+        std::uint64_t branchCursor = 0;
+        std::uint64_t pcCursor = 0;
+        /** Recently touched addresses (temporal-reuse set). */
+        std::vector<Addr> recentAddrs;
+        unsigned recentAddrHead = 0;
+    };
+
+    /** Next Hot-pattern data address honoring temporal reuse. */
+    Addr hotAddr(std::size_t spec_idx);
+
+    /** Emit one instruction of the current phase into the trace. */
+    void emitInst(Trace &out, std::size_t spec_idx);
+
+    /** Pick the next phase, never repeating the current one. */
+    std::size_t pickNextPhase(std::size_t current);
+
+    /** Source register at the given dependence distance. */
+    RegId producerAt(unsigned distance) const;
+
+    /** Allocate the next destination register (round-robin). */
+    RegId allocDst();
+
+    /** Record a new producer in the recent-producer ring. */
+    void pushProducer(RegId dst);
+
+    const BenchmarkProfile &profile;
+    Rng rng;
+    std::vector<PhaseState> states;
+
+    static constexpr unsigned ringSize = 64;
+    std::array<RegId, ringSize> recent{};
+    unsigned recentHead = 0;
+    unsigned recentCount = 0;
+    RegId nextDstReg = 1;
+    /** Destination of the most recent ALU op (branch conditions). */
+    RegId lastAluDst = invalidReg;
+
+    std::uint64_t syscallCountdown = 0;
+};
+
+/**
+ * Convenience: generate the trace for a named SPEC2000-like profile.
+ *
+ * @param name profile name, e.g. "gcc"
+ * @param seed deterministic seed
+ * @param num_insts trace length in instructions
+ */
+TracePtr makeBenchmarkTrace(const std::string &name, std::uint64_t seed,
+                            std::uint64_t num_insts);
+
+} // namespace contest
+
+#endif // CONTEST_TRACE_GENERATOR_HH

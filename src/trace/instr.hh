@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The dynamic instruction record consumed by the timing models.
+ *
+ * The simulator is trace-driven: a trace carries the *retired*
+ * (correct-path) instruction stream with everything the timing model
+ * needs — operation class, register dependences, effective address,
+ * and branch outcome/target. Values are abstract; contesting forwards
+ * instruction *completion*, which is exactly the information the
+ * timing model consumes.
+ */
+
+#ifndef CONTEST_TRACE_INSTR_HH
+#define CONTEST_TRACE_INSTR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace contest
+{
+
+/** Operation classes distinguished by the timing model. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,      //!< single-cycle integer op
+    IntMul,      //!< pipelined multiply
+    IntDiv,      //!< unpipelined divide
+    Load,        //!< memory read through the data cache
+    Store,       //!< memory write through the data cache
+    BranchCond,  //!< conditional direct branch
+    BranchUncond,//!< unconditional direct branch / call / return
+    Syscall,     //!< synchronous exception (system call, TLB miss...)
+};
+
+/** Number of architectural integer registers in the abstract ISA. */
+constexpr RegId numArchRegs = 64;
+
+/** Sentinel meaning "operand not used". */
+constexpr RegId invalidReg = 0xffff;
+
+/** One retired dynamic instruction. */
+struct TraceInst
+{
+    Addr pc = 0;                //!< instruction address
+    Addr addr = 0;              //!< effective address (Load/Store)
+    Addr target = 0;            //!< branch target (Branch*)
+    RegId src1 = invalidReg;    //!< first source register
+    RegId src2 = invalidReg;    //!< second source register
+    RegId dst = invalidReg;     //!< destination register
+    OpClass op = OpClass::IntAlu;
+    bool taken = false;         //!< branch outcome (Branch*)
+
+    /** Is this any kind of control transfer? */
+    bool
+    isBranch() const
+    {
+        return op == OpClass::BranchCond || op == OpClass::BranchUncond;
+    }
+
+    /** Does this instruction access memory? */
+    bool
+    isMem() const
+    {
+        return op == OpClass::Load || op == OpClass::Store;
+    }
+
+    /** Does this instruction write a register value? */
+    bool producesValue() const { return dst != invalidReg; }
+
+    /** Base execution latency in cycles, excluding memory time. */
+    Cycles
+    execLatency() const
+    {
+        switch (op) {
+          case OpClass::IntMul:
+            return 3;
+          case OpClass::IntDiv:
+            return 12;
+          case OpClass::Syscall:
+            return 1;
+          default:
+            return 1;
+        }
+    }
+};
+
+} // namespace contest
+
+#endif // CONTEST_TRACE_INSTR_HH

@@ -1,0 +1,162 @@
+#include "trace/phase.hh"
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+const char *
+phaseKindName(PhaseKind kind)
+{
+    switch (kind) {
+      case PhaseKind::IlpCompute:
+        return "IlpCompute";
+      case PhaseKind::SerialChain:
+        return "SerialChain";
+      case PhaseKind::PointerChase:
+        return "PointerChase";
+      case PhaseKind::Streaming:
+        return "Streaming";
+      case PhaseKind::Branchy:
+        return "Branchy";
+      case PhaseKind::HotLoop:
+        return "HotLoop";
+    }
+    panic("unknown PhaseKind %d", static_cast<int>(kind));
+}
+
+PhaseParams
+PhaseParams::canonical(PhaseKind kind)
+{
+    PhaseParams p;
+    p.kind = kind;
+    switch (kind) {
+      case PhaseKind::IlpCompute:
+        // Wide independent integer work on a small warm hot set.
+        p.fracLoad = 0.16;
+        p.fracStore = 0.06;
+        p.fracCondBranch = 0.08;
+        p.fracUncondBranch = 0.02;
+        p.fracMul = 0.04;
+        p.serialFrac = 0.02;
+        p.depWindow = 48;
+        p.twoSrcFrac = 0.3;
+        p.freshSrcFrac = 0.75;
+        p.takenBias = 0.96;
+        p.randomSiteFrac = 0.04;
+        p.numBranchSites = 12;
+        p.dataDepBranchFrac = 0.10;
+        p.memPattern = MemPattern::Hot;
+        p.footprintBytes = 8 * 1024;
+        p.meanLen = 400;
+        break;
+      case PhaseKind::SerialChain:
+        // One long dependence chain; almost no exploitable ILP.
+        p.fracLoad = 0.10;
+        p.fracStore = 0.05;
+        p.fracCondBranch = 0.06;
+        p.fracUncondBranch = 0.01;
+        p.fracMul = 0.02;
+        p.serialFrac = 0.85;
+        p.depWindow = 2;
+        p.twoSrcFrac = 0.3;
+        p.freshSrcFrac = 0.08;
+        p.takenBias = 0.96;
+        p.randomSiteFrac = 0.03;
+        p.numBranchSites = 8;
+        p.dataDepBranchFrac = 0.10;
+        p.memPattern = MemPattern::Hot;
+        p.footprintBytes = 8 * 1024;
+        p.meanLen = 400;
+        break;
+      case PhaseKind::PointerChase:
+        // Dependent loads over a skewed footprint: MLP is bounded
+        // by the number of independent chase chains in the window.
+        p.fracLoad = 0.34;
+        p.fracStore = 0.06;
+        p.fracCondBranch = 0.10;
+        p.fracUncondBranch = 0.01;
+        p.fracMul = 0.0;
+        p.serialFrac = 0.30;
+        p.depWindow = 8;
+        p.twoSrcFrac = 0.3;
+        p.freshSrcFrac = 0.30;
+        p.takenBias = 0.90;
+        p.randomSiteFrac = 0.12;
+        p.numBranchSites = 24;
+        p.dataDepBranchFrac = 0.50;
+        p.memPattern = MemPattern::Chase;
+        p.footprintBytes = 512 * 1024;
+        p.chaseChains = 32;
+        p.chaseHotFrac = 0.6;
+        p.meanLen = 600;
+        break;
+      case PhaseKind::Streaming:
+        // Sequential sweeps; large blocks amortize misses and L2
+        // capacity decides whether the wrap-around re-hits.
+        p.fracLoad = 0.30;
+        p.fracStore = 0.14;
+        p.fracCondBranch = 0.08;
+        p.fracUncondBranch = 0.01;
+        p.fracMul = 0.01;
+        p.serialFrac = 0.10;
+        p.depWindow = 24;
+        p.twoSrcFrac = 0.35;
+        p.freshSrcFrac = 0.35;
+        p.takenBias = 0.98;
+        p.randomSiteFrac = 0.01;
+        p.numBranchSites = 6;
+        p.dataDepBranchFrac = 0.05;
+        p.memPattern = MemPattern::Stream;
+        p.footprintBytes = 512 * 1024;
+        p.strideBytes = 8;
+        p.meanLen = 500;
+        break;
+      case PhaseKind::Branchy:
+        // Control-dominated code with a big static branch working
+        // set and a hard-to-predict minority of sites.
+        p.fracLoad = 0.20;
+        p.fracStore = 0.08;
+        p.fracCondBranch = 0.22;
+        p.fracUncondBranch = 0.04;
+        p.fracMul = 0.0;
+        p.serialFrac = 0.15;
+        p.depWindow = 12;
+        p.twoSrcFrac = 0.35;
+        p.freshSrcFrac = 0.35;
+        p.takenBias = 0.85;
+        p.randomSiteFrac = 0.20;
+        p.numBranchSites = 48;
+        p.dataDepBranchFrac = 0.30;
+        p.memPattern = MemPattern::Hot;
+        p.footprintBytes = 32 * 1024;
+        // Control-heavy code walks its tables with less temporal
+        // reuse than loop code, so footprint size really bites.
+        p.reuseFrac = 0.50;
+        p.reuseWindow = 96;
+        p.meanLen = 300;
+        break;
+      case PhaseKind::HotLoop:
+        // Tight, perfectly predictable loop on a tiny data set.
+        p.fracLoad = 0.18;
+        p.fracStore = 0.08;
+        p.fracCondBranch = 0.10;
+        p.fracUncondBranch = 0.01;
+        p.fracMul = 0.03;
+        p.serialFrac = 0.10;
+        p.depWindow = 20;
+        p.twoSrcFrac = 0.35;
+        p.freshSrcFrac = 0.55;
+        p.takenBias = 0.99;
+        p.randomSiteFrac = 0.0;
+        p.numBranchSites = 4;
+        p.dataDepBranchFrac = 0.02;
+        p.memPattern = MemPattern::Hot;
+        p.footprintBytes = 2 * 1024;
+        p.meanLen = 350;
+        break;
+    }
+    return p;
+}
+
+} // namespace contest

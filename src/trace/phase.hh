@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Phase archetypes: parameterized fine-grain behaviour regimes that
+ * synthetic workloads are composed of.
+ *
+ * The paper's central observation (Section 2) is that workload
+ * behaviour varies at granularities below a thousand instructions,
+ * and that different microarchitectures win in different fine-grain
+ * regions. The archetypes expose exactly the properties that make
+ * one core configuration beat another:
+ *
+ *  - IlpCompute   wide independent ALU work: rewards issue width
+ *  - SerialChain  long dependence chains: rewards low effective
+ *                 per-op latency (wakeup latency x clock period)
+ *  - PointerChase dependent loads over a large footprint: rewards
+ *                 ROB size (memory-level parallelism) and L2 capacity
+ *  - Streaming    sequential memory sweeps: rewards block size
+ *  - Branchy      hard-to-predict control: rewards shallow front-ends
+ *  - HotLoop      small predictable loops: rewards raw clock rate
+ */
+
+#ifndef CONTEST_TRACE_PHASE_HH
+#define CONTEST_TRACE_PHASE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace contest
+{
+
+/** The six behaviour archetypes workloads are mixtures of. */
+enum class PhaseKind : std::uint8_t
+{
+    IlpCompute,
+    SerialChain,
+    PointerChase,
+    Streaming,
+    Branchy,
+    HotLoop,
+};
+
+/** Human-readable archetype name. */
+const char *phaseKindName(PhaseKind kind);
+
+/** Memory reference pattern of a phase. */
+enum class MemPattern : std::uint8_t
+{
+    Hot,    //!< uniform over a small hot region
+    Stream, //!< sequential with a fixed stride, wrapping
+    Chase,  //!< dependent pseudo-random walk (pointer chasing)
+};
+
+/** Full parameterization of one phase archetype instance. */
+struct PhaseParams
+{
+    PhaseKind kind = PhaseKind::IlpCompute;
+
+    /** @name Operation mix (fractions of all instructions) */
+    /** @{ */
+    double fracLoad = 0.2;
+    double fracStore = 0.1;
+    double fracCondBranch = 0.12;
+    double fracUncondBranch = 0.02;
+    double fracMul = 0.02;
+    double fracDiv = 0.0;
+    /** @} */
+
+    /** @name Dependence structure */
+    /** @{ */
+    /** Probability that src1 is the immediately preceding producer. */
+    double serialFrac = 0.2;
+    /** How many recent producers sources may reach back to. */
+    unsigned depWindow = 16;
+    /** Probability that a second source operand is present. */
+    double twoSrcFrac = 0.4;
+    /**
+     * Probability that a (non-serial) source is a fresh dataflow
+     * root — an immediate, a stable base register, a constant —
+     * rather than a recent producer. Roots bound the global
+     * dataflow depth; without them the whole trace degenerates
+     * into one serialized DAG.
+     */
+    double freshSrcFrac = 0.3;
+    /** @} */
+
+    /** @name Branch behaviour */
+    /** @{ */
+    /** P(taken) for biased branch sites. */
+    double takenBias = 0.9;
+    /** Fraction of branch sites with 50/50 (unpredictable) outcome. */
+    double randomSiteFrac = 0.1;
+    /** Number of static conditional branch sites in the phase. */
+    unsigned numBranchSites = 16;
+    /**
+     * Fraction of branches whose condition depends on recently
+     * loaded data (and therefore resolves late when the load
+     * misses); the rest test fresh ALU results such as induction
+     * variables and resolve quickly.
+     */
+    double dataDepBranchFrac = 0.15;
+    /** @} */
+
+    /** @name Memory behaviour */
+    /** @{ */
+    MemPattern memPattern = MemPattern::Hot;
+    /** Bytes of data touched by the phase. */
+    Addr footprintBytes = 32 * 1024;
+    /** Stride between consecutive streaming references. */
+    unsigned strideBytes = 8;
+    /**
+     * Number of independent pointer-chase chains (Chase pattern
+     * only). Each chain serializes its own loads; the count bounds
+     * the memory-level parallelism a large window can extract.
+     */
+    unsigned chaseChains = 32;
+    /**
+     * Temporal locality of Hot references: probability that an
+     * access re-touches one of the last reuseWindow addresses
+     * instead of a fresh random location in the footprint.
+     */
+    double reuseFrac = 0.75;
+    /** Size of the recent-address reuse set for Hot references. */
+    unsigned reuseWindow = 32;
+    /**
+     * Chase-pattern skew: probability that a chase step lands in
+     * the hot portion of the footprint (real pointer codes revisit
+     * a hot core of their data structure; this is what makes large
+     * L2s pay off for them).
+     */
+    double chaseHotFrac = 0.6;
+    /** Fraction of the footprint that forms the hot region. */
+    double chaseHotPortion = 1.0 / 6.0;
+    /** @} */
+
+    /** Mean phase length in instructions (jittered +/-50%). */
+    unsigned meanLen = 400;
+
+    /**
+     * Build the canonical parameterization for an archetype. The
+     * caller then overrides footprint / length / mix fields to shape
+     * a specific workload.
+     */
+    static PhaseParams canonical(PhaseKind kind);
+};
+
+} // namespace contest
+
+#endif // CONTEST_TRACE_PHASE_HH

@@ -1,0 +1,368 @@
+#include "trace/profile.hh"
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+namespace
+{
+
+/** Shorthand: canonical archetype with a weight. */
+PhaseSpec
+ph(PhaseKind kind, double weight)
+{
+    return PhaseSpec{PhaseParams::canonical(kind), weight};
+}
+
+/*
+ * Footprints below are scaled to the default bench trace length
+ * (hundreds of thousands of instructions, standing in for the
+ * paper's 100M-instruction SimPoints) so working sets warm up and
+ * the palette's L1 capacities (8KB-256KB), L2 capacities
+ * (128KB-4MB) and block sizes (8B-512B) each discriminate between
+ * core types the way the full benchmarks discriminate between the
+ * customized cores.
+ */
+
+/**
+ * bzip2: block-sorting compression. Long entropy-coding dependence
+ * chains alternate with sequential sweeps over a block buffer that
+ * only the multi-megabyte L2s retain across wrap-arounds.
+ */
+BenchmarkProfile
+makeBzip()
+{
+    BenchmarkProfile p;
+    p.name = "bzip";
+    auto serial = ph(PhaseKind::SerialChain, 0.40);
+    serial.params.meanLen = 500;
+    // Sort/entropy inner loops: serialized sweeps over a buffer
+    // that lives in the low-latency two-cycle L1.
+    auto stream = ph(PhaseKind::Streaming, 0.35);
+    stream.params.footprintBytes = 48 * 1024;
+    stream.params.strideBytes = 8;
+    stream.params.serialFrac = 0.50;
+    stream.params.freshSrcFrac = 0.15;
+    stream.params.meanLen = 600;
+    auto branchy = ph(PhaseKind::Branchy, 0.12);
+    branchy.params.meanLen = 250;
+    branchy.params.takenBias = 0.90;
+    branchy.params.randomSiteFrac = 0.08;
+    branchy.params.serialFrac = 0.40;
+    branchy.params.freshSrcFrac = 0.20;
+    branchy.params.footprintBytes = 24 * 1024;
+    auto hot = ph(PhaseKind::HotLoop, 0.13);
+    p.phases = {serial, stream, branchy, hot};
+    return p;
+}
+
+/**
+ * crafty: chess search. Bitboard arithmetic gives wide ILP; control
+ * is frequent but well predicted; the working set is tiny.
+ */
+BenchmarkProfile
+makeCrafty()
+{
+    BenchmarkProfile p;
+    p.name = "crafty";
+    auto ilp = ph(PhaseKind::IlpCompute, 0.55);
+    ilp.params.meanLen = 350;
+    // Bitboards: nearly flat dataflow that only raw fetch/issue
+    // width can exploit.
+    ilp.params.freshSrcFrac = 0.85;
+    ilp.params.serialFrac = 0.01;
+    ilp.params.twoSrcFrac = 0.20;
+    ilp.params.fracLoad = 0.10;
+    ilp.params.fracStore = 0.04;
+    ilp.params.takenBias = 0.98;
+    ilp.params.randomSiteFrac = 0.02;
+    auto hot = ph(PhaseKind::HotLoop, 0.20);
+    auto branchy = ph(PhaseKind::Branchy, 0.20);
+    branchy.params.takenBias = 0.94;
+    branchy.params.randomSiteFrac = 0.04;
+    branchy.params.numBranchSites = 64;
+    branchy.params.footprintBytes = 48 * 1024;
+    // Bitboard tests are flat dataflow, not chains.
+    branchy.params.freshSrcFrac = 0.60;
+    branchy.params.twoSrcFrac = 0.30;
+    auto serial = ph(PhaseKind::SerialChain, 0.05);
+    serial.params.meanLen = 150;
+    p.phases = {ilp, hot, branchy, serial};
+    return p;
+}
+
+/** gap: group theory interpreter — compute over streamed vectors
+ *  whose large L2 blocks amortize the memory sweeps. */
+BenchmarkProfile
+makeGap()
+{
+    BenchmarkProfile p;
+    p.name = "gap";
+    auto ilp = ph(PhaseKind::IlpCompute, 0.35);
+    ilp.params.footprintBytes = 12 * 1024;
+    // Small-vector arithmetic with serialized accumulation: lives
+    // in the 8-16KB range where only the two-cycle 16KB L1 wins.
+    auto stream = ph(PhaseKind::HotLoop, 0.30);
+    stream.params.footprintBytes = 12 * 1024;
+    stream.params.fracLoad = 0.30;
+    stream.params.serialFrac = 0.50;
+    stream.params.freshSrcFrac = 0.15;
+    stream.params.reuseFrac = 0.40;
+    stream.params.reuseWindow = 64;
+    auto hot = ph(PhaseKind::HotLoop, 0.20);
+    auto serial = ph(PhaseKind::SerialChain, 0.15);
+    p.phases = {ilp, stream, hot, serial};
+    return p;
+}
+
+/**
+ * gcc: the most phase-diverse benchmark — every archetype appears
+ * and phases are short. The paper finds gcc gains the most from
+ * contesting (25% in Fig. 6, 41% on HET-A).
+ */
+BenchmarkProfile
+makeGcc()
+{
+    BenchmarkProfile p;
+    p.name = "gcc";
+    // gcc works one graded ~192KB pool of IR data from every loop:
+    // the union lives in the gcc core's word-granular 256KB L1 and
+    // nowhere else.
+    p.shareDataRegions = true;
+    auto ilp = ph(PhaseKind::IlpCompute, 0.20);
+    ilp.params.meanLen = 250;
+    ilp.params.footprintBytes = 32 * 1024;
+    auto serial = ph(PhaseKind::SerialChain, 0.12);
+    serial.params.meanLen = 200;
+    serial.params.footprintBytes = 16 * 1024;
+    auto chase = ph(PhaseKind::PointerChase, 0.18);
+    chase.params.footprintBytes = 192 * 1024;
+    chase.params.chaseChains = 24;
+    chase.params.chaseHotFrac = 0.55;
+    chase.params.meanLen = 250;
+    // IR walks: word-granularity pointer code with no spatial
+    // locality — exactly what the gcc core's 8B blocks serve.
+    auto stream = ph(PhaseKind::PointerChase, 0.15);
+    stream.params.footprintBytes = 96 * 1024;
+    stream.params.chaseChains = 16;
+    stream.params.meanLen = 220;
+    auto branchy = ph(PhaseKind::Branchy, 0.20);
+    branchy.params.numBranchSites = 96;
+    branchy.params.randomSiteFrac = 0.10;
+    branchy.params.footprintBytes = 96 * 1024;
+    branchy.params.reuseFrac = 0.35;
+    branchy.params.meanLen = 180;
+    auto hot = ph(PhaseKind::HotLoop, 0.15);
+    hot.params.meanLen = 200;
+    hot.params.footprintBytes = 8 * 1024;
+    p.phases = {ilp, serial, chase, stream, branchy, hot};
+    return p;
+}
+
+/** gzip: LZ77 — wide-block streaming over a window that fits only
+ *  the larger caches, plus serial match loops. */
+BenchmarkProfile
+makeGzip()
+{
+    BenchmarkProfile p;
+    p.name = "gzip";
+    auto stream = ph(PhaseKind::Streaming, 0.40);
+    stream.params.footprintBytes = 160 * 1024;
+    stream.params.strideBytes = 16;
+    // LZ77 match loops are serialized byte scans: latency-exposed,
+    // so the wide-block low-latency cache front pays off.
+    stream.params.serialFrac = 0.45;
+    stream.params.freshSrcFrac = 0.15;
+    auto serial = ph(PhaseKind::SerialChain, 0.30);
+    serial.params.meanLen = 600;
+    auto hot = ph(PhaseKind::HotLoop, 0.15);
+    auto branchy = ph(PhaseKind::Branchy, 0.15);
+    branchy.params.takenBias = 0.92;
+    branchy.params.randomSiteFrac = 0.05;
+    branchy.params.footprintBytes = 24 * 1024;
+    p.phases = {stream, serial, hot, branchy};
+    return p;
+}
+
+/**
+ * mcf: network simplex — pointer chasing over a footprint larger
+ * than any cache with a hot core that only the biggest L2 retains.
+ * The customized core compensates with a huge window and a slow
+ * clock (Appendix A).
+ */
+BenchmarkProfile
+makeMcf()
+{
+    BenchmarkProfile p;
+    p.name = "mcf";
+    auto chase = ph(PhaseKind::PointerChase, 0.60);
+    chase.params.footprintBytes = 5 * 1024 * 1024;
+    chase.params.chaseChains = 24;
+    chase.params.chaseHotFrac = 0.80;
+    chase.params.chaseHotPortion = 1.0 / 3.0;
+    chase.params.meanLen = 900;
+    auto serial = ph(PhaseKind::SerialChain, 0.20);
+    serial.params.meanLen = 400;
+    auto stream = ph(PhaseKind::Streaming, 0.10);
+    stream.params.footprintBytes = 2 * 1024 * 1024;
+    auto branchy = ph(PhaseKind::Branchy, 0.10);
+    branchy.params.randomSiteFrac = 0.12;
+    p.phases = {chase, serial, stream, branchy};
+    return p;
+}
+
+/** parser: link grammar — mid-size chasing that lives in the large
+ *  L1s, and a hard-to-predict dictionary walk. */
+BenchmarkProfile
+makeParser()
+{
+    BenchmarkProfile p;
+    p.name = "parser";
+    p.shareDataRegions = true;
+    auto chase = ph(PhaseKind::PointerChase, 0.35);
+    chase.params.footprintBytes = 64 * 1024;
+    chase.params.chaseChains = 16;
+    chase.params.chaseHotFrac = 0.60;
+    chase.params.meanLen = 300;
+    auto branchy = ph(PhaseKind::Branchy, 0.25);
+    branchy.params.numBranchSites = 48;
+    branchy.params.randomSiteFrac = 0.18;
+    branchy.params.footprintBytes = 32 * 1024;
+    branchy.params.meanLen = 200;
+    auto hot = ph(PhaseKind::HotLoop, 0.20);
+    hot.params.meanLen = 250;
+    auto serial = ph(PhaseKind::SerialChain, 0.20);
+    serial.params.meanLen = 200;
+    p.phases = {chase, branchy, hot, serial};
+    return p;
+}
+
+/**
+ * perl: interpreter dispatch — a large but well-predicted static
+ * branch working set, plus stretches of ILP-rich opcode bodies.
+ */
+BenchmarkProfile
+makePerl()
+{
+    BenchmarkProfile p;
+    p.name = "perl";
+    auto branchy = ph(PhaseKind::Branchy, 0.40);
+    branchy.params.numBranchSites = 96;
+    branchy.params.takenBias = 0.95;
+    branchy.params.randomSiteFrac = 0.05;
+    branchy.params.footprintBytes = 96 * 1024;
+    // Dispatch bodies are flat table lookups, not chains.
+    branchy.params.freshSrcFrac = 0.55;
+    auto ilp = ph(PhaseKind::IlpCompute, 0.30);
+    auto hot = ph(PhaseKind::HotLoop, 0.15);
+    auto serial = ph(PhaseKind::SerialChain, 0.15);
+    serial.params.meanLen = 200;
+    p.phases = {branchy, ilp, hot, serial};
+    return p;
+}
+
+/**
+ * twolf: placement/routing with very short alternating phases —
+ * the benchmark with the largest fine-grain switching potential in
+ * the paper's Fig. 1.
+ */
+BenchmarkProfile
+makeTwolf()
+{
+    BenchmarkProfile p;
+    p.name = "twolf";
+    auto chase = ph(PhaseKind::PointerChase, 0.30);
+    chase.params.footprintBytes = 320 * 1024;
+    chase.params.chaseChains = 8;
+    chase.params.chaseHotFrac = 0.75;
+    chase.params.meanLen = 120;
+    auto serial = ph(PhaseKind::SerialChain, 0.25);
+    serial.params.meanLen = 100;
+    auto hot = ph(PhaseKind::HotLoop, 0.25);
+    hot.params.meanLen = 120;
+    auto branchy = ph(PhaseKind::Branchy, 0.20);
+    branchy.params.meanLen = 100;
+    branchy.params.randomSiteFrac = 0.22;
+    p.phases = {chase, serial, hot, branchy};
+    return p;
+}
+
+/** vortex: object database — wide ILP, predictable control, and
+ *  object sweeps sized to the mid-range L2s. */
+BenchmarkProfile
+makeVortex()
+{
+    BenchmarkProfile p;
+    p.name = "vortex";
+    auto ilp = ph(PhaseKind::IlpCompute, 0.40);
+    ilp.params.meanLen = 600;
+    ilp.params.footprintBytes = 24 * 1024;
+    auto hot = ph(PhaseKind::HotLoop, 0.20);
+    auto stream = ph(PhaseKind::Streaming, 0.20);
+    stream.params.footprintBytes = 192 * 1024;
+    // Object sweeps issue wide and independent.
+    stream.params.freshSrcFrac = 0.55;
+    stream.params.serialFrac = 0.05;
+    auto branchy = ph(PhaseKind::Branchy, 0.20);
+    branchy.params.takenBias = 0.94;
+    branchy.params.randomSiteFrac = 0.03;
+    branchy.params.footprintBytes = 160 * 1024;
+    p.phases = {ilp, hot, stream, branchy};
+    return p;
+}
+
+/** vpr: place & route — serial arithmetic and small-set chasing
+ *  served from a fast low-latency cache front. */
+BenchmarkProfile
+makeVpr()
+{
+    BenchmarkProfile p;
+    p.name = "vpr";
+    auto serial = ph(PhaseKind::SerialChain, 0.30);
+    serial.params.meanLen = 200;
+    auto chase = ph(PhaseKind::PointerChase, 0.30);
+    chase.params.footprintBytes = 256 * 1024;
+    chase.params.chaseChains = 12;
+    chase.params.chaseHotFrac = 0.50;
+    chase.params.meanLen = 250;
+    auto branchy = ph(PhaseKind::Branchy, 0.20);
+    branchy.params.randomSiteFrac = 0.18;
+    branchy.params.footprintBytes = 24 * 1024;
+    auto hot = ph(PhaseKind::HotLoop, 0.20);
+    p.phases = {serial, chase, branchy, hot};
+    return p;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+spec2000IntProfiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = {
+        makeBzip(), makeCrafty(), makeGap(), makeGcc(), makeGzip(),
+        makeMcf(), makeParser(), makePerl(), makeTwolf(), makeVortex(),
+        makeVpr(),
+    };
+    return profiles;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : spec2000IntProfiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown benchmark profile '%s'", name.c_str());
+}
+
+std::vector<std::string>
+profileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : spec2000IntProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace contest

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Benchmark profiles: named mixtures of phase archetypes that stand
+ * in for the SPEC2000 integer benchmarks.
+ *
+ * The paper evaluates the eleven SPEC2000 integer SimPoints that
+ * compile under SimpleScalar (eon excluded). We cannot ship SPEC
+ * binaries, so each benchmark is modeled as a deterministic mixture
+ * of phase archetypes whose composition reflects the benchmark's
+ * published behaviour (memory footprint, branch behaviour, ILP), and
+ * whose phase lengths are concentrated below ~1000 instructions —
+ * the fine-grain variation the paper's Section 2 measures.
+ */
+
+#ifndef CONTEST_TRACE_PROFILE_HH
+#define CONTEST_TRACE_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/phase.hh"
+
+namespace contest
+{
+
+/** One archetype instance within a profile, with a selection weight. */
+struct PhaseSpec
+{
+    PhaseParams params;
+    double weight = 1.0;
+};
+
+/** A named synthetic workload: a weighted set of phase archetypes. */
+struct BenchmarkProfile
+{
+    std::string name;
+    std::vector<PhaseSpec> phases;
+    /** Mean instructions between synchronous exceptions; 0 = none. */
+    std::uint64_t syscallGap = 200'000;
+    /**
+     * When true, every phase references the same data region (the
+     * program works one structure from different loops) instead of
+     * disjoint per-phase regions; this avoids cross-phase conflict
+     * thrash in low-associativity caches.
+     */
+    bool shareDataRegions = false;
+};
+
+/**
+ * The eleven SPEC2000-integer-like profiles used throughout the
+ * paper's evaluation, in the paper's order: bzip, crafty, gap, gcc,
+ * gzip, mcf, parser, perl, twolf, vortex, vpr.
+ */
+const std::vector<BenchmarkProfile> &spec2000IntProfiles();
+
+/** Look up a profile by name; fatal() if unknown. */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+/** Names of all profiles, in canonical order. */
+std::vector<std::string> profileNames();
+
+} // namespace contest
+
+#endif // CONTEST_TRACE_PROFILE_HH

@@ -1,0 +1,51 @@
+#include "trace/trace.hh"
+
+namespace contest
+{
+
+TraceMix
+Trace::mix() const
+{
+    TraceMix m;
+    for (const auto &inst : insts) {
+        switch (inst.op) {
+          case OpClass::IntAlu:
+            ++m.alu;
+            break;
+          case OpClass::IntMul:
+            ++m.mul;
+            break;
+          case OpClass::IntDiv:
+            ++m.div;
+            break;
+          case OpClass::Load:
+            ++m.loads;
+            break;
+          case OpClass::Store:
+            ++m.stores;
+            break;
+          case OpClass::BranchCond:
+            ++m.condBranches;
+            break;
+          case OpClass::BranchUncond:
+            ++m.uncondBranches;
+            break;
+          case OpClass::Syscall:
+            ++m.syscalls;
+            break;
+        }
+    }
+    return m;
+}
+
+std::uint64_t
+Trace::phaseChanges() const
+{
+    std::uint64_t changes = 0;
+    for (std::size_t i = 1; i < phases.size(); ++i)
+        if (phases[i] != phases[i - 1])
+            ++changes;
+    return changes;
+}
+
+} // namespace contest

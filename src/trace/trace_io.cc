@@ -1,0 +1,163 @@
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+namespace
+{
+
+constexpr char magic[4] = {'C', 'T', 'R', 'C'};
+constexpr std::uint32_t formatVersion = 1;
+
+/** On-disk layout of one instruction (packed, 29 bytes). */
+struct PackedInst
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint64_t target;
+    std::uint16_t src1;
+    std::uint16_t src2;
+    std::uint16_t dst;
+    std::uint8_t op;
+    std::uint8_t taken;
+};
+
+PackedInst
+pack(const TraceInst &inst)
+{
+    PackedInst p;
+    p.pc = inst.pc;
+    p.addr = inst.addr;
+    p.target = inst.target;
+    p.src1 = inst.src1;
+    p.src2 = inst.src2;
+    p.dst = inst.dst;
+    p.op = static_cast<std::uint8_t>(inst.op);
+    p.taken = inst.taken ? 1 : 0;
+    return p;
+}
+
+TraceInst
+unpack(const PackedInst &p)
+{
+    TraceInst inst;
+    inst.pc = p.pc;
+    inst.addr = p.addr;
+    inst.target = p.target;
+    inst.src1 = p.src1;
+    inst.src2 = p.src2;
+    inst.dst = p.dst;
+    inst.op = static_cast<OpClass>(p.op);
+    inst.taken = p.taken != 0;
+    return inst;
+}
+
+/** RAII FILE handle. */
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f != nullptr)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+writeAll(std::FILE *f, const void *data, std::size_t bytes,
+         const std::string &path)
+{
+    fatal_if(std::fwrite(data, 1, bytes, f) != bytes,
+             "short write to trace file '%s'", path.c_str());
+}
+
+void
+readAll(std::FILE *f, void *data, std::size_t bytes,
+        const std::string &path)
+{
+    fatal_if(std::fread(data, 1, bytes, f) != bytes,
+             "short read from trace file '%s'", path.c_str());
+}
+
+} // namespace
+
+void
+writeTrace(const std::string &path, const Trace &trace)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    fatal_if(!f, "cannot open trace file '%s' for writing",
+             path.c_str());
+
+    writeAll(f.get(), magic, sizeof(magic), path);
+    writeAll(f.get(), &formatVersion, sizeof(formatVersion), path);
+
+    auto name_len =
+        static_cast<std::uint32_t>(trace.name().size());
+    writeAll(f.get(), &name_len, sizeof(name_len), path);
+    writeAll(f.get(), trace.name().data(), name_len, path);
+
+    std::uint64_t count = trace.size();
+    writeAll(f.get(), &count, sizeof(count), path);
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        PackedInst p = pack(trace[i]);
+        writeAll(f.get(), &p, sizeof(p), path);
+    }
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        std::uint8_t phase = trace.phaseOf(i);
+        writeAll(f.get(), &phase, sizeof(phase), path);
+    }
+}
+
+TracePtr
+readTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    fatal_if(!f, "cannot open trace file '%s'", path.c_str());
+
+    char got_magic[4];
+    readAll(f.get(), got_magic, sizeof(got_magic), path);
+    fatal_if(std::memcmp(got_magic, magic, sizeof(magic)) != 0,
+             "'%s' is not a contest trace file", path.c_str());
+
+    std::uint32_t version = 0;
+    readAll(f.get(), &version, sizeof(version), path);
+    fatal_if(version != formatVersion,
+             "trace file '%s' has unsupported version %u",
+             path.c_str(), version);
+
+    std::uint32_t name_len = 0;
+    readAll(f.get(), &name_len, sizeof(name_len), path);
+    fatal_if(name_len > 4096,
+             "trace file '%s' has an implausible name length",
+             path.c_str());
+    std::string name(name_len, '\0');
+    readAll(f.get(), name.data(), name_len, path);
+
+    std::uint64_t count = 0;
+    readAll(f.get(), &count, sizeof(count), path);
+
+    auto trace = std::make_shared<Trace>(name);
+    trace->reserve(count);
+    std::vector<PackedInst> packed(count);
+    if (count > 0)
+        readAll(f.get(), packed.data(),
+                count * sizeof(PackedInst), path);
+    std::vector<std::uint8_t> phases(count);
+    if (count > 0)
+        readAll(f.get(), phases.data(), count, path);
+
+    for (std::uint64_t i = 0; i < count; ++i)
+        trace->push(unpack(packed[i]), phases[i]);
+    return trace;
+}
+
+} // namespace contest

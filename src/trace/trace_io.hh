@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Binary trace serialization: save a generated workload once, replay
+ * it everywhere (cross-run reproducibility, external analysis, and
+ * diffing traces between library versions).
+ *
+ * Format (little-endian, native field widths):
+ *   magic "CTRC" | u32 version | u32 name length | name bytes |
+ *   u64 instruction count | per-instruction packed records |
+ *   per-instruction phase ids.
+ */
+
+#ifndef CONTEST_TRACE_TRACE_IO_HH
+#define CONTEST_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace contest
+{
+
+/** Serialize a trace to a file; fatal() on I/O failure. */
+void writeTrace(const std::string &path, const Trace &trace);
+
+/** Load a trace from a file; fatal() on I/O or format errors. */
+TracePtr readTrace(const std::string &path);
+
+} // namespace contest
+
+#endif // CONTEST_TRACE_TRACE_IO_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the branch prediction substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bpred.hh"
+
+namespace contest
+{
+namespace
+{
+
+TEST(SatCounter, SaturatesBothWays)
+{
+    SatCounter2 c(0);
+    EXPECT_FALSE(c.taken());
+    c.dec();
+    EXPECT_EQ(c.raw(), 0);
+    c.inc();
+    c.inc();
+    EXPECT_TRUE(c.taken());
+    c.inc();
+    c.inc();
+    EXPECT_EQ(c.raw(), 3);
+    c.train(false);
+    EXPECT_EQ(c.raw(), 2);
+    EXPECT_TRUE(c.taken());
+}
+
+BPredConfig
+makeConfig(BPredConfig::Kind kind)
+{
+    BPredConfig cfg;
+    cfg.kind = kind;
+    return cfg;
+}
+
+TEST(Bimodal, LearnsStrongBias)
+{
+    BranchPredictor bp(makeConfig(BPredConfig::Kind::Bimodal));
+    for (int i = 0; i < 1000; ++i)
+        bp.predictAndTrain(0x400000, true);
+    // After warmup, an always-taken branch is always predicted.
+    std::uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndTrain(0x400000, true);
+    EXPECT_EQ(bp.mispredicts(), before);
+}
+
+TEST(Bimodal, CannotLearnAlternation)
+{
+    BranchPredictor bp(makeConfig(BPredConfig::Kind::Bimodal));
+    for (int i = 0; i < 2000; ++i)
+        bp.predictAndTrain(0x400000, i % 2 == 0);
+    // T,N,T,N drives a 2-bit counter to ~50% mispredictions.
+    EXPECT_GT(bp.mispredictRate(), 0.4);
+}
+
+TEST(GShare, LearnsAlternationThroughHistory)
+{
+    BranchPredictor bp(makeConfig(BPredConfig::Kind::GShare));
+    for (int i = 0; i < 4000; ++i)
+        bp.predictAndTrain(0x400000, i % 2 == 0);
+    std::uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 200; ++i)
+        bp.predictAndTrain(0x400000, i % 2 == 0);
+    EXPECT_EQ(bp.mispredicts(), before);
+}
+
+TEST(Local, LearnsLoopPeriodsDespiteGlobalNoise)
+{
+    BranchPredictor bp(makeConfig(BPredConfig::Kind::Local));
+    // A loop branch with period 5 (T,T,T,T,N) interleaved with a
+    // 50/50 noise branch that would wreck any global history.
+    std::uint64_t noise_state = 12345;
+    for (int i = 0; i < 6000; ++i) {
+        bp.predictAndTrain(0x400000, (i % 5) != 4);
+        noise_state = noise_state * 6364136223846793005ULL + 1;
+        bp.predictAndTrain(0x500000, (noise_state >> 62) & 1);
+    }
+    // Count only the loop branch's behaviour from here.
+    std::uint64_t miss_before = bp.mispredicts();
+    std::uint64_t look_before = bp.lookups();
+    for (int i = 0; i < 500; ++i)
+        bp.predictAndTrain(0x400000, (i % 5) != 4);
+    double rate =
+        static_cast<double>(bp.mispredicts() - miss_before)
+        / static_cast<double>(bp.lookups() - look_before);
+    EXPECT_LT(rate, 0.02);
+}
+
+TEST(Tournament, AtLeastAsGoodAsComponentsOnMixedStream)
+{
+    auto run = [](BPredConfig::Kind kind) {
+        BranchPredictor bp(makeConfig(kind));
+        std::uint64_t state = 777;
+        for (int i = 0; i < 20000; ++i) {
+            bp.predictAndTrain(0x10, (i % 3) != 2);   // loop period 3
+            bp.predictAndTrain(0x20, true);           // biased
+            state = state * 6364136223846793005ULL + 1;
+            bp.predictAndTrain(0x30, (state >> 62) & 1); // random
+        }
+        return bp.mispredictRate();
+    };
+    double tournament = run(BPredConfig::Kind::Tournament);
+    double bimodal = run(BPredConfig::Kind::Bimodal);
+    EXPECT_LT(tournament, bimodal + 0.01);
+    // Random branch caps us near 1/3 * 1/2; the other two should be
+    // nearly free.
+    EXPECT_LT(tournament, 0.22);
+}
+
+TEST(Predictor, CountsLookups)
+{
+    BranchPredictor bp(makeConfig(BPredConfig::Kind::Tournament));
+    for (int i = 0; i < 50; ++i)
+        bp.predictAndTrain(0x40, true);
+    EXPECT_EQ(bp.lookups(), 50u);
+    EXPECT_LE(bp.mispredicts(), 50u);
+}
+
+TEST(Btb, LearnsTargetsAndReportsHits)
+{
+    Btb btb(BtbConfig{16, 2});
+    EXPECT_FALSE(btb.lookupAndTrain(0x1000, 0x2000)); // cold miss
+    EXPECT_TRUE(btb.lookupAndTrain(0x1000, 0x2000));  // now hits
+    // Target change is a miss once, then learned.
+    EXPECT_FALSE(btb.lookupAndTrain(0x1000, 0x3000));
+    EXPECT_TRUE(btb.lookupAndTrain(0x1000, 0x3000));
+    EXPECT_EQ(btb.lookups(), 4u);
+    EXPECT_EQ(btb.hits(), 2u);
+}
+
+TEST(Btb, LruEvictionWithinSet)
+{
+    // Direct-mapped 1-set x 2-way BTB: three branches mapping to the
+    // same set evict the least recently used.
+    Btb btb(BtbConfig{1, 2});
+    btb.lookupAndTrain(0x10, 0xA); // fills way 0
+    btb.lookupAndTrain(0x20, 0xB); // fills way 1
+    btb.lookupAndTrain(0x30, 0xC); // evicts 0x10
+    EXPECT_TRUE(btb.lookupAndTrain(0x20, 0xB));
+    EXPECT_TRUE(btb.lookupAndTrain(0x30, 0xC));
+    EXPECT_FALSE(btb.lookupAndTrain(0x10, 0xA)); // was evicted
+}
+
+TEST(Btb, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Btb(BtbConfig{3, 2}), ::testing::ExitedWithCode(1),
+                "power of two");
+    EXPECT_EXIT(Btb(BtbConfig{4, 0}), ::testing::ExitedWithCode(1),
+                "associativity");
+}
+
+} // namespace
+} // namespace contest

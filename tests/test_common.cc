@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG, statistics, tables,
+ * environment knobs, and the IPT conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "common/env.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace contest
+{
+namespace
+{
+
+TEST(Types, InstPerNsConvertsPicoseconds)
+{
+    // 1000 instructions in 500 ns -> 2 inst/ns.
+    EXPECT_DOUBLE_EQ(instPerNs(1000, 500 * psPerNs), 2.0);
+    EXPECT_DOUBLE_EQ(instPerNs(0, 1000), 0.0);
+    EXPECT_DOUBLE_EQ(instPerNs(1000, 0), 0.0);
+}
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.range(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (rng.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+    EXPECT_FALSE(Rng(1).chance(0.0));
+    EXPECT_TRUE(Rng(1).chance(1.0));
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng rng(17);
+    std::vector<double> weights{1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 20000; ++i)
+        ++counts[rng.weighted(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(21);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RunningStat, TracksMoments)
+{
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.sample(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(RunningStat, ResetForgetsEverything)
+{
+    RunningStat s;
+    s.sample(10.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 3); // buckets [0,10) [10,20) [20,30) + overflow
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(25.0);
+    h.sample(35.0);
+    h.sample(-1.0); // clamps to first bucket
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.numBuckets(), 3u);
+}
+
+TEST(Means, ArithmeticHarmonicGeometric)
+{
+    std::vector<double> xs{1.0, 2.0, 4.0};
+    EXPECT_NEAR(arithmeticMean(xs), 7.0 / 3.0, 1e-12);
+    EXPECT_NEAR(harmonicMean(xs), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+    EXPECT_NEAR(geometricMean(xs), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(Means, WeightedHarmonic)
+{
+    // Equal weights reduce to the plain harmonic mean.
+    std::vector<double> xs{2.0, 4.0};
+    std::vector<double> w{1.0, 1.0};
+    EXPECT_NEAR(weightedHarmonicMean(xs, w), harmonicMean(xs), 1e-12);
+    // All weight on one element returns (nearly) that element.
+    std::vector<double> w2{1e9, 1.0};
+    EXPECT_NEAR(weightedHarmonicMean(xs, w2), 2.0, 1e-6);
+}
+
+TEST(TextTable, RendersAlignedRows)
+{
+    TextTable t("Demo");
+    t.header({"name", "ipt"});
+    t.row({"gcc", TextTable::num(2.27)});
+    t.row({"mcf", TextTable::num(0.93)});
+    std::string out = t.render();
+    EXPECT_NE(out.find("== Demo =="), std::string::npos);
+    EXPECT_NE(out.find("gcc"), std::string::npos);
+    EXPECT_NE(out.find("2.27"), std::string::npos);
+    EXPECT_NE(out.find("0.93"), std::string::npos);
+}
+
+TEST(TextTable, FormattersRound)
+{
+    EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
+    EXPECT_EQ(TextTable::pct(0.153, 1), "+15.3%");
+    EXPECT_EQ(TextTable::pct(-0.05, 1), "-5.0%");
+}
+
+TEST(Env, ReadsAndDefaults)
+{
+    ::setenv("CONTEST_TEST_ENV_U64", "1234", 1);
+    EXPECT_EQ(envU64("CONTEST_TEST_ENV_U64", 7), 1234u);
+    EXPECT_EQ(envU64("CONTEST_TEST_ENV_MISSING", 7), 7u);
+    ::setenv("CONTEST_TEST_ENV_FLAG", "1", 1);
+    EXPECT_TRUE(envFlag("CONTEST_TEST_ENV_FLAG"));
+    ::setenv("CONTEST_TEST_ENV_FLAG", "0", 1);
+    EXPECT_FALSE(envFlag("CONTEST_TEST_ENV_FLAG"));
+    ::unsetenv("CONTEST_TEST_ENV_U64");
+    ::unsetenv("CONTEST_TEST_ENV_FLAG");
+}
+
+} // namespace
+} // namespace contest

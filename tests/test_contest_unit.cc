@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the contesting building blocks: result FIFOs with
+ * pop-counter semantics and the exception rendezvous coordinator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "contest/exception.hh"
+#include "contest/result_fifo.hh"
+
+namespace contest
+{
+namespace
+{
+
+TEST(ResultFifo, PopCounterTracksHead)
+{
+    ResultFifo f(8);
+    EXPECT_EQ(f.headSeq(), 0u);
+    EXPECT_TRUE(f.empty());
+    EXPECT_TRUE(f.push(0, 100));
+    EXPECT_TRUE(f.push(1, 110));
+    EXPECT_EQ(f.headSeq(), 0u);
+    EXPECT_EQ(f.size(), 2u);
+    f.pop();
+    EXPECT_EQ(f.headSeq(), 1u);
+    f.pop();
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.headSeq(), 2u);
+}
+
+TEST(ResultFifo, ArrivalTimeGatesHead)
+{
+    ResultFifo f(8);
+    f.push(0, 500);
+    EXPECT_FALSE(f.headArrived(499)); // still in flight on the GRB
+    EXPECT_TRUE(f.headArrived(500));
+    ASSERT_TRUE(f.headArrival().has_value());
+    EXPECT_EQ(*f.headArrival(), 500u);
+}
+
+TEST(ResultFifo, DiscardBelowDropsOnlyOlderEntries)
+{
+    ResultFifo f(8);
+    for (InstSeq s = 0; s < 5; ++s)
+        f.push(s, 100 + s);
+    EXPECT_EQ(f.discardBelow(3), 3u);
+    EXPECT_EQ(f.headSeq(), 3u);
+    EXPECT_EQ(f.size(), 2u);
+    // Discarding below an older position is a no-op.
+    EXPECT_EQ(f.discardBelow(1), 0u);
+    EXPECT_EQ(f.headSeq(), 3u);
+}
+
+TEST(ResultFifo, OutOfOrderPushPanics)
+{
+    ResultFifo f(8);
+    f.push(0, 1);
+    EXPECT_DEATH(f.push(2, 2), "out-of-order");
+}
+
+TEST(ResultFifo, OverflowReportsFailure)
+{
+    ResultFifo f(2);
+    EXPECT_TRUE(f.push(0, 1));
+    EXPECT_TRUE(f.push(1, 2));
+    EXPECT_FALSE(f.push(2, 3)); // saturated lagger signal
+    EXPECT_EQ(f.size(), 2u);
+    f.pop();
+    EXPECT_TRUE(f.push(2, 3)); // retry after drain succeeds
+}
+
+TEST(ResultFifo, ClearKeepsPopCounter)
+{
+    ResultFifo f(4);
+    f.push(0, 1);
+    f.push(1, 2);
+    f.pop();
+    f.clear();
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.headSeq(), 1u);
+}
+
+TEST(Exception, RendezvousWaitsForAllCores)
+{
+    ExceptionCoordinator coord(3, 1000);
+    EXPECT_FALSE(coord.arrive(0, 500, 10).has_value());
+    EXPECT_FALSE(coord.arrive(1, 500, 20).has_value());
+    auto r = coord.arrive(2, 500, 30);
+    ASSERT_TRUE(r.has_value());
+    // Handler runs for 1000 ps after the last arrival.
+    EXPECT_EQ(*r, 1030u);
+    // Earlier arrivals re-query and see the same resume time.
+    EXPECT_EQ(*coord.arrive(0, 500, 40), 1030u);
+    EXPECT_EQ(coord.handled(), 1u);
+}
+
+TEST(Exception, ArrivalsAreIdempotent)
+{
+    ExceptionCoordinator coord(2, 100);
+    EXPECT_FALSE(coord.arrive(0, 7, 1).has_value());
+    EXPECT_FALSE(coord.arrive(0, 7, 2).has_value()); // same core again
+    EXPECT_TRUE(coord.arrive(1, 7, 3).has_value());
+}
+
+TEST(Exception, IndependentRendezvousPerPosition)
+{
+    ExceptionCoordinator coord(2, 100);
+    EXPECT_FALSE(coord.arrive(0, 10, 1).has_value());
+    EXPECT_FALSE(coord.arrive(1, 20, 2).has_value());
+    EXPECT_TRUE(coord.arrive(1, 10, 3).has_value());
+    EXPECT_TRUE(coord.arrive(0, 20, 4).has_value());
+    EXPECT_EQ(coord.handled(), 2u);
+}
+
+TEST(Exception, DropCoreReleasesWaiters)
+{
+    ExceptionCoordinator coord(2, 100);
+    EXPECT_FALSE(coord.arrive(0, 5, 50).has_value());
+    coord.dropCore(1, 60); // lagger parked; waiter must not hang
+    auto r = coord.arrive(0, 5, 70);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 160u);
+}
+
+TEST(Exception, DroppedCoreDoesNotBlockNewRendezvous)
+{
+    ExceptionCoordinator coord(3, 100);
+    coord.dropCore(2, 0);
+    EXPECT_FALSE(coord.arrive(0, 9, 10).has_value());
+    EXPECT_TRUE(coord.arrive(1, 9, 20).has_value());
+}
+
+} // namespace
+} // namespace contest

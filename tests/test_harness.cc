@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the experiment harness: region logs, oracle
+ * granularity fusion, the caching runner, and best-pair search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/palette.hh"
+#include "harness/runner.hh"
+
+namespace contest
+{
+namespace
+{
+
+TEST(RegionLog, ClosesEveryTwentyInstructions)
+{
+    RegionLog log;
+    TimePs now = 0;
+    for (InstSeq seq = 0; seq < 100; ++seq) {
+        now += 10;
+        log.onRetire(seq, now);
+    }
+    EXPECT_EQ(log.size(), 5u);
+    for (std::size_t i = 0; i < log.size(); ++i)
+        EXPECT_EQ(log[i], 200u); // 20 retirements x 10 ps
+    EXPECT_EQ(log.total(), 1000u);
+}
+
+TEST(Fusion, PicksTheFasterSeriesPerBlock)
+{
+    // Config A is fast in even regions, B in odd regions.
+    std::vector<TimePs> a{10, 100, 10, 100};
+    std::vector<TimePs> b{100, 10, 100, 10};
+    // Granularity 1 region: oracle gets 10 everywhere.
+    EXPECT_EQ(fuseRegionTimes(a, b, 1), 40u);
+    // Granularity 2 regions: each block is 110 on both.
+    EXPECT_EQ(fuseRegionTimes(a, b, 2), 220u);
+    // Whole-run granularity: min(220, 220).
+    EXPECT_EQ(fuseRegionTimes(a, b, 4), 220u);
+}
+
+TEST(Fusion, HandlesUnequalLengths)
+{
+    std::vector<TimePs> a{10, 10, 10};
+    std::vector<TimePs> b{5, 5};
+    EXPECT_EQ(fuseRegionTimes(a, b, 1), 10u);
+}
+
+TEST(Runner, CachesSingleRuns)
+{
+    Runner runner(8000, 1);
+    const auto &first = runner.single("vpr", "vpr");
+    const auto &again = runner.single("vpr", "vpr");
+    EXPECT_EQ(&first, &again);
+    EXPECT_GT(first.result.ipt, 0.0);
+    EXPECT_EQ(first.regions->size(), 8000u / RegionLog::regionInsts);
+}
+
+TEST(Runner, TraceIsSharedAcrossRuns)
+{
+    Runner runner(5000, 2);
+    auto t1 = runner.trace("gcc");
+    auto t2 = runner.trace("gcc");
+    EXPECT_EQ(t1.get(), t2.get());
+    EXPECT_EQ(t1->size(), 5000u);
+}
+
+TEST(Runner, MatrixCoversAllBenchmarksAndCores)
+{
+    Runner runner(4000, 3);
+    const auto &m = runner.matrix();
+    EXPECT_EQ(m.numBenches(), 11u);
+    EXPECT_EQ(m.numCores(), 11u);
+    m.validate();
+    // Cached: same object on re-query.
+    EXPECT_EQ(&m, &runner.matrix());
+}
+
+TEST(Runner, RegionLogTotalsMatchRunTime)
+{
+    Runner runner(8000, 4);
+    const auto &run = runner.single("twolf", "twolf");
+    // The region log accounts for every closed region; its total
+    // cannot exceed the run time and must cover most of it.
+    EXPECT_LE(run.regions->total(), run.result.timePs);
+    EXPECT_GT(run.regions->total(), run.result.timePs / 2);
+}
+
+TEST(Runner, ContestedPairRuns)
+{
+    Runner runner(8000, 5);
+    auto r = runner.contestedPair("gcc", "twolf", "gzip");
+    EXPECT_GT(r.ipt, 0.0);
+    EXPECT_EQ(r.coreStats.size(), 2u);
+}
+
+TEST(Runner, BestContestingPairBeatsOwnCore)
+{
+    Runner runner(20000, 6);
+    auto choice = runner.bestContestingPair("gcc", {}, 3);
+    EXPECT_FALSE(choice.coreA.empty());
+    EXPECT_FALSE(choice.coreB.empty());
+    EXPECT_NE(choice.coreA, choice.coreB);
+    double own = runner.single("gcc", "gcc").result.ipt;
+    // Contesting the best pair must at least match the benchmark's
+    // own customized core (the paper's Figure 6 baseline).
+    EXPECT_GT(choice.result.ipt, own * 0.98);
+}
+
+} // namespace
+} // namespace contest

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests that the Appendix A palette is transcribed faithfully and
+ * that every configuration is structurally valid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/palette.hh"
+
+namespace contest
+{
+namespace
+{
+
+TEST(Palette, HasElevenCoreTypesInPaperOrder)
+{
+    const auto &p = appendixAPalette();
+    ASSERT_EQ(p.size(), 11u);
+    const char *order[] = {"bzip", "crafty", "gap", "gcc",
+                           "gzip", "mcf", "parser", "perl",
+                           "twolf", "vortex", "vpr"};
+    for (std::size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(p[i].name, order[i]);
+}
+
+TEST(Palette, AppendixAValuesSpotChecks)
+{
+    // bzip column.
+    const auto &bzip = coreConfigByName("bzip");
+    EXPECT_EQ(bzip.memAccessCycles, 112u);
+    EXPECT_EQ(bzip.frontEndDepth, 4u);
+    EXPECT_EQ(bzip.width, 5u);
+    EXPECT_EQ(bzip.robSize, 512u);
+    EXPECT_EQ(bzip.iqSize, 64u);
+    EXPECT_EQ(bzip.wakeupLatency, 0u);
+    EXPECT_EQ(bzip.schedDepth, 1u);
+    EXPECT_EQ(bzip.clockPeriodPs, 490u);
+    EXPECT_EQ(bzip.l1d.assoc, 2u);
+    EXPECT_EQ(bzip.l1d.blockBytes, 32u);
+    EXPECT_EQ(bzip.l1d.sets, 1024u);
+    EXPECT_EQ(bzip.l1d.latency, 2u);
+    EXPECT_EQ(bzip.l2.sets, 8192u);
+    EXPECT_EQ(bzip.l2.latency, 15u);
+    EXPECT_EQ(bzip.lsqSize, 128u);
+
+    // mcf column: the big-window slow-clock memory core.
+    const auto &mcf = coreConfigByName("mcf");
+    EXPECT_EQ(mcf.robSize, 1024u);
+    EXPECT_EQ(mcf.width, 3u);
+    EXPECT_EQ(mcf.clockPeriodPs, 450u);
+    EXPECT_EQ(mcf.l2.capacityBytes(), 4u * 1024u * 1024u);
+    EXPECT_EQ(mcf.l2.latency, 27u);
+    EXPECT_EQ(mcf.memAccessCycles, 120u);
+
+    // crafty column: the wide deep-pipelined fast-clock core.
+    const auto &crafty = coreConfigByName("crafty");
+    EXPECT_EQ(crafty.width, 8u);
+    EXPECT_EQ(crafty.frontEndDepth, 12u);
+    EXPECT_EQ(crafty.clockPeriodPs, 190u);
+    EXPECT_EQ(crafty.wakeupLatency, 3u);
+    EXPECT_EQ(crafty.l1d.blockBytes, 8u);
+    EXPECT_EQ(crafty.l1d.sets, 16384u);
+
+    // parser column: 512B L2 blocks, 32 sets.
+    const auto &parser = coreConfigByName("parser");
+    EXPECT_EQ(parser.l2.blockBytes, 512u);
+    EXPECT_EQ(parser.l2.sets, 32u);
+    EXPECT_EQ(parser.lsqSize, 256u);
+}
+
+TEST(Palette, AllConfigsValidate)
+{
+    for (const auto &c : appendixAPalette()) {
+        c.validate(); // fatal() on failure
+        EXPECT_GT(c.peakIps(), 0.0);
+        EXPECT_GT(c.frequencyGHz(), 1.0) << c.name;
+        EXPECT_LT(c.frequencyGHz(), 6.0) << c.name;
+    }
+}
+
+TEST(Palette, PeakIpsOrdersByWidthOverPeriod)
+{
+    // crafty (8 @ 190ps) has the highest peak rate; mcf (3 @ 450ps)
+    // the lowest — the saturated-lagger condition of Section 4.1.4.
+    const auto &p = appendixAPalette();
+    double max_peak = 0.0;
+    double min_peak = 1e9;
+    std::string max_name;
+    std::string min_name;
+    for (const auto &c : p) {
+        if (c.peakIps() > max_peak) {
+            max_peak = c.peakIps();
+            max_name = c.name;
+        }
+        if (c.peakIps() < min_peak) {
+            min_peak = c.peakIps();
+            min_name = c.name;
+        }
+    }
+    EXPECT_EQ(max_name, "crafty");
+    EXPECT_EQ(min_name, "mcf");
+}
+
+TEST(Palette, UnknownCoreTypeIsFatal)
+{
+    EXPECT_EXIT(coreConfigByName("eon"),
+                ::testing::ExitedWithCode(1), "unknown core type");
+}
+
+TEST(CoreConfig, ValidationCatchesBadShapes)
+{
+    CoreConfig c;
+    c.width = 0;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "width");
+    c = CoreConfig{};
+    c.iqSize = c.robSize + 1;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "issue queue");
+    c = CoreConfig{};
+    c.clockPeriodPs = 0;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "clock");
+}
+
+TEST(CoreConfig, BandwidthGapsScaleWithBlockAndClock)
+{
+    CoreConfig c;
+    c.clockPeriodPs = 250;
+    c.memBandwidthBytesPerNs = 16.0;
+    c.l2.blockBytes = 64; // 4ns per fill = 16 cycles at 250ps
+    EXPECT_EQ(c.loadFillGapCycles(), 16u);
+    c.l2.blockBytes = 128;
+    EXPECT_EQ(c.loadFillGapCycles(), 32u);
+    // A word drain is 0.5ns = 2 cycles.
+    EXPECT_EQ(c.storeDrainGapCycles(), 2u);
+}
+
+} // namespace
+} // namespace contest
