@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_contest_aware.dir/abl_contest_aware.cc.o"
+  "CMakeFiles/abl_contest_aware.dir/abl_contest_aware.cc.o.d"
+  "abl_contest_aware"
+  "abl_contest_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_contest_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

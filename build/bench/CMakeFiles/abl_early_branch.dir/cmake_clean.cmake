@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_early_branch.dir/abl_early_branch.cc.o"
+  "CMakeFiles/abl_early_branch.dir/abl_early_branch.cc.o.d"
+  "abl_early_branch"
+  "abl_early_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_early_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

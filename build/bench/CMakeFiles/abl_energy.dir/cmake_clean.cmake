@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_energy.dir/abl_energy.cc.o"
+  "CMakeFiles/abl_energy.dir/abl_energy.cc.o.d"
+  "abl_energy"
+  "abl_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_icache.dir/abl_icache.cc.o"
+  "CMakeFiles/abl_icache.dir/abl_icache.cc.o.d"
+  "abl_icache"
+  "abl_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_injection_style.dir/abl_injection_style.cc.o"
+  "CMakeFiles/abl_injection_style.dir/abl_injection_style.cc.o.d"
+  "abl_injection_style"
+  "abl_injection_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_injection_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_injection_style.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_nway.dir/abl_nway.cc.o"
+  "CMakeFiles/abl_nway.dir/abl_nway.cc.o.d"
+  "abl_nway"
+  "abl_nway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

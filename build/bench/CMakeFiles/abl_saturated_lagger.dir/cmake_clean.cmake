@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_saturated_lagger.dir/abl_saturated_lagger.cc.o"
+  "CMakeFiles/abl_saturated_lagger.dir/abl_saturated_lagger.cc.o.d"
+  "abl_saturated_lagger"
+  "abl_saturated_lagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_saturated_lagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_saturated_lagger.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_store_queue.dir/abl_store_queue.cc.o"
+  "CMakeFiles/abl_store_queue.dir/abl_store_queue.cc.o.d"
+  "abl_store_queue"
+  "abl_store_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_store_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_migration.dir/cmp_migration.cc.o"
+  "CMakeFiles/cmp_migration.dir/cmp_migration.cc.o.d"
+  "cmp_migration"
+  "cmp_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

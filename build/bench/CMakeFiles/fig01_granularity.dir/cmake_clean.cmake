@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_granularity.dir/fig01_granularity.cc.o"
+  "CMakeFiles/fig01_granularity.dir/fig01_granularity.cc.o.d"
+  "fig01_granularity"
+  "fig01_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

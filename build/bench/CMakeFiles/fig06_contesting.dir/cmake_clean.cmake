@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_contesting.dir/fig06_contesting.cc.o"
+  "CMakeFiles/fig06_contesting.dir/fig06_contesting.cc.o.d"
+  "fig06_contesting"
+  "fig06_contesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_contesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

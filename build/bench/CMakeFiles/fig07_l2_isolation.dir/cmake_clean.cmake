@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_l2_isolation.dir/fig07_l2_isolation.cc.o"
+  "CMakeFiles/fig07_l2_isolation.dir/fig07_l2_isolation.cc.o.d"
+  "fig07_l2_isolation"
+  "fig07_l2_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_l2_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

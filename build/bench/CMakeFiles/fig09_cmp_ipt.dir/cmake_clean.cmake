@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cmp_ipt.dir/fig09_cmp_ipt.cc.o"
+  "CMakeFiles/fig09_cmp_ipt.dir/fig09_cmp_ipt.cc.o.d"
+  "fig09_cmp_ipt"
+  "fig09_cmp_ipt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cmp_ipt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

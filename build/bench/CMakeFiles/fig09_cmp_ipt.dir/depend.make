@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_cmp_ipt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_het_a.dir/fig10_het_a.cc.o"
+  "CMakeFiles/fig10_het_a.dir/fig10_het_a.cc.o.d"
+  "fig10_het_a"
+  "fig10_het_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_het_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_het_b.dir/fig11_het_b.cc.o"
+  "CMakeFiles/fig11_het_b.dir/fig11_het_b.cc.o.d"
+  "fig11_het_b"
+  "fig11_het_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_het_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

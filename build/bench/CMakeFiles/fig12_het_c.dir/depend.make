@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_het_c.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_more_core_types.dir/fig13_more_core_types.cc.o"
+  "CMakeFiles/fig13_more_core_types.dir/fig13_more_core_types.cc.o.d"
+  "fig13_more_core_types"
+  "fig13_more_core_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_more_core_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_contention.dir/sched_contention.cc.o"
+  "CMakeFiles/sched_contention.dir/sched_contention.cc.o.d"
+  "sched_contention"
+  "sched_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cmp_designs.dir/table1_cmp_designs.cc.o"
+  "CMakeFiles/table1_cmp_designs.dir/table1_cmp_designs.cc.o.d"
+  "table1_cmp_designs"
+  "table1_cmp_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cmp_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contesting_demo.dir/contesting_demo.cpp.o"
+  "CMakeFiles/contesting_demo.dir/contesting_demo.cpp.o.d"
+  "contesting_demo"
+  "contesting_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contesting_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

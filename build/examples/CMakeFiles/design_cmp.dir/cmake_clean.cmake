@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_cmp.dir/design_cmp.cpp.o"
+  "CMakeFiles/design_cmp.dir/design_cmp.cpp.o.d"
+  "design_cmp"
+  "design_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

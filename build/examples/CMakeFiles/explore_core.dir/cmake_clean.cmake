@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_core.dir/explore_core.cpp.o"
+  "CMakeFiles/explore_core.dir/explore_core.cpp.o.d"
+  "explore_core"
+  "explore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

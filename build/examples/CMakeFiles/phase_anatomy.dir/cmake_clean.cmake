@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_anatomy.dir/phase_anatomy.cpp.o"
+  "CMakeFiles/phase_anatomy.dir/phase_anatomy.cpp.o.d"
+  "phase_anatomy"
+  "phase_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_bpred.dir/bpred.cc.o"
+  "CMakeFiles/contest_bpred.dir/bpred.cc.o.d"
+  "libcontest_bpred.a"
+  "libcontest_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_common.dir/env.cc.o"
+  "CMakeFiles/contest_common.dir/env.cc.o.d"
+  "CMakeFiles/contest_common.dir/log.cc.o"
+  "CMakeFiles/contest_common.dir/log.cc.o.d"
+  "CMakeFiles/contest_common.dir/stats.cc.o"
+  "CMakeFiles/contest_common.dir/stats.cc.o.d"
+  "CMakeFiles/contest_common.dir/table.cc.o"
+  "CMakeFiles/contest_common.dir/table.cc.o.d"
+  "libcontest_common.a"
+  "libcontest_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_contest.dir/exception.cc.o"
+  "CMakeFiles/contest_contest.dir/exception.cc.o.d"
+  "CMakeFiles/contest_contest.dir/system.cc.o"
+  "CMakeFiles/contest_contest.dir/system.cc.o.d"
+  "CMakeFiles/contest_contest.dir/unit.cc.o"
+  "CMakeFiles/contest_contest.dir/unit.cc.o.d"
+  "libcontest_contest.a"
+  "libcontest_contest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_contest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_core_model.dir/config.cc.o"
+  "CMakeFiles/contest_core_model.dir/config.cc.o.d"
+  "CMakeFiles/contest_core_model.dir/ooo_core.cc.o"
+  "CMakeFiles/contest_core_model.dir/ooo_core.cc.o.d"
+  "CMakeFiles/contest_core_model.dir/palette.cc.o"
+  "CMakeFiles/contest_core_model.dir/palette.cc.o.d"
+  "libcontest_core_model.a"
+  "libcontest_core_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_core_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

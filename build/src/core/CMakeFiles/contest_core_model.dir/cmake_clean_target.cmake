@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcontest_core_model.a"
+)

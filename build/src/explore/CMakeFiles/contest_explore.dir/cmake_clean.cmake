@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_explore.dir/annealer.cc.o"
+  "CMakeFiles/contest_explore.dir/annealer.cc.o.d"
+  "CMakeFiles/contest_explore.dir/cmp_design.cc.o"
+  "CMakeFiles/contest_explore.dir/cmp_design.cc.o.d"
+  "CMakeFiles/contest_explore.dir/merit.cc.o"
+  "CMakeFiles/contest_explore.dir/merit.cc.o.d"
+  "libcontest_explore.a"
+  "libcontest_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

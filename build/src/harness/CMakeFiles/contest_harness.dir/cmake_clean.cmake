@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_harness.dir/experiment.cc.o"
+  "CMakeFiles/contest_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/contest_harness.dir/migration.cc.o"
+  "CMakeFiles/contest_harness.dir/migration.cc.o.d"
+  "CMakeFiles/contest_harness.dir/region_log.cc.o"
+  "CMakeFiles/contest_harness.dir/region_log.cc.o.d"
+  "CMakeFiles/contest_harness.dir/runner.cc.o"
+  "CMakeFiles/contest_harness.dir/runner.cc.o.d"
+  "libcontest_harness.a"
+  "libcontest_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_mem.dir/cache.cc.o"
+  "CMakeFiles/contest_mem.dir/cache.cc.o.d"
+  "CMakeFiles/contest_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/contest_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/contest_mem.dir/sync_store_queue.cc.o"
+  "CMakeFiles/contest_mem.dir/sync_store_queue.cc.o.d"
+  "libcontest_mem.a"
+  "libcontest_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_power.dir/energy.cc.o"
+  "CMakeFiles/contest_power.dir/energy.cc.o.d"
+  "libcontest_power.a"
+  "libcontest_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_sched.dir/scheduler.cc.o"
+  "CMakeFiles/contest_sched.dir/scheduler.cc.o.d"
+  "libcontest_sched.a"
+  "libcontest_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

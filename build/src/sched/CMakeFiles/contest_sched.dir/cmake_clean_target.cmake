@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcontest_sched.a"
+)

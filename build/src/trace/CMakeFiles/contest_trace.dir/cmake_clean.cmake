@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_trace.dir/generator.cc.o"
+  "CMakeFiles/contest_trace.dir/generator.cc.o.d"
+  "CMakeFiles/contest_trace.dir/phase.cc.o"
+  "CMakeFiles/contest_trace.dir/phase.cc.o.d"
+  "CMakeFiles/contest_trace.dir/profile.cc.o"
+  "CMakeFiles/contest_trace.dir/profile.cc.o.d"
+  "CMakeFiles/contest_trace.dir/trace.cc.o"
+  "CMakeFiles/contest_trace.dir/trace.cc.o.d"
+  "CMakeFiles/contest_trace.dir/trace_io.cc.o"
+  "CMakeFiles/contest_trace.dir/trace_io.cc.o.d"
+  "libcontest_trace.a"
+  "libcontest_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contest.dir/test_contest.cc.o"
+  "CMakeFiles/test_contest.dir/test_contest.cc.o.d"
+  "test_contest"
+  "test_contest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

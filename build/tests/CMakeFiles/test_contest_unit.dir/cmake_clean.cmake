@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contest_unit.dir/test_contest_unit.cc.o"
+  "CMakeFiles/test_contest_unit.dir/test_contest_unit.cc.o.d"
+  "test_contest_unit"
+  "test_contest_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contest_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_migration.cc" "tests/CMakeFiles/test_migration.dir/test_migration.cc.o" "gcc" "tests/CMakeFiles/test_migration.dir/test_migration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/contest_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/contest_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/contest_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/contest/CMakeFiles/contest_contest.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/contest_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/contest_core_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/contest_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/contest_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/contest_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/contest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_palette.dir/test_palette.cc.o"
+  "CMakeFiles/test_palette.dir/test_palette.cc.o.d"
+  "test_palette"
+  "test_palette.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_palette.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

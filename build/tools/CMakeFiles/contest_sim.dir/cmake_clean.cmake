@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contest_sim.dir/contest_sim.cc.o"
+  "CMakeFiles/contest_sim.dir/contest_sim.cc.o.d"
+  "contest_sim"
+  "contest_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contest_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
