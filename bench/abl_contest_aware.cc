@@ -67,6 +67,10 @@ runAblation()
         AnnealConfig ac;
         ac.steps = steps;
         ac.seed = 13;
+        // Speculative neighbor batches sized to the harness pool
+        // (capped: deep batches waste evaluations when the walk
+        // accepts often).
+        ac.batch = std::min(4u, defaultJobs());
         CoreConfig start = own;
         start.name = bench + "-partner";
         auto annealed = annealCoreConfig(objective, start, ac);

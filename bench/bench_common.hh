@@ -11,16 +11,104 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 #include "explore/cmp_design.hh"
 #include "harness/experiment.hh"
 
 namespace contest
 {
+
+/**
+ * Wall-clock accounting of one runParallel() sweep. taskSec sums the
+ * per-task wall times, i.e. the serial-equivalent cost, so
+ * speedup() is the measured parallel speedup of the sweep.
+ */
+struct ParallelStats
+{
+    unsigned jobs = 1;
+    std::size_t tasks = 0;
+    double wallSec = 0.0;
+    double taskSec = 0.0;
+
+    double
+    speedup() const
+    {
+        return wallSec > 0.0 ? taskSec / wallSec : 1.0;
+    }
+};
+
+/**
+ * Map fn over [0, n) on the process-wide thread pool and return the
+ * results in index order. Each task writes only its own slot, so the
+ * output is bit-identical to a serial loop for any CONTEST_JOBS.
+ */
+template <typename Fn>
+auto
+runParallel(std::size_t n, Fn fn, ParallelStats *stats = nullptr)
+    -> std::vector<decltype(fn(std::size_t{0}))>
+{
+    using Clock = std::chrono::steady_clock;
+    using R = decltype(fn(std::size_t{0}));
+    std::vector<R> out(n);
+    std::vector<double> task_sec(n, 0.0);
+    auto wall_start = Clock::now();
+    ThreadPool::global().parallelFor(n, [&](std::size_t i) {
+        auto t0 = Clock::now();
+        out[i] = fn(i);
+        task_sec[i] =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+    });
+    if (stats != nullptr) {
+        stats->jobs = ThreadPool::global().jobs();
+        stats->tasks = n;
+        stats->wallSec = std::chrono::duration<double>(Clock::now()
+                                                       - wall_start)
+                             .count();
+        stats->taskSec = 0.0;
+        for (double s : task_sec)
+            stats->taskSec += s;
+    }
+    return out;
+}
+
+/** Print a sweep's measured wall-clock speedup under the figure. */
+inline void
+printParallelStats(const ParallelStats &s)
+{
+    std::printf("parallel harness: %zu tasks on %u jobs, wall "
+                "%.2f s, serial-equivalent %.2f s (%.2fx "
+                "wall-clock speedup)\n\n",
+                s.tasks, s.jobs, s.wallSec, s.taskSec, s.speedup());
+    std::fflush(stdout);
+}
+
+/**
+ * Warm every (benchmark, core type) cell of the runner's IPT matrix
+ * through runParallel() so the sweep's wall-clock speedup can be
+ * reported; the subsequent matrix() call assembles from cache.
+ */
+inline ParallelStats
+warmMatrix(Runner &runner)
+{
+    const auto benches = profileNames();
+    const auto &palette = appendixAPalette();
+    ParallelStats ps;
+    runParallel(
+        benches.size() * palette.size(),
+        [&](std::size_t i) {
+            runner.single(benches[i / palette.size()],
+                          palette[i % palette.size()].name);
+            return 0;
+        },
+        &ps);
+    return ps;
+}
 
 /**
  * Figure 10/11/12 style experiment: each benchmark on the HOM core,
@@ -130,7 +218,9 @@ printHetExperiment(const HetExperiment &exp, const IptMatrix &m,
 /**
  * Define the single-iteration google-benchmark entry point. The
  * experiment body runs once inside the timing loop, so the reported
- * wall time is the cost of regenerating the figure.
+ * wall time is the cost of regenerating the figure. `--jobs N`
+ * (equivalent to CONTEST_JOBS=N) sizes the parallel harness and is
+ * consumed before google-benchmark sees the arguments.
  */
 #define CONTEST_BENCH_MAIN(fn)                                       \
     static void BM_Experiment(benchmark::State &state)              \
@@ -143,6 +233,7 @@ printHetExperiment(const HetExperiment &exp, const IptMatrix &m,
         ->Unit(benchmark::kSecond);                                 \
     int main(int argc, char **argv)                                 \
     {                                                               \
+        contest::applyJobsFlag(&argc, argv);                        \
         benchmark::Initialize(&argc, argv);                         \
         benchmark::RunSpecifiedBenchmarks();                        \
         benchmark::Shutdown();                                      \

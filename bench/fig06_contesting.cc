@@ -25,28 +25,46 @@ runFig06()
     t.header({"bench", "own core", "contest", "pair", "speedup",
               "lead A/B", "lead changes"});
 
+    struct Row
+    {
+        double own = 0.0;
+        Runner::PairChoice choice;
+    };
+    const auto benches = profileNames();
+    unsigned top = benchFastMode() ? 2 : 5;
+    ParallelStats ps;
+    auto rows = runParallel(
+        benches.size(),
+        [&](std::size_t i) {
+            Row row;
+            row.own =
+                runner.single(benches[i], benches[i]).result.ipt;
+            row.choice = runner.bestContestingPair(benches[i], {},
+                                                   top);
+            return row;
+        },
+        &ps);
+
     std::vector<double> speedups;
     double max_speedup = -1.0;
     std::string max_bench;
-    unsigned top = benchFastMode() ? 2 : 5;
-    for (const auto &bench : profileNames()) {
-        double own = runner.single(bench, bench).result.ipt;
-        auto choice = runner.bestContestingPair(bench, {}, top);
-        double sp = speedup(choice.result.ipt, own);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const Row &row = rows[i];
+        double sp = speedup(row.choice.result.ipt, row.own);
         speedups.push_back(sp);
         if (sp > max_speedup) {
             max_speedup = sp;
-            max_bench = bench;
+            max_bench = benches[i];
         }
         char lead[32];
         std::snprintf(lead, sizeof(lead), "%.2f/%.2f",
-                      choice.result.leadFraction[0],
-                      choice.result.leadFraction[1]);
-        t.row({bench, TextTable::num(own),
-               TextTable::num(choice.result.ipt),
-               choice.coreA + "+" + choice.coreB,
+                      row.choice.result.leadFraction[0],
+                      row.choice.result.leadFraction[1]);
+        t.row({benches[i], TextTable::num(row.own),
+               TextTable::num(row.choice.result.ipt),
+               row.choice.coreA + "+" + row.choice.coreB,
                TextTable::pct(sp), lead,
-               std::to_string(choice.result.leadChanges)});
+               std::to_string(row.choice.result.leadChanges)});
     }
     t.print();
 
@@ -57,6 +75,7 @@ runFig06()
         TextTable::pct(arithmeticMean(speedups)).c_str(),
         TextTable::pct(max_speedup).c_str(), max_bench.c_str());
     std::fflush(stdout);
+    printParallelStats(ps);
 }
 
 } // namespace

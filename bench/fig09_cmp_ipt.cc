@@ -17,6 +17,7 @@ runFig09()
 {
     printBenchPreamble("Figure 9: per-benchmark IPT per CMP design");
     Runner &runner = benchRunner();
+    ParallelStats ps = warmMatrix(runner);
     const auto &m = runner.matrix();
 
     auto het_a = designCmp(m, 2, Merit::Avg, "HET-A");
@@ -51,6 +52,7 @@ runFig09()
         "individual benchmarks (Figure 9); HET-ALL upper-bounds "
         "every row.\n\n");
     std::fflush(stdout);
+    printParallelStats(ps);
 }
 
 } // namespace

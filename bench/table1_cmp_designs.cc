@@ -18,6 +18,7 @@ runTable1()
 {
     printBenchPreamble("Table 1: CMP designs");
     Runner &runner = benchRunner();
+    ParallelStats ps = warmMatrix(runner);
     const auto &m = runner.matrix();
 
     auto het_a = designCmp(m, 2, Merit::Avg, "HET-A");
@@ -72,6 +73,7 @@ runTable1()
                                designHarmonicIpt(m, het4)))
             .c_str());
     std::fflush(stdout);
+    printParallelStats(ps);
 }
 
 } // namespace

@@ -1,6 +1,9 @@
 #include "common/env.hh"
 
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
 
 namespace contest
 {
@@ -40,6 +43,39 @@ std::uint64_t
 benchSeed()
 {
     return envU64("CONTEST_SEED", 2009);
+}
+
+unsigned
+defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    std::uint64_t jobs = envU64("CONTEST_JOBS", hw > 0 ? hw : 1);
+    if (jobs < 1)
+        jobs = 1;
+    if (jobs > 1024)
+        jobs = 1024;
+    return static_cast<unsigned>(jobs);
+}
+
+void
+applyJobsFlag(int *argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *arg = argv[i];
+        std::string value;
+        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < *argc) {
+            value = argv[++i];
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            value = arg + 7;
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        setenv("CONTEST_JOBS", value.c_str(), 1);
+    }
+    argv[out] = nullptr;
+    *argc = out;
 }
 
 } // namespace contest

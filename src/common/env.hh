@@ -8,6 +8,10 @@
  *                     quickly (used by CI-style runs).
  * CONTEST_SEED      — base seed for workload generation (default 2009,
  *                     the paper's publication year).
+ * CONTEST_JOBS      — concurrency of the parallel experiment harness
+ *                     (default: the hardware concurrency). 1 runs
+ *                     everything serially. Results are bit-identical
+ *                     for every value.
  */
 
 #ifndef CONTEST_COMMON_ENV_HH
@@ -33,6 +37,20 @@ bool benchFastMode();
 
 /** Base seed for deterministic workload generation. */
 std::uint64_t benchSeed();
+
+/**
+ * Concurrency for parallel experiment sweeps: CONTEST_JOBS, falling
+ * back to the hardware concurrency. Always at least 1.
+ */
+unsigned defaultJobs();
+
+/**
+ * Strip a leading-anywhere `--jobs N` / `--jobs=N` from argv (before
+ * any other flag parsing) and export it as CONTEST_JOBS so every
+ * layer — including the process-wide thread pool — sees the same
+ * setting. Call before the pool's first use.
+ */
+void applyJobsFlag(int *argc, char **argv);
 
 } // namespace contest
 

@@ -110,11 +110,17 @@ class ResultFifo
         return n;
     }
 
-    /** Forget all state (core parked). */
+    /**
+     * Drop all buffered entries (core parked), advancing the pop
+     * counter past them. The source keeps retiring in order, so the
+     * next push carries seq = headSeq_ + old size(); leaving the pop
+     * counter at the old head would make that push look out of order
+     * and panic. Equivalent to seeking to the first un-pushed seq.
+     */
     void
     clear()
     {
-        arrivals.clear();
+        seekTo(headSeq_ + arrivals.size());
     }
 
     /**

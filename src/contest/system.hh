@@ -93,6 +93,9 @@ class ContestSystem
     /** Access a core (valid after construction). */
     const OooCore &core(CoreId id) const { return *cores.at(id); }
 
+    /** Access a core's contesting unit (valid after construction). */
+    CoreContestUnit &unit(CoreId id) { return *units.at(id); }
+
     /** @name Services used by the per-core units */
     /** @{ */
     /** Route a retired result from @p from to every other core. */

@@ -63,6 +63,7 @@ CoreContestUnit::externalBranchResolve(InstSeq seq, TimePs now)
         return std::nullopt;
 
     std::optional<TimePs> best;
+    std::optional<CoreId> best_src;
     for (std::size_t c = 0; c < fifos.size(); ++c) {
         if (c == self)
             continue;
@@ -70,32 +71,42 @@ CoreContestUnit::externalBranchResolve(InstSeq seq, TimePs now)
         stats_.discarded += fifo.discardBelow(seq);
         if (fifo.headSeq() == seq) {
             auto arrival = fifo.headArrival();
-            if (arrival && (!best || *arrival < *best))
+            if (arrival && (!best || *arrival < *best)) {
                 best = arrival;
+                best_src = static_cast<CoreId>(c);
+            }
         }
     }
+    // Remember which source won: several FIFOs can hold the same
+    // head seq, and the core will confirm against the arrival time
+    // we just returned. Popping any other FIFO on confirm would pair
+    // a result that arrives later (or not at all).
+    earlyResolveSrc = best_src;
+    earlyResolveSeq = seq;
     return best;
 }
 
 void
 CoreContestUnit::confirmEarlyResolve(InstSeq seq, TimePs now)
 {
-    (void)now;
     // Pop the retired branch instance that resolved us early; the
     // pop counter now equals the restored fetch counter, so the
-    // next fetch pairs in Scenario #2.
-    for (std::size_t c = 0; c < fifos.size(); ++c) {
-        if (c == self)
-            continue;
-        ResultFifo &fifo = fifos[c];
-        if (fifo.headSeq() == seq && !fifo.empty()) {
-            fifo.pop();
-            ++stats_.paired;
-            return;
-        }
-    }
-    panic("confirmEarlyResolve(%llu): no FIFO holds the branch",
-          static_cast<unsigned long long>(seq));
+    // next fetch pairs in Scenario #2. Only the FIFO whose arrival
+    // won externalBranchResolve may be popped — another source can
+    // hold the same head seq with a result still on the bus.
+    panic_if(!earlyResolveSrc || earlyResolveSeq != seq,
+             "confirmEarlyResolve(%llu): no armed resolution "
+             "(armed seq %llu)",
+             static_cast<unsigned long long>(seq),
+             static_cast<unsigned long long>(earlyResolveSeq));
+    ResultFifo &fifo = fifos[*earlyResolveSrc];
+    panic_if(fifo.headSeq() != seq || !fifo.headArrived(now),
+             "confirmEarlyResolve(%llu): source %u no longer holds "
+             "the arrived branch",
+             static_cast<unsigned long long>(seq), *earlyResolveSrc);
+    fifo.pop();
+    ++stats_.paired;
+    earlyResolveSrc.reset();
 }
 
 void
@@ -174,6 +185,7 @@ CoreContestUnit::receiveResult(CoreId src, InstSeq seq,
 void
 CoreContestUnit::reforkTo(InstSeq seq)
 {
+    earlyResolveSrc.reset();
     for (auto &fifo : fifos)
         fifo.seekTo(seq);
 }
@@ -185,6 +197,7 @@ CoreContestUnit::park(TimePs now)
         return;
     stats_.saturated = true;
     stats_.parkedAt = now;
+    earlyResolveSrc.reset();
     for (auto &fifo : fifos)
         fifo.clear();
     sys->corePark(self, now);

@@ -17,6 +17,7 @@
 #define CONTEST_CONTEST_UNIT_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "contest/config.hh"
@@ -79,6 +80,9 @@ class CoreContestUnit : public ContestHooks
     /** Maximum pop counter over all incoming FIFOs. */
     InstSeq maxPopCounter() const;
 
+    /** Pop counter of the incoming FIFO fed by core @p src. */
+    InstSeq popCounter(CoreId src) const { return fifos[src].headSeq(); }
+
     /** Late-bind the core this unit serves (for its fetch counter). */
     void setCore(const OooCore *core_model) { core = core_model; }
 
@@ -96,6 +100,14 @@ class CoreContestUnit : public ContestHooks
     /** Incoming FIFOs indexed by source core id (self unused). */
     std::vector<ResultFifo> fifos;
     UnitStats stats_;
+    /** Source core whose result won the last externalBranchResolve,
+     *  armed until the core confirms (or the unit parks/reforks).
+     *  confirmEarlyResolve must pop exactly this FIFO: another
+     *  source may hold the same head seq with a later (or still
+     *  in-flight) arrival, and popping it would credit a result the
+     *  core never saw. */
+    std::optional<CoreId> earlyResolveSrc;
+    InstSeq earlyResolveSeq = 0;
 };
 
 } // namespace contest

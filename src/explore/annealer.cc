@@ -89,7 +89,8 @@ applyTechnologyModel(CoreConfig &config)
 AnnealResult
 annealCoreConfig(
     const std::function<double(const CoreConfig &)> &objective,
-    const CoreConfig &start, const AnnealConfig &anneal_config)
+    const CoreConfig &start, const AnnealConfig &anneal_config,
+    ThreadPool *pool)
 {
     fatal_if(!objective, "annealCoreConfig needs an objective");
 
@@ -163,27 +164,81 @@ annealCoreConfig(
     if (temperature <= 0.0)
         temperature = anneal_config.initialTemperature;
 
-    for (std::uint64_t step = 0; step < anneal_config.steps; ++step) {
-        CoreConfig candidate = mutate(current);
-        double score = objective(candidate);
-        ++result.evaluations;
-
-        bool accept = score >= current_score;
-        if (!accept && temperature > 0.0) {
-            double p =
-                std::exp((score - current_score) / temperature);
-            accept = rng.chance(p);
+    auto record_accept = [&](const CoreConfig &candidate,
+                             double score) {
+        current = candidate;
+        current_score = score;
+        ++result.accepted;
+        if (score > result.bestScore) {
+            result.bestScore = score;
+            result.best = candidate;
         }
-        if (accept) {
-            current = candidate;
-            current_score = score;
-            ++result.accepted;
-            if (score > result.bestScore) {
-                result.bestScore = score;
-                result.best = candidate;
+    };
+
+    if (anneal_config.batch <= 1) {
+        // Classic serial walk, kept bit-compatible with the
+        // pre-batching annealer: the acceptance draw happens only
+        // when the Metropolis test actually needs one.
+        for (std::uint64_t step = 0; step < anneal_config.steps;
+             ++step) {
+            CoreConfig candidate = mutate(current);
+            double score = objective(candidate);
+            ++result.evaluations;
+
+            bool accept = score >= current_score;
+            if (!accept && temperature > 0.0) {
+                double p =
+                    std::exp((score - current_score) / temperature);
+                accept = rng.chance(p);
+            }
+            if (accept)
+                record_accept(candidate, score);
+            temperature *= anneal_config.coolingFactor;
+        }
+        return result;
+    }
+
+    // Speculative batches: mutate a round of neighbors from the
+    // current point (consuming the rng serially, so the trajectory
+    // is independent of the job count), score them concurrently,
+    // then replay the Metropolis scan in generation order. The
+    // acceptance uniform is pre-drawn per candidate because the
+    // winning index is unknown until the scan.
+    ThreadPool &workers =
+        pool != nullptr ? *pool : ThreadPool::global();
+    std::uint64_t consumed = 0;
+    std::vector<CoreConfig> candidates;
+    std::vector<double> uniforms;
+    std::vector<double> scores;
+    while (consumed < anneal_config.steps) {
+        std::uint64_t round = std::min<std::uint64_t>(
+            anneal_config.batch, anneal_config.steps - consumed);
+        candidates.clear();
+        uniforms.clear();
+        for (std::uint64_t i = 0; i < round; ++i) {
+            candidates.push_back(mutate(current));
+            uniforms.push_back(rng.uniform());
+        }
+        scores.assign(round, 0.0);
+        workers.parallelFor(round, [&](std::size_t i) {
+            scores[i] = objective(candidates[i]);
+        });
+        result.evaluations += round;
+
+        for (std::uint64_t i = 0; i < round; ++i) {
+            ++consumed;
+            bool accept = scores[i] >= current_score;
+            if (!accept && temperature > 0.0) {
+                double p = std::exp((scores[i] - current_score)
+                                    / temperature);
+                accept = uniforms[i] < p;
+            }
+            temperature *= anneal_config.coolingFactor;
+            if (accept) {
+                record_accept(candidates[i], scores[i]);
+                break; // discard the round's later speculations
             }
         }
-        temperature *= anneal_config.coolingFactor;
     }
     return result;
 }

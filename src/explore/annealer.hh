@@ -20,6 +20,7 @@
 #include <functional>
 
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "core/config.hh"
 
 namespace contest
@@ -32,6 +33,17 @@ struct AnnealConfig
     double initialTemperature = 0.2; //!< relative objective scale
     double coolingFactor = 0.97;     //!< temperature decay per step
     std::uint64_t seed = 1;          //!< move-generation seed
+    /**
+     * Neighbors evaluated concurrently per round (speculative
+     * annealing): each round mutates @c batch candidates from the
+     * current point, scores them on the thread pool, and accepts the
+     * first (in generation order) that passes the Metropolis test —
+     * later candidates of the round are discarded. 1 reproduces the
+     * classic serial walk. For a fixed (seed, batch) the trajectory
+     * is bit-identical for every job count; different batch sizes
+     * walk different (equally valid) trajectories.
+     */
+    std::uint64_t batch = 1;
 };
 
 /** Result of one exploration. */
@@ -55,14 +67,18 @@ void applyTechnologyModel(CoreConfig &config);
  * Simulated-annealing exploration of the core design space.
  *
  * @param objective scores a candidate (higher is better); typically
- *        the IPT of a workload via runSingle()
+ *        the IPT of a workload via runSingle(). With batch > 1 it
+ *        must be safe to call concurrently.
  * @param start initial design point
  * @param anneal_config schedule parameters
+ * @param pool thread pool for batched neighbor evaluation (default:
+ *        the process-wide pool); unused when batch <= 1
  */
 AnnealResult
 annealCoreConfig(const std::function<double(const CoreConfig &)> &objective,
                  const CoreConfig &start,
-                 const AnnealConfig &anneal_config);
+                 const AnnealConfig &anneal_config,
+                 ThreadPool *pool = nullptr);
 
 } // namespace contest
 

@@ -16,10 +16,11 @@ void
 printBenchPreamble(const std::string &experiment)
 {
     std::printf(
-        "# %s | trace length %llu, seed %llu%s\n",
+        "# %s | trace length %llu, seed %llu, jobs %u%s\n",
         experiment.c_str(),
         static_cast<unsigned long long>(benchTraceLen()),
         static_cast<unsigned long long>(benchSeed()),
+        defaultJobs(),
         benchFastMode() ? ", fast mode" : "");
     std::fflush(stdout);
 }

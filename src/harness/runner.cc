@@ -7,8 +7,10 @@
 namespace contest
 {
 
-Runner::Runner(std::uint64_t trace_len, std::uint64_t seed)
-    : len(trace_len), seed_(seed)
+Runner::Runner(std::uint64_t trace_len, std::uint64_t seed,
+               ThreadPool *pool)
+    : len(trace_len), seed_(seed),
+      pool_(pool != nullptr ? pool : &ThreadPool::global())
 {
     fatal_if(trace_len < RegionLog::regionInsts,
              "Runner: trace length %llu too short",
@@ -18,49 +20,59 @@ Runner::Runner(std::uint64_t trace_len, std::uint64_t seed)
 TracePtr
 Runner::trace(const std::string &bench)
 {
-    auto it = traces.find(bench);
-    if (it != traces.end())
-        return it->second;
-    TracePtr t = makeBenchmarkTrace(bench, seed_, len);
-    traces.emplace(bench, t);
-    return t;
+    TraceEntry *entry;
+    {
+        std::lock_guard<std::mutex> lock(cacheMu);
+        auto &slot = traces[bench];
+        if (!slot)
+            slot = std::make_unique<TraceEntry>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&] {
+        entry->value = makeBenchmarkTrace(bench, seed_, len);
+    });
+    return entry->value;
 }
 
 const LoggedRun &
 Runner::single(const std::string &bench, const std::string &core)
 {
-    auto key = std::make_pair(bench, core);
-    auto it = singles.find(key);
-    if (it != singles.end())
-        return it->second;
-
-    TracePtr t = trace(bench);
-    LoggedRun run;
-    run.regions = std::make_shared<RegionLog>();
-
-    OooCore sim(coreConfigByName(core), t);
-    RegionLog *log = run.regions.get();
-    sim.setRetireCallback(
-        [log](InstSeq seq, TimePs now) { log->onRetire(seq, now); });
-
-    TimePs now = 0;
-    while (!sim.done()) {
-        sim.tick(now);
-        now += sim.periodPs();
+    SingleEntry *entry;
+    {
+        std::lock_guard<std::mutex> lock(cacheMu);
+        auto &slot = singles[std::make_pair(bench, core)];
+        if (!slot)
+            slot = std::make_unique<SingleEntry>();
+        entry = slot.get();
     }
-    run.result.timePs = now;
-    run.result.ipt = instPerNs(t->size(), now);
-    run.result.stats = sim.stats();
+    std::call_once(entry->once, [&] {
+        TracePtr t = trace(bench);
+        LoggedRun &run = entry->run;
+        run.regions = std::make_shared<RegionLog>();
 
-    ActivityCounts activity;
-    activity.l1Accesses = sim.memory().l1().accesses();
-    activity.l1Misses = sim.memory().l1().misses();
-    activity.l2Accesses = sim.memory().l2().accesses();
-    activity.l2Misses = sim.memory().l2().misses();
-    run.result.energy = estimateEnergy(coreConfigByName(core),
-                                       sim.stats(), activity, now);
+        OooCore sim(coreConfigByName(core), t);
+        RegionLog *log = run.regions.get();
+        sim.setRetireCallback(
+            [log](InstSeq seq, TimePs now) { log->onRetire(seq, now); });
 
-    return singles.emplace(key, std::move(run)).first->second;
+        TimePs now = 0;
+        while (!sim.done()) {
+            sim.tick(now);
+            now += sim.periodPs();
+        }
+        run.result.timePs = now;
+        run.result.ipt = instPerNs(t->size(), now);
+        run.result.stats = sim.stats();
+
+        ActivityCounts activity;
+        activity.l1Accesses = sim.memory().l1().accesses();
+        activity.l1Misses = sim.memory().l1().misses();
+        activity.l2Accesses = sim.memory().l2().accesses();
+        activity.l2Misses = sim.memory().l2().misses();
+        run.result.energy = estimateEnergy(coreConfigByName(core),
+                                           sim.stats(), activity, now);
+    });
+    return entry->run;
 }
 
 ContestResult
@@ -86,21 +98,30 @@ Runner::contestedPair(const std::string &bench,
 const IptMatrix &
 Runner::matrix()
 {
-    if (cachedMatrix)
-        return *cachedMatrix;
+    std::call_once(matrixOnce, [&] {
+        auto m = std::make_unique<IptMatrix>();
+        m->benchNames = profileNames();
+        for (const auto &core : appendixAPalette())
+            m->coreNames.push_back(core.name);
 
-    auto m = std::make_unique<IptMatrix>();
-    m->benchNames = profileNames();
-    for (const auto &core : appendixAPalette())
-        m->coreNames.push_back(core.name);
-    for (const auto &bench : m->benchNames) {
-        std::vector<double> row;
-        for (const auto &core : m->coreNames)
-            row.push_back(single(bench, core).result.ipt);
-        m->ipt.push_back(std::move(row));
-    }
-    m->validate();
-    cachedMatrix = std::move(m);
+        // Warm every (bench, core) cell concurrently; each run is
+        // self-contained, so the assembly below reads the same
+        // values a serial sweep would have produced.
+        const std::size_t nc = m->coreNames.size();
+        pool_->parallelFor(
+            m->benchNames.size() * nc, [&](std::size_t i) {
+                single(m->benchNames[i / nc], m->coreNames[i % nc]);
+            });
+
+        for (const auto &bench : m->benchNames) {
+            std::vector<double> row;
+            for (const auto &core : m->coreNames)
+                row.push_back(single(bench, core).result.ipt);
+            m->ipt.push_back(std::move(row));
+        }
+        m->validate();
+        cachedMatrix = std::move(m);
+    });
     return *cachedMatrix;
 }
 
@@ -112,6 +133,11 @@ Runner::bestContestingPair(const std::string &bench,
     fatal_if(simulate_top == 0, "bestContestingPair: nothing to try");
 
     const auto &palette = appendixAPalette();
+
+    // Warm the per-core single runs concurrently before ranking.
+    pool_->parallelFor(palette.size(), [&](std::size_t i) {
+        single(bench, palette[i].name);
+    });
 
     // Rank all pairs by the oracle fusion of their region logs at a
     // fine granularity (the Figure 1 estimate of fine-grain
@@ -141,20 +167,25 @@ Runner::bestContestingPair(const std::string &bench,
                   return x.fusedIpt > y.fusedIpt;
               });
 
+    // Contest the top candidates concurrently (each run builds its
+    // own ContestSystem), then pick the winner in ranked order so
+    // ties resolve exactly as the serial scan did.
+    std::size_t tried = std::min<std::size_t>(simulate_top,
+                                              ranked.size());
+    std::vector<ContestResult> results(tried);
+    pool_->parallelFor(tried, [&](std::size_t i) {
+        results[i] = contestedPair(bench, palette[ranked[i].a].name,
+                                   palette[ranked[i].b].name, config);
+    });
+
     PairChoice best;
     double best_ipt = -1.0;
-    unsigned tried = 0;
-    for (const auto &cand : ranked) {
-        if (tried >= simulate_top)
-            break;
-        ++tried;
-        ContestResult r = contestedPair(bench, palette[cand.a].name,
-                                        palette[cand.b].name, config);
-        if (r.ipt > best_ipt) {
-            best_ipt = r.ipt;
-            best.coreA = palette[cand.a].name;
-            best.coreB = palette[cand.b].name;
-            best.result = r;
+    for (std::size_t i = 0; i < tried; ++i) {
+        if (results[i].ipt > best_ipt) {
+            best_ipt = results[i].ipt;
+            best.coreA = palette[ranked[i].a].name;
+            best.coreB = palette[ranked[i].b].name;
+            best.result = results[i];
         }
     }
     panic_if(best_ipt < 0.0, "bestContestingPair tried no pairs");

@@ -11,10 +11,12 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "contest/system.hh"
 #include "core/palette.hh"
 #include "explore/merit.hh"
@@ -35,6 +37,14 @@ struct LoggedRun
  * Caching experiment runner. All bench binaries funnel their
  * simulations through a Runner so that a single-core (benchmark,
  * core type) result is simulated exactly once per process.
+ *
+ * The runner is safe to use from the thread pool: the memoization
+ * maps are guarded by a mutex, and each cache entry carries a
+ * per-key once-latch so two threads never simulate the same
+ * (benchmark, core) pair — the second requester blocks until the
+ * first finishes. Because every simulation is self-contained and
+ * writes only its own cache slot, results are bit-identical for any
+ * job count, including 1.
  */
 class Runner
 {
@@ -42,8 +52,11 @@ class Runner
     /**
      * @param trace_len instructions per benchmark trace
      * @param seed workload generation seed
+     * @param pool thread pool for parallel sweeps (default: the
+     *        process-wide CONTEST_JOBS-sized pool)
      */
-    Runner(std::uint64_t trace_len, std::uint64_t seed);
+    Runner(std::uint64_t trace_len, std::uint64_t seed,
+           ThreadPool *pool = nullptr);
 
     /** The (cached) trace of a benchmark. */
     TracePtr trace(const std::string &bench);
@@ -91,10 +104,29 @@ class Runner
     std::uint64_t workloadSeed() const { return seed_; }
 
   private:
+    /** Memo-map slot: the once-latch serializes the first (and only)
+     *  computation of the keyed value; later readers see it filled. */
+    struct TraceEntry
+    {
+        std::once_flag once;
+        TracePtr value;
+    };
+    struct SingleEntry
+    {
+        std::once_flag once;
+        LoggedRun run;
+    };
+
     std::uint64_t len;
     std::uint64_t seed_;
-    std::map<std::string, TracePtr> traces;
-    std::map<std::pair<std::string, std::string>, LoggedRun> singles;
+    ThreadPool *pool_;
+
+    /** Guards the maps' structure only; entries latch themselves. */
+    std::mutex cacheMu;
+    std::map<std::string, std::unique_ptr<TraceEntry>> traces;
+    std::map<std::pair<std::string, std::string>,
+             std::unique_ptr<SingleEntry>> singles;
+    std::once_flag matrixOnce;
     std::unique_ptr<IptMatrix> cachedMatrix;
 };
 

@@ -23,6 +23,13 @@ SyncStoreQueue::canAccept(CoreId core) const
 {
     panic_if(core >= performed.size(),
              "SyncStoreQueue: core %u out of range", core);
+    // The merge frontier is the minimum over *active* cores, so an
+    // inactive core's performed count can trail numMerged and the
+    // unsigned difference below would wrap to a huge value. Dropped
+    // cores never commit stores; querying one is a caller bug.
+    panic_if(!active[core],
+             "SyncStoreQueue: inactive core %u queried canAccept",
+             core);
     return performed[core] - numMerged < cap;
 }
 

@@ -1,13 +1,17 @@
 /**
  * @file
  * Unit tests for the contesting building blocks: result FIFOs with
- * pop-counter semantics and the exception rendezvous coordinator.
+ * pop-counter semantics, the per-core contesting unit's early
+ * branch resolution, and the exception rendezvous coordinator.
  */
 
 #include <gtest/gtest.h>
 
 #include "contest/exception.hh"
 #include "contest/result_fifo.hh"
+#include "contest/system.hh"
+#include "core/palette.hh"
+#include "trace/generator.hh"
 
 namespace contest
 {
@@ -71,7 +75,7 @@ TEST(ResultFifo, OverflowReportsFailure)
     EXPECT_TRUE(f.push(2, 3)); // retry after drain succeeds
 }
 
-TEST(ResultFifo, ClearKeepsPopCounter)
+TEST(ResultFifo, ClearAdvancesPopCounterPastBufferedEntries)
 {
     ResultFifo f(4);
     f.push(0, 1);
@@ -79,7 +83,59 @@ TEST(ResultFifo, ClearKeepsPopCounter)
     f.pop();
     f.clear();
     EXPECT_TRUE(f.empty());
-    EXPECT_EQ(f.headSeq(), 1u);
+    // The source has already retired through seq 1, so the next
+    // in-order push carries seq 2; clear() must leave the pop
+    // counter there, not at the stale head.
+    EXPECT_EQ(f.headSeq(), 2u);
+    EXPECT_TRUE(f.push(2, 3));
+    EXPECT_EQ(f.headSeq(), 2u);
+    EXPECT_EQ(f.size(), 1u);
+}
+
+/** Three-core system whose units can be driven by hand. */
+ContestSystem
+makeThreeCoreSystem(const ContestConfig &cfg)
+{
+    const auto &palette = appendixAPalette();
+    std::vector<CoreConfig> cores(palette.begin(),
+                                  palette.begin() + 3);
+    return ContestSystem(cores, makeBenchmarkTrace("gcc", 1, 64),
+                         cfg);
+}
+
+TEST(CoreContestUnit, ConfirmEarlyResolvePopsTheWinningSource)
+{
+    ContestConfig cfg;
+    cfg.earlyBranchResolve = true;
+    auto sys = makeThreeCoreSystem(cfg);
+    CoreContestUnit &u = sys.unit(2);
+
+    // Both sources retired branch seq 0, but over GRBs of very
+    // different latency: source 0's result is still on the bus at
+    // the resolve time, source 1's has arrived.
+    u.receiveResult(0, 0, 1000);
+    u.receiveResult(1, 0, 10);
+
+    auto arrival = u.externalBranchResolve(0, 50);
+    ASSERT_TRUE(arrival.has_value());
+    EXPECT_EQ(*arrival, 10u);
+
+    // Confirming must pop source 1's FIFO — the one whose arrival
+    // won — not whichever FIFO happens to hold the seq first.
+    u.confirmEarlyResolve(0, 50);
+    EXPECT_EQ(u.popCounter(1), 1u);
+    EXPECT_EQ(u.popCounter(0), 0u);
+    EXPECT_EQ(u.stats().paired, 1u);
+}
+
+TEST(CoreContestUnit, ConfirmWithoutResolvePanics)
+{
+    ContestConfig cfg;
+    cfg.earlyBranchResolve = true;
+    auto sys = makeThreeCoreSystem(cfg);
+    CoreContestUnit &u = sys.unit(2);
+    u.receiveResult(0, 0, 10);
+    EXPECT_DEATH(u.confirmEarlyResolve(0, 50), "no armed");
 }
 
 TEST(Exception, RendezvousWaitsForAllCores)

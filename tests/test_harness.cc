@@ -96,6 +96,40 @@ TEST(Runner, ContestedPairRuns)
     EXPECT_EQ(r.coreStats.size(), 2u);
 }
 
+TEST(Runner, MatrixIsIdenticalForAnyJobCount)
+{
+    // The harness promises bit-identical results regardless of
+    // concurrency: every matrix cell from a four-thread run must
+    // compare exactly equal (not merely close) to the serial run.
+    ThreadPool serial_pool(1);
+    ThreadPool parallel_pool(4);
+    Runner serial(4000, 3, &serial_pool);
+    Runner parallel(4000, 3, &parallel_pool);
+    const auto &ms = serial.matrix();
+    const auto &mp = parallel.matrix();
+    ASSERT_EQ(ms.numBenches(), mp.numBenches());
+    ASSERT_EQ(ms.numCores(), mp.numCores());
+    EXPECT_EQ(ms.benchNames, mp.benchNames);
+    EXPECT_EQ(ms.coreNames, mp.coreNames);
+    for (std::size_t b = 0; b < ms.numBenches(); ++b)
+        for (std::size_t c = 0; c < ms.numCores(); ++c)
+            EXPECT_EQ(ms.ipt[b][c], mp.ipt[b][c])
+                << ms.benchNames[b] << " on " << ms.coreNames[c];
+}
+
+TEST(Runner, BestContestingPairIsIdenticalForAnyJobCount)
+{
+    ThreadPool serial_pool(1);
+    ThreadPool parallel_pool(4);
+    Runner serial(8000, 6, &serial_pool);
+    Runner parallel(8000, 6, &parallel_pool);
+    auto cs = serial.bestContestingPair("gcc", {}, 3);
+    auto cp = parallel.bestContestingPair("gcc", {}, 3);
+    EXPECT_EQ(cs.coreA, cp.coreA);
+    EXPECT_EQ(cs.coreB, cp.coreB);
+    EXPECT_EQ(cs.result.ipt, cp.result.ipt);
+}
+
 TEST(Runner, BestContestingPairBeatsOwnCore)
 {
     Runner runner(20000, 6);

@@ -228,6 +228,21 @@ TEST(SyncStoreQueue, DropCoreUnblocksMerging)
     EXPECT_EQ(q.performedBy(0), 2u);
 }
 
+TEST(SyncStoreQueue, InactiveCoreCanAcceptPanics)
+{
+    SyncStoreQueue q(2, 2);
+    q.performStore(0, 0x10);
+    q.performStore(0, 0x20);
+    q.dropCore(1);
+    // The merge frontier advanced past the dropped core's performed
+    // count; an unsigned performed[1] - numMerged would wrap and
+    // report the queue full of room. Inactive cores must not be
+    // queried at all.
+    EXPECT_EQ(q.mergedCount(), 2u);
+    EXPECT_DEATH(q.canAccept(1), "inactive core");
+    EXPECT_TRUE(q.canAccept(0));
+}
+
 TEST(SyncStoreQueue, RejectsBadConstruction)
 {
     EXPECT_EXIT(SyncStoreQueue(0, 4), ::testing::ExitedWithCode(1),

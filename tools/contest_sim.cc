@@ -16,6 +16,9 @@
  *   --latency NS    GRB latency in nanoseconds (default 1)
  *   --trace FILE    replay a saved trace instead of generating
  *   --style S       injection style: portsteal | markready
+ *   --jobs N        matrix-sweep concurrency (default CONTEST_JOBS
+ *                   or the hardware concurrency); results are
+ *                   identical for every N
  *   --quiet         suppress info logging
  */
 
@@ -25,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
+#include "common/thread_pool.hh"
 #include "contest/system.hh"
 #include "core/palette.hh"
 #include "trace/generator.hh"
@@ -42,6 +47,7 @@ struct Options
     TimePs latencyPs = 1'000;
     std::string traceFile;
     InjectionStyle style = InjectionStyle::PortSteal;
+    unsigned jobs = defaultJobs();
 };
 
 [[noreturn]] void
@@ -56,7 +62,7 @@ usage()
         "       contest_sim save <benchmark> <file> [options]\n"
         "       contest_sim cores\n"
         "options: --insts N --seed N --latency NS --trace FILE\n"
-        "         --style portsteal|markready --quiet\n");
+        "         --style portsteal|markready --jobs N --quiet\n");
     std::exit(2);
 }
 
@@ -89,6 +95,11 @@ parseOptions(std::vector<std::string> &args)
                 opt.style = InjectionStyle::MarkReady;
             else
                 usage();
+        } else if (a == "--jobs") {
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+            if (opt.jobs == 0)
+                opt.jobs = 1;
         } else if (a == "--quiet") {
             setLogLevel(LogLevel::Silent);
         } else {
@@ -170,18 +181,33 @@ cmdMatrix(std::vector<std::string> args)
     Options opt = parseOptions(args);
     if (!args.empty())
         usage();
+
+    // Sweep rows concurrently (each row shares one trace across its
+    // simulations), buffering results so the printed matrix is
+    // identical for every job count.
+    const auto benches = profileNames();
+    const auto &palette = appendixAPalette();
+    std::vector<std::vector<double>> ipt(
+        benches.size(), std::vector<double>(palette.size(), 0.0));
+    ThreadPool pool(opt.jobs);
+    pool.parallelFor(benches.size(), [&](std::size_t b) {
+        auto trace =
+            makeBenchmarkTrace(benches[b], opt.seed, opt.insts);
+        for (std::size_t c = 0; c < palette.size(); ++c)
+            ipt[b][c] = runSingle(palette[c], trace).ipt;
+    });
+
     std::printf("%-8s", "");
-    for (const auto &core : appendixAPalette())
+    for (const auto &core : palette)
         std::printf("%8s", core.name.c_str());
     std::printf("\n");
-    for (const auto &bench : profileNames()) {
-        auto trace = makeBenchmarkTrace(bench, opt.seed, opt.insts);
-        std::printf("%-8s", bench.c_str());
-        for (const auto &core : appendixAPalette())
-            std::printf("%8.2f", runSingle(core, trace).ipt);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        std::printf("%-8s", benches[b].c_str());
+        for (std::size_t c = 0; c < palette.size(); ++c)
+            std::printf("%8.2f", ipt[b][c]);
         std::printf("\n");
-        std::fflush(stdout);
     }
+    std::fflush(stdout);
     return 0;
 }
 
