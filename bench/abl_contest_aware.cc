@@ -65,7 +65,7 @@ runAblation()
             return sys.run().ipt;
         };
         AnnealConfig ac;
-        ac.steps = steps;
+        ac.steps = StepCount{steps};
         ac.seed = 13;
         // Speculative neighbor batches sized to the harness pool
         // (capped: deep batches waste evaluations when the walk

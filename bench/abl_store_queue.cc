@@ -21,10 +21,10 @@ runAblation()
     Runner &runner = benchRunner();
 
     std::vector<std::size_t> depths{64, 256, 1024, 4096};
-    std::vector<TimePs> latencies{1'000, 10'000};
+    std::vector<TimePs> latencies{TimePs{1'000}, TimePs{10'000}};
     if (benchFastMode()) {
         depths = {64, 4096};
-        latencies = {10'000};
+        latencies = {TimePs{10'000}};
     }
 
     // A representative benchmark subset keeps this ablation fast.
@@ -33,7 +33,7 @@ runAblation()
 
     for (TimePs lat : latencies) {
         TextTable t("Ablation C: contested IPT vs store queue depth "
-                    "at " + std::to_string(lat / 1000)
+                    "at " + std::to_string(lat.count() / 1000)
                     + "ns GRB latency");
         std::vector<std::string> head{"bench", "pair"};
         for (auto d : depths)
@@ -45,7 +45,7 @@ runAblation()
             auto choice = runner.bestContestingPair(bench, {}, 3);
             std::vector<std::string> cells{
                 bench, choice.coreA + "+" + choice.coreB};
-            std::uint64_t min_depth_stalls = 0;
+            Cycles min_depth_stalls{};
             for (std::size_t di = 0; di < depths.size(); ++di) {
                 ContestConfig cfg;
                 cfg.grbLatencyPs = lat;
@@ -58,7 +58,7 @@ runAblation()
                         r.coreStats[0].storeQueueStalls
                         + r.coreStats[1].storeQueueStalls;
             }
-            cells.push_back(std::to_string(min_depth_stalls));
+            cells.push_back(std::to_string(min_depth_stalls.count()));
             t.row(cells);
         }
         t.print();

@@ -32,16 +32,16 @@ runCmpMigration()
         // A free oracle at 1280 instructions: the best any
         // positional/temporal scheme could hope for.
         {"oracle@1.3k/free",
-         {64, 0, MigrationPolicy::Oracle}},
+         {64, TimePs{}, MigrationPolicy::Oracle}},
         // The same oracle paying a 5us thread migration.
         {"oracle@1.3k/5us",
-         {64, 5'000'000, MigrationPolicy::Oracle}},
+         {64, TimePs{5'000'000}, MigrationPolicy::Oracle}},
         // OS-quantum-grained oracle with the same cost.
         {"oracle@100k/5us",
-         {5120, 5'000'000, MigrationPolicy::Oracle}},
+         {5120, TimePs{5'000'000}, MigrationPolicy::Oracle}},
         // Realistic: last-phase predictor at 10k instructions.
         {"history@10k/5us",
-         {512, 5'000'000, MigrationPolicy::History}},
+         {512, TimePs{5'000'000}, MigrationPolicy::History}},
     };
     if (benchFastMode())
         schemes.resize(2);

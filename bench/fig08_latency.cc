@@ -18,14 +18,15 @@ runFig08()
     printBenchPreamble("Figure 8: core-to-core latency sweep");
     Runner &runner = benchRunner();
 
-    std::vector<TimePs> latencies{1'000, 2'000, 5'000, 10'000,
-                                  100'000};
+    std::vector<TimePs> latencies{TimePs{1'000}, TimePs{2'000},
+                                  TimePs{5'000}, TimePs{10'000},
+                                  TimePs{100'000}};
     if (benchFastMode())
-        latencies = {1'000, 10'000, 100'000};
+        latencies = {TimePs{1'000}, TimePs{10'000}, TimePs{100'000}};
 
     std::vector<std::string> head{"bench", "pair"};
     for (TimePs l : latencies)
-        head.push_back(std::to_string(l / 1000) + "ns");
+        head.push_back(std::to_string(l.count() / 1000) + "ns");
 
     TextTable t("Figure 8: contesting speedup over the own "
                 "customized core at different GRB latencies");

@@ -71,7 +71,7 @@ main(int argc, char **argv)
     {
         std::vector<std::string> names{"twolf", "vpr"};
         ContestConfig cfg;
-        cfg.grbLatencyPs = 100'000; // 100ns
+        cfg.grbLatencyPs = TimePs{100'000}; // 100ns
         ContestSystem sys({coreConfigByName(names[0]),
                            coreConfigByName(names[1])},
                           trace, cfg);

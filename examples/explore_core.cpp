@@ -47,7 +47,7 @@ main(int argc, char **argv)
                 start.frequencyGHz(), start_ipt);
 
     AnnealConfig ac;
-    ac.steps = steps;
+    ac.steps = StepCount{steps};
     ac.seed = 7;
     auto result = annealCoreConfig(objective, start, ac);
 

@@ -109,7 +109,7 @@ class BranchPredictor
                          bool count = true);
 
     /** Lifetime conditional-branch predictions made. */
-    std::uint64_t lookups() const { return numLookups; }
+    LookupCount lookups() const { return numLookups; }
 
     /** Lifetime mispredictions. */
     std::uint64_t mispredicts() const { return numMispredicts; }
@@ -118,9 +118,9 @@ class BranchPredictor
     double
     mispredictRate() const
     {
-        return numLookups
+        return numLookups != LookupCount{}
             ? static_cast<double>(numMispredicts)
-                / static_cast<double>(numLookups)
+                / static_cast<double>(numLookups.count())
             : 0.0;
     }
 
@@ -138,7 +138,7 @@ class BranchPredictor
     std::uint64_t history = 0;
     std::uint64_t historyMask;
     std::uint32_t localHistMask = 0;
-    std::uint64_t numLookups = 0;
+    LookupCount numLookups{};
     std::uint64_t numMispredicts = 0;
 };
 
@@ -167,7 +167,7 @@ class Btb
     bool lookupAndTrain(Addr pc, Addr actual_target);
 
     /** Lifetime lookups. */
-    std::uint64_t lookups() const { return numLookups; }
+    LookupCount lookups() const { return numLookups; }
 
     /** Lifetime lookups that hit with the correct target. */
     std::uint64_t hits() const { return numHits; }
@@ -184,7 +184,7 @@ class Btb
     BtbConfig cfg;
     std::vector<Entry> entries;
     std::uint64_t useClock = 0;
-    std::uint64_t numLookups = 0;
+    LookupCount numLookups{};
     std::uint64_t numHits = 0;
 };
 

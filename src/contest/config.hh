@@ -22,7 +22,7 @@ struct ContestConfig
      * in picoseconds. The paper's baseline is 1 ns (three cycles of
      * a 3 GHz core); Figure 8 sweeps it up to 100 ns.
      */
-    TimePs grbLatencyPs = 1000;
+    TimePs grbLatencyPs{1000};
 
     /**
      * Result FIFO capacity in entries. This bounds the lagging
@@ -46,7 +46,7 @@ struct ContestConfig
 
     /** Cost of the parallelized exception handler, once every
      *  contesting core has reached the exception (Section 4.3). */
-    TimePs syscallHandlerPs = 20'000;
+    TimePs syscallHandlerPs{20'000};
 
     /**
      * Period of asynchronous external interrupts in picoseconds;
@@ -56,10 +56,10 @@ struct ContestConfig
      * on the other cores are terminated, and all cores refork at
      * the designated core's retired position.
      */
-    TimePs interruptPeriodPs = 0;
+    TimePs interruptPeriodPs{};
 
     /** Service time of one asynchronous interrupt. */
-    TimePs interruptHandlerPs = 500'000;
+    TimePs interruptHandlerPs{500'000};
 };
 
 } // namespace contest

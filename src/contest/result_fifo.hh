@@ -139,7 +139,7 @@ class ResultFifo
   private:
     std::size_t cap;
     std::deque<TimePs> arrivals;
-    InstSeq headSeq_ = 0;
+    InstSeq headSeq_{};
 };
 
 } // namespace contest

@@ -38,14 +38,14 @@ ContestSystem::ContestSystem(std::vector<CoreConfig> core_configs,
         units[i]->setCore(cores[i].get());
     }
 
-    fatal_if(cfg.interruptPeriodPs > 0
+    fatal_if(cfg.interruptPeriodPs > TimePs{}
                  && cfg.interruptPeriodPs <= cfg.interruptHandlerPs,
              "interrupt period (%llu ps) must exceed the handler "
              "time (%llu ps) or the system never executes",
              static_cast<unsigned long long>(cfg.interruptPeriodPs),
              static_cast<unsigned long long>(
                  cfg.interruptHandlerPs));
-    if (cfg.interruptPeriodPs > 0) {
+    if (cfg.interruptPeriodPs > TimePs{}) {
         // Prefix store counts let a refork reposition the
         // synchronizing store queue in O(1).
         storePrefix.reserve(trace->size() + 1);
@@ -99,7 +99,7 @@ ContestSystem::noteRetire(CoreId core, InstSeq seq)
 {
     if (seq != frontier)
         return; // a lagger re-retiring an already-led instruction
-    if (frontier > 0 && core != lastLeader)
+    if (frontier > InstSeq{} && core != lastLeader)
         ++leadChanges;
     lastLeader = core;
     ++leadCounts[core];
@@ -123,7 +123,8 @@ ContestSystem::serviceInterrupt(TimePs now,
         units[c]->reforkTo(refork_at);
         next_tick[c] = now + cfg.interruptHandlerPs;
     }
-    storeQ->reforkAll(storePrefix[refork_at]);
+    storeQ->reforkAll(
+        StoreSeq{storePrefix[static_cast<std::size_t>(refork_at.count())]});
     ++interrupts;
     inform("interrupt at %.1f ns: reforked all cores at "
            "instruction %llu",
@@ -135,17 +136,17 @@ ContestResult
 ContestSystem::run()
 {
     const auto n = cores.size();
-    constexpr TimePs never = std::numeric_limits<TimePs>::max();
-    std::vector<TimePs> next_tick(n, 0);
+    constexpr TimePs never = TimePs::max();
+    std::vector<TimePs> next_tick(n, TimePs{});
 
-    TimePs finish_time = 0;
+    TimePs finish_time{};
     CoreId finisher = 0;
     bool finished = false;
     TimePs nextInterruptPs = cfg.interruptPeriodPs;
 
     // Deadlock watchdog: global ticks since the retire frontier
     // last advanced.
-    InstSeq last_frontier = 0;
+    InstSeq last_frontier{};
     std::uint64_t stuck_ticks = 0;
     constexpr std::uint64_t stuck_limit = 40'000'000;
 
@@ -166,7 +167,7 @@ ContestSystem::run()
         panic_if(t == never,
                  "contest deadlock: every core is parked");
 
-        if (cfg.interruptPeriodPs > 0 && t >= nextInterruptPs) {
+        if (cfg.interruptPeriodPs > TimePs{} && t >= nextInterruptPs) {
             serviceInterrupt(nextInterruptPs, next_tick);
             nextInterruptPs += cfg.interruptPeriodPs;
             continue; // re-pick with the updated tick times
@@ -195,7 +196,7 @@ ContestSystem::run()
 
     ContestResult result;
     result.timePs = finish_time;
-    result.ipt = instPerNs(trace->size(), finish_time);
+    result.ipt = instPerNs(trace->endSeq(), finish_time);
     for (CoreId c = 0; c < n; ++c) {
         result.coreStats.push_back(cores[c]->stats());
         result.unitStats.push_back(units[c]->stats());
@@ -238,14 +239,14 @@ runSingle(const CoreConfig &config, TracePtr trace)
     fatal_if(!trace || trace->empty(),
              "runSingle needs a non-empty trace");
     OooCore core(config, trace);
-    TimePs t = 0;
+    TimePs t{};
     while (!core.done()) {
         core.tick(t);
         t += core.periodPs();
     }
     SingleRunResult r;
     r.timePs = t;
-    r.ipt = instPerNs(trace->size(), t);
+    r.ipt = instPerNs(trace->endSeq(), t);
     r.stats = core.stats();
 
     ActivityCounts activity;

@@ -30,7 +30,7 @@ namespace contest
 struct ContestResult
 {
     /** Global time when the first core retired the whole trace. */
-    TimePs timePs = 0;
+    TimePs timePs{};
     /** Instructions retired per nanosecond (the paper's IPT). */
     double ipt = 0.0;
     /** Per-core pipeline statistics. */
@@ -45,7 +45,7 @@ struct ContestResult
     /** Number of times the leading core changed. */
     std::uint64_t leadChanges = 0;
     /** Stores merged to the shared level. */
-    std::uint64_t mergedStores = 0;
+    StoreSeq mergedStores{};
     /** Exceptions handled by the rendezvous handler. */
     std::uint64_t exceptionsHandled = 0;
     /** Asynchronous interrupts serviced (terminate-and-refork). */
@@ -122,7 +122,7 @@ class ContestSystem
 
     /** @name Lead tracking */
     /** @{ */
-    InstSeq frontier = 0;
+    InstSeq frontier{};
     CoreId lastLeader = 0;
     std::uint64_t leadChanges = 0;
     std::vector<std::uint64_t> leadCounts;
@@ -145,7 +145,7 @@ class ContestSystem
  */
 struct SingleRunResult
 {
-    TimePs timePs = 0;
+    TimePs timePs{};
     double ipt = 0.0;
     CoreStats stats;
     EnergyBreakdown energy;

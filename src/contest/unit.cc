@@ -22,7 +22,7 @@ CoreContestUnit::CoreContestUnit(CoreId self_id,
 InstSeq
 CoreContestUnit::maxPopCounter() const
 {
-    InstSeq max_pop = 0;
+    InstSeq max_pop{};
     for (std::size_t c = 0; c < fifos.size(); ++c)
         if (c != self)
             max_pop = std::max(max_pop, fifos[c].headSeq());

@@ -36,7 +36,7 @@ struct UnitStats
     std::uint64_t discarded = 0;   //!< late results dropped
     std::uint64_t broadcasts = 0;  //!< results sent on the GRB
     bool saturated = false;        //!< parked as a saturated lagger
-    TimePs parkedAt = 0;
+    TimePs parkedAt{};
 };
 
 /** ContestHooks implementation backing one core. */
@@ -107,7 +107,7 @@ class CoreContestUnit : public ContestHooks
      *  in-flight) arrival, and popping it would credit a result the
      *  core never saw. */
     std::optional<CoreId> earlyResolveSrc;
-    InstSeq earlyResolveSeq = 0;
+    InstSeq earlyResolveSeq{};
 };
 
 } // namespace contest

@@ -21,7 +21,7 @@ CoreConfig::validate() const
     fatal_if(frontEndDepth == 0 || frontEndDepth > 32,
              "core '%s': front-end depth %u out of range",
              name.c_str(), frontEndDepth);
-    fatal_if(clockPeriodPs == 0,
+    fatal_if(clockPeriodPs == TimePs{},
              "core '%s': clock period must be non-zero", name.c_str());
     fatal_if(l1dPorts == 0,
              "core '%s': need at least one L1D port", name.c_str());

@@ -27,7 +27,7 @@ struct CoreConfig
     /** @name Appendix A parameters */
     /** @{ */
     /** Shared-level (memory) access latency in core cycles. */
-    Cycles memAccessCycles = 180;
+    Cycles memAccessCycles{180};
     /** Front-end pipeline depth (fetch to rename) in stages. */
     unsigned frontEndDepth = 6;
     /** Dispatch, issue, and commit width. */
@@ -37,15 +37,15 @@ struct CoreConfig
     /** Issue queue size. */
     unsigned iqSize = 32;
     /** Minimum latency for awakening a dependent instruction. */
-    Cycles wakeupLatency = 1;
+    Cycles wakeupLatency{1};
     /** Pipeline depth of the scheduler / register file read. */
-    Cycles schedDepth = 2;
+    Cycles schedDepth{2};
     /** Clock period in picoseconds. */
-    TimePs clockPeriodPs = 300;
+    TimePs clockPeriodPs{300};
     /** L1 data cache geometry (latency in cycles). */
-    CacheConfig l1d{1024, 2, 32, 2, false, true};
+    CacheConfig l1d{1024, 2, 32, Cycles{2}, false, true};
     /** Private L2 cache geometry (latency in cycles). */
-    CacheConfig l2{1024, 8, 128, 12, false, true};
+    CacheConfig l2{1024, 8, 128, Cycles{12}, false, true};
     /** Load-store queue size. */
     unsigned lsqSize = 128;
     /** @} */
@@ -64,9 +64,9 @@ struct CoreConfig
     double memBandwidthBytesPerNs = 16.0;
     /** Extra fetch-redirect penalty for a taken branch whose target
      *  missed in the BTB, in cycles. */
-    Cycles btbMissPenalty = 2;
+    Cycles btbMissPenalty{2};
     /** Cycles to run a synchronous exception handler. */
-    Cycles syscallHandlerCycles = 64;
+    Cycles syscallHandlerCycles{64};
     /** Direction predictor geometry. */
     BPredConfig bpred{};
     /** Branch target buffer geometry. */
@@ -81,14 +81,14 @@ struct CoreConfig
     /** L1 instruction cache geometry (when modeled). The synthetic
      *  workloads' code regions total ~100KB per benchmark, so the
      *  default is sized like a shared-era 64KB L1I. */
-    CacheConfig l1i{512, 2, 64, 1, false, true};
+    CacheConfig l1i{512, 2, 64, Cycles{1}, false, true};
     /** @} */
 
     /** Clock frequency in GHz, derived from the period. */
     double
     frequencyGHz() const
     {
-        return 1000.0 / static_cast<double>(clockPeriodPs);
+        return 1000.0 / static_cast<double>(clockPeriodPs.count());
     }
 
     /**
@@ -99,18 +99,18 @@ struct CoreConfig
     double
     peakIps() const
     {
-        return static_cast<double>(width) * psPerNs
-            / static_cast<double>(clockPeriodPs);
+        return static_cast<double>(width) * static_cast<double>(psPerNs)
+            / static_cast<double>(clockPeriodPs.count());
     }
 
     /** Bus occupancy of one L2-block fill, in core cycles. */
     Cycles
     loadFillGapCycles() const
     {
-        double gap_ps = static_cast<double>(l2.blockBytes) * psPerNs
-            / memBandwidthBytesPerNs;
+        double gap_ps = static_cast<double>(l2.blockBytes)
+            * static_cast<double>(psPerNs) / memBandwidthBytesPerNs;
         return static_cast<Cycles>(
-            gap_ps / static_cast<double>(clockPeriodPs) + 0.999);
+            gap_ps / static_cast<double>(clockPeriodPs.count()) + 0.999);
     }
 
     /** Bus occupancy of one write-through word drain, in cycles. */
@@ -118,9 +118,9 @@ struct CoreConfig
     storeDrainGapCycles() const
     {
         double gap_ps =
-            8.0 * psPerNs / memBandwidthBytesPerNs;
+            8.0 * static_cast<double>(psPerNs) / memBandwidthBytesPerNs;
         return static_cast<Cycles>(
-            gap_ps / static_cast<double>(clockPeriodPs) + 0.999);
+            gap_ps / static_cast<double>(clockPeriodPs.count()) + 0.999);
     }
 
     /** fatal() if any parameter is structurally impossible. */

@@ -56,7 +56,7 @@ OooCore::srcStatus(InstSeq producer, Cycles &ready_at) const
 {
     if (rob.empty() || producer < rob.front().seq) {
         // The producer has committed; its value is architectural.
-        ready_at = 0;
+        ready_at = Cycles{};
         return true;
     }
     InstSeq head = rob.front().seq;
@@ -73,7 +73,7 @@ OooCore::srcStatus(InstSeq producer, Cycles &ready_at) const
 void
 OooCore::reforkTo(InstSeq seq)
 {
-    fatal_if(seq > trace->size(),
+    fatal_if(seq > trace->endSeq(),
              "reforkTo(%llu) beyond trace end",
              static_cast<unsigned long long>(seq));
     fetchQueue.clear();
@@ -170,7 +170,8 @@ OooCore::doCommit(TimePs now)
                     syscallResumePs = *resume;
                 } else {
                     syscallResumePs = now
-                        + cfg.syscallHandlerCycles * cfg.clockPeriodPs;
+                        + cyclesToPs(cfg.syscallHandlerCycles,
+                                     cfg.clockPeriodPs);
                 }
             }
             if (now < *syscallResumePs) {
@@ -236,7 +237,7 @@ OooCore::doIssue(TimePs)
         bool ready = true;
         for (int s = 0; s < 2; ++s) {
             if (it->srcPending[s]) {
-                Cycles r = 0;
+                Cycles r{};
                 if (srcStatus(it->srcProd[s], r)) {
                     it->srcPending[s] = false;
                     it->srcReadyAt[s] = r;
@@ -258,11 +259,11 @@ OooCore::doIssue(TimePs)
             continue;
         }
 
-        Cycles lat_total = 0;
+        Cycles lat_total{};
         if (it->injected) {
             // MarkReady injection: the value travels with the
             // instruction; issuing just writes it back.
-            lat_total = 1;
+            lat_total = Cycles{1};
         } else if (inst.op == OpClass::Load) {
             bool l1_hit = hier.l1().probe(inst.addr);
             if (!l1_hit && mshrReleases.size() >= cfg.mshrs) {
@@ -274,7 +275,7 @@ OooCore::doIssue(TimePs)
             if (res.level != MemLevel::L1)
                 mshrReleases.push(curCycle + lat_total);
         } else if (inst.op == OpClass::Store) {
-            lat_total = 1; // address generation; data at commit
+            lat_total = Cycles{1}; // address generation; data at commit
         } else {
             lat_total = inst.execLatency();
         }
@@ -353,7 +354,7 @@ OooCore::doDispatch(TimePs)
                     const RenameRef &ref = renameMap[srcs[s]];
                     if (!ref.inFlight)
                         continue; // value already architectural
-                    Cycles r = 0;
+                    Cycles r{};
                     if (srcStatus(ref.producer, r)) {
                         qe.srcReadyAt[s] = r;
                     } else {
@@ -379,7 +380,7 @@ OooCore::doDispatch(TimePs)
 void
 OooCore::doFetch(TimePs now)
 {
-    if (fetchSeq >= trace->size())
+    if (fetchSeq >= trace->endSeq())
         return;
 
     if (stalledBranch) {
@@ -434,7 +435,7 @@ OooCore::doFetch(TimePs now)
 
     unsigned fetched = 0;
     while (fetched < cfg.width && fetchQueue.size() < fetchQueueCap
-           && fetchSeq < trace->size()) {
+           && fetchSeq < trace->endSeq()) {
         const TraceInst &inst = (*trace)[fetchSeq];
 
         FetchOutcome out;

@@ -96,7 +96,7 @@ class OooCore
     void reforkTo(InstSeq seq);
 
     /** Has the whole trace retired on this core? */
-    bool done() const { return numRetired == trace->size(); }
+    bool done() const { return numRetired == trace->endSeq(); }
 
     /** Instructions retired so far. */
     InstSeq retired() const { return numRetired; }
@@ -133,36 +133,36 @@ class OooCore
     /** One reorder-buffer entry. */
     struct RobEntry
     {
-        InstSeq seq = 0;
+        InstSeq seq{};
         bool issued = false;
         bool completed = false;
         bool injected = false;
-        Cycles completeAt = 0;
-        Cycles valueReadyAt = 0;
+        Cycles completeAt{};
+        Cycles valueReadyAt{};
     };
 
     /** One front-end (fetch-to-rename) pipeline entry. */
     struct FetchEntry
     {
-        InstSeq seq = 0;
-        Cycles renameReadyAt = 0;
+        InstSeq seq{};
+        Cycles renameReadyAt{};
         bool injected = false;
     };
 
     /** One issue-queue entry. */
     struct IqEntry
     {
-        InstSeq seq = 0;
-        InstSeq srcProd[2] = {0, 0};
+        InstSeq seq{};
+        InstSeq srcProd[2] = {InstSeq{}, InstSeq{}};
         bool srcPending[2] = {false, false};
-        Cycles srcReadyAt[2] = {0, 0};
+        Cycles srcReadyAt[2] = {Cycles{}, Cycles{}};
         bool injected = false;
     };
 
     /** Rename-map entry for one architectural register. */
     struct RenameRef
     {
-        InstSeq producer = 0;
+        InstSeq producer{};
         bool inFlight = false;
     };
 
@@ -192,9 +192,9 @@ class OooCore
     InjectionStyle style = InjectionStyle::PortSteal;
     RetireCallback retireCb;
 
-    Cycles curCycle = 0;
-    InstSeq fetchSeq = 0;
-    InstSeq numRetired = 0;
+    Cycles curCycle{};
+    InstSeq fetchSeq{};
+    InstSeq numRetired{};
 
     std::deque<FetchEntry> fetchQueue;
     std::size_t fetchQueueCap;
@@ -221,7 +221,7 @@ class OooCore
     /** Early-resolved (Fig. 5) branch not yet dispatched/patched. */
     std::optional<InstSeq> earlyResolved;
     bool stalledSyscall = false;
-    Cycles fetchResumeAt = 0;
+    Cycles fetchResumeAt{};
     /** @} */
 
     /** Syscall commit-block state. */

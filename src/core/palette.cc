@@ -19,26 +19,26 @@ namespace
  * latency), L2 (assoc, block, sets, latency), LSQ size.
  */
 CoreConfig
-entry(const char *name, Cycles mem_cycles, unsigned front_end,
-      unsigned width, unsigned rob, unsigned iq, Cycles wakeup,
-      Cycles sched, TimePs period_ps, unsigned l1_assoc,
-      unsigned l1_block, unsigned l1_sets, Cycles l1_lat,
+entry(const char *name, unsigned mem_cycles, unsigned front_end,
+      unsigned width, unsigned rob, unsigned iq, unsigned wakeup,
+      unsigned sched, unsigned period_ps, unsigned l1_assoc,
+      unsigned l1_block, unsigned l1_sets, unsigned l1_lat,
       unsigned l2_assoc, unsigned l2_block, unsigned l2_sets,
-      Cycles l2_lat, unsigned lsq)
+      unsigned l2_lat, unsigned lsq)
 {
     CoreConfig c;
     c.name = name;
-    c.memAccessCycles = mem_cycles;
+    c.memAccessCycles = Cycles{mem_cycles};
     c.frontEndDepth = front_end;
     c.width = width;
     c.robSize = rob;
     c.iqSize = iq;
-    c.wakeupLatency = wakeup;
-    c.schedDepth = sched;
-    c.clockPeriodPs = period_ps;
-    c.l1d = CacheConfig{l1_sets, l1_assoc, l1_block, l1_lat,
+    c.wakeupLatency = Cycles{wakeup};
+    c.schedDepth = Cycles{sched};
+    c.clockPeriodPs = TimePs{period_ps};
+    c.l1d = CacheConfig{l1_sets, l1_assoc, l1_block, Cycles{l1_lat},
                         false, true};
-    c.l2 = CacheConfig{l2_sets, l2_assoc, l2_block, l2_lat,
+    c.l2 = CacheConfig{l2_sets, l2_assoc, l2_block, Cycles{l2_lat},
                        false, true};
     c.lsqSize = lsq;
     // Cache ports scale with machine width, as any balanced design

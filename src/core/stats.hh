@@ -16,7 +16,7 @@ namespace contest
 /** Counters collected by one core over one run. */
 struct CoreStats
 {
-    Cycles cycles = 0;              //!< core cycles ticked
+    Cycles cycles{};                //!< core cycles ticked
     std::uint64_t retired = 0;      //!< instructions committed
     std::uint64_t injected = 0;     //!< completions taken from a FIFO
     std::uint64_t condBranches = 0; //!< conditional branches fetched
@@ -26,19 +26,19 @@ struct CoreStats
     std::uint64_t syscalls = 0;
     std::uint64_t icacheMisses = 0;
 
-    Cycles fetchStallBranch = 0;    //!< cycles stalled on mispredicts
-    Cycles robFullStalls = 0;       //!< dispatch stalls: ROB full
-    Cycles iqFullStalls = 0;        //!< dispatch stalls: IQ full
-    Cycles lsqFullStalls = 0;       //!< dispatch stalls: LSQ full
-    Cycles storeQueueStalls = 0;    //!< commit stalls: sync store queue
-    Cycles syscallStalls = 0;       //!< commit stalls: exceptions
+    Cycles fetchStallBranch{};      //!< cycles stalled on mispredicts
+    Cycles robFullStalls{};         //!< dispatch stalls: ROB full
+    Cycles iqFullStalls{};          //!< dispatch stalls: IQ full
+    Cycles lsqFullStalls{};         //!< dispatch stalls: LSQ full
+    Cycles storeQueueStalls{};      //!< commit stalls: sync store queue
+    Cycles syscallStalls{};         //!< commit stalls: exceptions
 
     /** Committed instructions per cycle. */
     double
     ipc() const
     {
-        return cycles ? static_cast<double>(retired)
-                / static_cast<double>(cycles)
+        return cycles.count() ? static_cast<double>(retired)
+                / static_cast<double>(cycles.count())
                       : 0.0;
     }
 

@@ -69,7 +69,7 @@ applyTechnologyModel(CoreConfig &config)
         std::clamp(period, 150.0, 600.0));
 
     // Cache latency follows capacity (and a tax for associativity).
-    auto cache_latency = [](const CacheConfig &c, Cycles floor) {
+    auto cache_latency = [](const CacheConfig &c, unsigned floor) {
         double kb = static_cast<double>(c.capacityBytes()) / 1024.0;
         double lat = static_cast<double>(floor)
             + std::max(0.0, std::log2(kb / 16.0)) * 0.8
@@ -117,14 +117,16 @@ annealCoreConfig(
                 cfg.frontEndDepth + (up ? 1 : -1), 4, 12);
             break;
           case 5:
-            cfg.schedDepth = std::clamp<Cycles>(
-                cfg.schedDepth + (up ? 1 : Cycles(-1)), 1, 4);
+            cfg.schedDepth = up
+                ? std::min(cfg.schedDepth + 1, Cycles{4})
+                : std::max(cfg.schedDepth - 1, Cycles{1});
             break;
           case 6:
             cfg.wakeupLatency =
-                up ? std::min<Cycles>(cfg.wakeupLatency + 1, 3)
-                   : (cfg.wakeupLatency > 0 ? cfg.wakeupLatency - 1
-                                            : 0);
+                up ? std::min(cfg.wakeupLatency + 1, Cycles{3})
+                   : (cfg.wakeupLatency > Cycles{}
+                          ? cfg.wakeupLatency - 1
+                          : Cycles{});
             break;
           case 7:
             cfg.l1d.sets = stepMenu(setsMenu, cfg.l1d.sets, up);
@@ -179,7 +181,7 @@ annealCoreConfig(
         // Classic serial walk, kept bit-compatible with the
         // pre-batching annealer: the acceptance draw happens only
         // when the Metropolis test actually needs one.
-        for (std::uint64_t step = 0; step < anneal_config.steps;
+        for (StepCount step{}; step < anneal_config.steps;
              ++step) {
             CoreConfig candidate = mutate(current);
             double score = objective(candidate);
@@ -206,13 +208,14 @@ annealCoreConfig(
     // winning index is unknown until the scan.
     ThreadPool &workers =
         pool != nullptr ? *pool : ThreadPool::global();
-    std::uint64_t consumed = 0;
+    StepCount consumed{};
     std::vector<CoreConfig> candidates;
     std::vector<double> uniforms;
     std::vector<double> scores;
     while (consumed < anneal_config.steps) {
         std::uint64_t round = std::min<std::uint64_t>(
-            anneal_config.batch, anneal_config.steps - consumed);
+            anneal_config.batch,
+            (anneal_config.steps - consumed).count());
         candidates.clear();
         uniforms.clear();
         for (std::uint64_t i = 0; i < round; ++i) {

@@ -29,7 +29,7 @@ namespace contest
 /** Knobs of the annealing schedule. */
 struct AnnealConfig
 {
-    std::uint64_t steps = 200;       //!< neighbor evaluations
+    StepCount steps{200};            //!< neighbor evaluations
     double initialTemperature = 0.2; //!< relative objective scale
     double coolingFactor = 0.97;     //!< temperature decay per step
     std::uint64_t seed = 1;          //!< move-generation seed

@@ -24,15 +24,15 @@ simulateMigration(const std::vector<TimePs> &a,
     // the first block (oracle) or core A (history, no past yet).
     int current = 0;
     bool first = true;
-    TimePs prev_ta = 0;
-    TimePs prev_tb = 0;
+    TimePs prev_ta{};
+    TimePs prev_tb{};
 
     for (std::size_t start = 0; start < n;
          start += config.regionsPerBlock) {
         std::size_t end =
             std::min(n, start + config.regionsPerBlock);
-        TimePs ta = 0;
-        TimePs tb = 0;
+        TimePs ta{};
+        TimePs tb{};
         for (std::size_t i = start; i < end; ++i) {
             ta += a[i];
             tb += b[i];

@@ -45,14 +45,14 @@ struct MigrationConfig
     /** Decision granularity in 20-instruction regions. */
     std::uint64_t regionsPerBlock = 64; // 1280 instructions
     /** Cost of one migration (state transfer + cache warmup). */
-    TimePs migrationPenaltyPs = 5'000'000; // 5 us
+    TimePs migrationPenaltyPs{5'000'000}; // 5 us
     MigrationPolicy policy = MigrationPolicy::Oracle;
 };
 
 /** Outcome of one migration evaluation. */
 struct MigrationResult
 {
-    TimePs totalPs = 0;
+    TimePs totalPs{};
     std::uint64_t migrations = 0;
     /** Fraction of blocks executed on the first core. */
     double shareA = 0.0;

@@ -10,7 +10,7 @@ namespace contest
 TimePs
 RegionLog::total() const
 {
-    TimePs sum = 0;
+    TimePs sum{};
     for (TimePs t : times)
         sum += t;
     return sum;
@@ -25,13 +25,13 @@ fuseRegionTimes(const std::vector<TimePs> &a,
              "fuseRegionTimes: zero block size");
     std::size_t n = std::min(a.size(), b.size());
 
-    TimePs fused = 0;
+    TimePs fused{};
     for (std::size_t start = 0; start < n;
          start += regions_per_block) {
         std::size_t end =
             std::min(n, start + regions_per_block);
-        TimePs ta = 0;
-        TimePs tb = 0;
+        TimePs ta{};
+        TimePs tb{};
         for (std::size_t i = start; i < end; ++i) {
             ta += a[i];
             tb += b[i];

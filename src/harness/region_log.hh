@@ -37,7 +37,7 @@ class RegionLog
     void
     onRetire(InstSeq seq, TimePs now)
     {
-        if ((seq + 1) % regionInsts == 0) {
+        if ((seq + 1).count() % regionInsts == 0) {
             times.push_back(now - regionStart);
             regionStart = now;
         }
@@ -57,7 +57,7 @@ class RegionLog
 
   private:
     std::vector<TimePs> times;
-    TimePs regionStart = 0;
+    TimePs regionStart{};
 };
 
 /**

@@ -55,13 +55,13 @@ Runner::single(const std::string &bench, const std::string &core)
         sim.setRetireCallback(
             [log](InstSeq seq, TimePs now) { log->onRetire(seq, now); });
 
-        TimePs now = 0;
+        TimePs now{};
         while (!sim.done()) {
             sim.tick(now);
             now += sim.periodPs();
         }
         run.result.timePs = now;
-        run.result.ipt = instPerNs(t->size(), now);
+        run.result.ipt = instPerNs(t->endSeq(), now);
         run.result.stats = sim.stats();
 
         ActivityCounts activity;
@@ -159,7 +159,7 @@ Runner::bestContestingPair(const std::string &bench,
                 std::min(ra.regions->size(), rb.regions->size())
                 * RegionLog::regionInsts;
             ranked.push_back(
-                Ranked{instPerNs(insts, fused), a, b});
+                Ranked{instPerNs(InstSeq{insts}, fused), a, b});
         }
     }
     std::sort(ranked.begin(), ranked.end(),

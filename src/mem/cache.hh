@@ -24,7 +24,7 @@ struct CacheConfig
     unsigned sets = 1024;       //!< number of sets (power of two)
     unsigned assoc = 2;         //!< ways per set
     unsigned blockBytes = 64;   //!< line size (power of two)
-    Cycles latency = 2;         //!< access latency in core cycles
+    Cycles latency{2};         //!< access latency in core cycles
     bool writeThrough = false;  //!< write-through (no dirty lines)
     bool writeAllocate = true;  //!< allocate on write miss
 

@@ -29,7 +29,7 @@ enum class MemLevel : std::uint8_t { L1, L2, Memory };
 /** Outcome of a data access through the private hierarchy. */
 struct MemAccessResult
 {
-    Cycles latency = 0;  //!< total latency in core cycles
+    Cycles latency{};    //!< total latency in core cycles
     MemLevel level = MemLevel::L1;
 };
 
@@ -46,7 +46,8 @@ class DataHierarchy
      */
     DataHierarchy(const CacheConfig &l1_config,
                   const CacheConfig &l2_config, Cycles memory_latency,
-                  Cycles load_fill_gap = 0, Cycles store_gap = 0);
+                  Cycles load_fill_gap = Cycles{},
+                  Cycles store_gap = Cycles{});
 
     /**
      * Perform a load or store at core cycle @p now, updating tags at
@@ -91,7 +92,7 @@ class DataHierarchy
     Cycles memLatency;
     Cycles loadGap;
     Cycles storeGap;
-    Cycles busFree = 0;
+    Cycles busFree{};
 };
 
 } // namespace contest

@@ -10,7 +10,7 @@ namespace contest
 
 SyncStoreQueue::SyncStoreQueue(unsigned num_cores,
                                std::size_t queue_capacity)
-    : cap(queue_capacity), performed(num_cores, 0),
+    : cap(queue_capacity), performed(num_cores, StoreSeq{}),
       active(num_cores, true)
 {
     fatal_if(num_cores == 0, "SyncStoreQueue needs at least one core");
@@ -30,7 +30,7 @@ SyncStoreQueue::canAccept(CoreId core) const
     panic_if(!active[core],
              "SyncStoreQueue: inactive core %u queried canAccept",
              core);
-    return performed[core] - numMerged < cap;
+    return (performed[core] - numMerged).count() < cap;
 }
 
 void
@@ -43,12 +43,12 @@ SyncStoreQueue::performStore(CoreId core, Addr addr)
     panic_if(!canAccept(core),
              "SyncStoreQueue: core %u overflowed the queue", core);
 
-    std::uint64_t index = performed[core];
+    StoreSeq index = performed[core];
     panic_if(index < numMerged,
              "SyncStoreQueue: core %u behind the merge frontier", core);
 
     std::size_t offset =
-        static_cast<std::size_t>(index - pendingBase);
+        static_cast<std::size_t>((index - pendingBase).count());
     if (offset == pendingAddrs.size()) {
         // First core to reach this store: record its address.
         pendingAddrs.push_back(addr);
@@ -58,7 +58,7 @@ SyncStoreQueue::performStore(CoreId core, Addr addr)
         panic_if(pendingAddrs[offset] != addr,
                  "SyncStoreQueue: redundant store streams diverge at "
                  "store %llu (0x%llx vs 0x%llx)",
-                 static_cast<unsigned long long>(index),
+                 static_cast<unsigned long long>(index.count()),
                  static_cast<unsigned long long>(pendingAddrs[offset]),
                  static_cast<unsigned long long>(addr));
     }
@@ -79,13 +79,13 @@ SyncStoreQueue::dropCore(CoreId core)
 }
 
 void
-SyncStoreQueue::reforkAll(std::uint64_t store_count)
+SyncStoreQueue::reforkAll(StoreSeq store_count)
 {
     panic_if(store_count < numMerged,
              "SyncStoreQueue: refork point %llu precedes the merge "
              "frontier %llu",
-             static_cast<unsigned long long>(store_count),
-             static_cast<unsigned long long>(numMerged));
+             static_cast<unsigned long long>(store_count.count()),
+             static_cast<unsigned long long>(numMerged.count()));
     for (std::size_t c = 0; c < performed.size(); ++c)
         if (active[c])
             performed[c] = store_count;
@@ -94,7 +94,7 @@ SyncStoreQueue::reforkAll(std::uint64_t store_count)
     tryMerge();
 }
 
-std::uint64_t
+StoreSeq
 SyncStoreQueue::performedBy(CoreId core) const
 {
     panic_if(core >= performed.size(),
@@ -112,7 +112,7 @@ void
 SyncStoreQueue::tryMerge()
 {
     // The merge frontier is the minimum progress over active cores.
-    std::uint64_t frontier = UINT64_MAX;
+    StoreSeq frontier = StoreSeq::max();
     bool any_active = false;
     for (std::size_t c = 0; c < performed.size(); ++c) {
         if (active[c]) {

@@ -34,7 +34,7 @@ namespace contest
 /** One store released to the shared level. */
 struct MergedStore
 {
-    std::uint64_t index = 0;  //!< 0-based position in the store stream
+    StoreSeq index{};  //!< 0-based position in the store stream
     Addr addr = 0;
 };
 
@@ -76,13 +76,13 @@ class SyncStoreQueue
      * @p store_count (the number of stores preceding the refork
      * point). Must not precede the merge frontier.
      */
-    void reforkAll(std::uint64_t store_count);
+    void reforkAll(StoreSeq store_count);
 
     /** Number of stores performed so far by the given core. */
-    std::uint64_t performedBy(CoreId core) const;
+    StoreSeq performedBy(CoreId core) const;
 
     /** Number of merged stores released to the shared level. */
-    std::uint64_t mergedCount() const { return numMerged; }
+    StoreSeq mergedCount() const { return numMerged; }
 
     /**
      * Drain and return stores merged since the last call (the shared
@@ -97,13 +97,13 @@ class SyncStoreQueue
     void tryMerge();
 
     std::size_t cap;
-    std::vector<std::uint64_t> performed;
+    std::vector<StoreSeq> performed;
     std::vector<bool> active;
     /** Addresses of stores seen but not yet merged, oldest first. */
     std::deque<Addr> pendingAddrs;
     /** Stream index of pendingAddrs.front(). */
-    std::uint64_t pendingBase = 0;
-    std::uint64_t numMerged = 0;
+    StoreSeq pendingBase{};
+    StoreSeq numMerged{};
     std::vector<MergedStore> mergedSinceDrain;
 };
 

@@ -74,13 +74,13 @@ struct TraceInst
     {
         switch (op) {
           case OpClass::IntMul:
-            return 3;
+            return Cycles{3};
           case OpClass::IntDiv:
-            return 12;
+            return Cycles{12};
           case OpClass::Syscall:
-            return 1;
+            return Cycles{1};
           default:
-            return 1;
+            return Cycles{1};
         }
     }
 };

@@ -77,6 +77,17 @@ class Trace
     /** The i-th retired instruction. */
     const TraceInst &operator[](std::size_t i) const { return insts[i]; }
 
+    /** The retired instruction at stream position @p seq. */
+    const TraceInst &
+    operator[](InstSeq seq) const
+    {
+        return insts[static_cast<std::size_t>(seq.count())];
+    }
+
+    /** One past the last stream position — the typed size(), so
+     *  fetch/retire counters compare without leaving the unit. */
+    InstSeq endSeq() const { return InstSeq{insts.size()}; }
+
     /** Generator phase id of the i-th instruction. */
     std::uint8_t phaseOf(std::size_t i) const { return phases[i]; }
 

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Intentionally broken input for contest_lint's own tests. Every
+ * rule must fire at least once on this file; CI runs the linter over
+ * src/ bench/ tests/ where this directory is skipped.
+ */
+
+#ifndef WRONG_GUARD_NAME_HH
+#define WRONG_GUARD_NAME_HH
+
+#include <cstdint>
+
+namespace contest
+{
+
+struct BadCounters
+{
+    // bare-u64-quantity: a picosecond timestamp as a raw integer.
+    std::uint64_t startTimePs = 0;
+    // bare-u64-quantity: a cycle count as a raw integer.
+    std::uint64_t stallCycles = 0;
+    std::uint64_t performed = 0;
+    std::uint64_t merged = 0;
+    std::size_t cap = 8;
+
+    bool
+    canAccept() const
+    {
+        // unsigned-sub: the exact shape of the original
+        // SyncStoreQueue::canAccept wrap bug.
+        return performed - merged < cap;
+    }
+
+    int *
+    leak() const
+    {
+        // naked-new: ownership invisible to the caller.
+        return new int(42);
+    }
+
+    void
+    check() const
+    {
+        if (performed < merged)
+            panic("bad state");
+    }
+};
+
+// Suppressed findings: the allow comment must silence the rule on
+// the same line or the line after it.
+// contest-lint: allow(bare-u64-quantity)
+inline std::uint64_t allowedSeq = 0;
+inline std::uint64_t rawDeadlinePs = 0; // contest-lint: allow(bare-u64-quantity)
+
+} // namespace contest
+
+#endif // WRONG_GUARD_NAME_HH

@@ -82,12 +82,12 @@ TEST(Local, LearnsLoopPeriodsDespiteGlobalNoise)
     }
     // Count only the loop branch's behaviour from here.
     std::uint64_t miss_before = bp.mispredicts();
-    std::uint64_t look_before = bp.lookups();
+    LookupCount look_before = bp.lookups();
     for (int i = 0; i < 500; ++i)
         bp.predictAndTrain(0x400000, (i % 5) != 4);
     double rate =
         static_cast<double>(bp.mispredicts() - miss_before)
-        / static_cast<double>(bp.lookups() - look_before);
+        / static_cast<double>((bp.lookups() - look_before).count());
     EXPECT_LT(rate, 0.02);
 }
 

@@ -9,6 +9,9 @@
 #include <cmath>
 #include <cstdlib>
 #include <set>
+#include <type_traits>
+#include <unordered_set>
+#include <utility>
 
 #include "common/env.hh"
 #include "common/rng.hh"
@@ -21,12 +24,128 @@ namespace contest
 namespace
 {
 
+/** @name Unit-mixing compile-fail probes
+ *
+ * Detection idiom: each probe is valid exactly when the cross-unit
+ * expression compiles, so the static_asserts below pin the compile
+ * errors the Strong<> wrapper exists to produce. If someone loosens
+ * the operators, this test file stops building.
+ */
+/** @{ */
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type
+{};
+template <typename A, typename B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>()
+                                   + std::declval<B>())>>
+    : std::true_type
+{};
+
+template <typename A, typename B, typename = void>
+struct CanCompare : std::false_type
+{};
+template <typename A, typename B>
+struct CanCompare<A, B,
+                  std::void_t<decltype(std::declval<A>()
+                                       == std::declval<B>())>>
+    : std::true_type
+{};
+
+template <typename A, typename B, typename = void>
+struct CanAssignFrom : std::false_type
+{};
+template <typename A, typename B>
+struct CanAssignFrom<A, B,
+                     std::void_t<decltype(std::declval<A &>() =
+                                              std::declval<B>())>>
+    : std::true_type
+{};
+
+// Same-unit and scalar forms stay valid...
+static_assert(CanAdd<TimePs, TimePs>::value);
+static_assert(CanAdd<TimePs, int>::value);
+static_assert(CanCompare<TimePs, TimePs>::value);
+static_assert(CanCompare<TimePs, int>::value);
+// ...but the unit-mixing forms must not compile.
+static_assert(!CanAdd<TimePs, Cycles>::value);
+static_assert(!CanAdd<Cycles, TimePs>::value);
+static_assert(!CanAdd<InstSeq, StoreSeq>::value);
+static_assert(!CanCompare<TimePs, Cycles>::value);
+static_assert(!CanCompare<InstSeq, StoreSeq>::value);
+// Raw integers do not implicitly become quantities either.
+static_assert(!CanAssignFrom<TimePs, std::uint64_t>::value);
+// contest-lint: allow(bare-u64-quantity)
+static_assert(!std::is_convertible_v<std::uint64_t, TimePs>);
+static_assert(!std::is_convertible_v<TimePs, std::uint64_t>);
+/** @} */
+
+TEST(Strong, ArithmeticAndComparison)
+{
+    TimePs a{100};
+    TimePs b{40};
+    EXPECT_EQ((a + b).count(), 140u);
+    EXPECT_EQ((a - b).count(), 60u);
+    EXPECT_EQ(a / b, 2u);
+    EXPECT_EQ((a * 3).count(), 300u);
+    EXPECT_EQ((3 * a).count(), 300u);
+    EXPECT_EQ((a / 4).count(), 25u);
+    EXPECT_EQ((a + 1).count(), 101u);
+    EXPECT_EQ((a - 1).count(), 99u);
+    EXPECT_TRUE(a > b);
+    EXPECT_TRUE(b < 100);
+    EXPECT_TRUE(a == 100u);
+    a += b;
+    EXPECT_EQ(a.count(), 140u);
+    a -= 40;
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_EQ((a++).count(), 100u);
+    EXPECT_EQ((++a).count(), 102u);
+    EXPECT_EQ(TimePs::max().count(),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Strong, CyclesToPsIsTheOnlyCrossing)
+{
+    // 5 cycles at a 250 ps clock period.
+    EXPECT_EQ(cyclesToPs(Cycles{5}, TimePs{250}).count(), 1250u);
+    EXPECT_EQ(cyclesToPs(Cycles{}, TimePs{250}), TimePs{});
+}
+
+TEST(Strong, HashesLikeRawRepresentation)
+{
+    std::unordered_set<InstSeq> seen;
+    seen.insert(InstSeq{3});
+    seen.insert(InstSeq{3});
+    seen.insert(InstSeq{4});
+    EXPECT_EQ(seen.size(), 2u);
+    EXPECT_EQ(std::hash<InstSeq>{}(InstSeq{42}),
+              std::hash<std::uint64_t>{}(42));
+}
+
+TEST(StrongDeathTest, DebugSubtractionPanicsOnWrap)
+{
+#if CONTEST_CHECKED_UNITS
+    // The checked operator- turns the silent wrap behind the original
+    // SyncStoreQueue::canAccept bug into an immediate panic.
+    EXPECT_DEATH((void)(TimePs{1} - TimePs{2}),
+                 "strong-type underflow");
+    StoreSeq merged{10};
+    StoreSeq performed{4};
+    EXPECT_DEATH((void)(performed - merged),
+                 "strong-type underflow");
+#else
+    GTEST_SKIP() << "checked units compile out under NDEBUG "
+                    "(covered by the Debug sanitize CI jobs)";
+#endif
+}
+
 TEST(Types, InstPerNsConvertsPicoseconds)
 {
     // 1000 instructions in 500 ns -> 2 inst/ns.
-    EXPECT_DOUBLE_EQ(instPerNs(1000, 500 * psPerNs), 2.0);
-    EXPECT_DOUBLE_EQ(instPerNs(0, 1000), 0.0);
-    EXPECT_DOUBLE_EQ(instPerNs(1000, 0), 0.0);
+    EXPECT_DOUBLE_EQ(instPerNs(InstSeq{1000}, TimePs{500 * psPerNs}), 2.0);
+    EXPECT_DOUBLE_EQ(instPerNs(InstSeq{}, TimePs{1000}), 0.0);
+    EXPECT_DOUBLE_EQ(instPerNs(InstSeq{1000}, TimePs{}), 0.0);
 }
 
 TEST(Rng, DeterministicForEqualSeeds)

@@ -250,8 +250,8 @@ TEST(ContestSystem, GrbLatencyHurtsMonotonically)
                           trace, cfg);
         return sys.run().ipt;
     };
-    double at_1ns = run_at(1'000);
-    double at_100ns = run_at(100'000);
+    double at_1ns = run_at(TimePs{1'000});
+    double at_100ns = run_at(TimePs{100'000});
     // Figure 8: speedup degrades as the bus slows. Allow noise but
     // require the 100ns case to not beat the 1ns case meaningfully.
     EXPECT_LE(at_100ns, at_1ns * 1.01);

@@ -23,8 +23,8 @@ TEST(ResultFifo, PopCounterTracksHead)
     ResultFifo f(8);
     EXPECT_EQ(f.headSeq(), 0u);
     EXPECT_TRUE(f.empty());
-    EXPECT_TRUE(f.push(0, 100));
-    EXPECT_TRUE(f.push(1, 110));
+    EXPECT_TRUE(f.push(InstSeq{0}, TimePs{100}));
+    EXPECT_TRUE(f.push(InstSeq{1}, TimePs{110}));
     EXPECT_EQ(f.headSeq(), 0u);
     EXPECT_EQ(f.size(), 2u);
     f.pop();
@@ -37,9 +37,9 @@ TEST(ResultFifo, PopCounterTracksHead)
 TEST(ResultFifo, ArrivalTimeGatesHead)
 {
     ResultFifo f(8);
-    f.push(0, 500);
-    EXPECT_FALSE(f.headArrived(499)); // still in flight on the GRB
-    EXPECT_TRUE(f.headArrived(500));
+    f.push(InstSeq{0}, TimePs{500});
+    EXPECT_FALSE(f.headArrived(TimePs{499})); // still in flight on the GRB
+    EXPECT_TRUE(f.headArrived(TimePs{500}));
     ASSERT_TRUE(f.headArrival().has_value());
     EXPECT_EQ(*f.headArrival(), 500u);
 }
@@ -47,39 +47,39 @@ TEST(ResultFifo, ArrivalTimeGatesHead)
 TEST(ResultFifo, DiscardBelowDropsOnlyOlderEntries)
 {
     ResultFifo f(8);
-    for (InstSeq s = 0; s < 5; ++s)
-        f.push(s, 100 + s);
-    EXPECT_EQ(f.discardBelow(3), 3u);
+    for (InstSeq s{}; s < 5; ++s)
+        f.push(s, TimePs{100} + s.count());
+    EXPECT_EQ(f.discardBelow(InstSeq{3}), 3u);
     EXPECT_EQ(f.headSeq(), 3u);
     EXPECT_EQ(f.size(), 2u);
     // Discarding below an older position is a no-op.
-    EXPECT_EQ(f.discardBelow(1), 0u);
+    EXPECT_EQ(f.discardBelow(InstSeq{1}), 0u);
     EXPECT_EQ(f.headSeq(), 3u);
 }
 
 TEST(ResultFifo, OutOfOrderPushPanics)
 {
     ResultFifo f(8);
-    f.push(0, 1);
-    EXPECT_DEATH(f.push(2, 2), "out-of-order");
+    f.push(InstSeq{0}, TimePs{1});
+    EXPECT_DEATH(f.push(InstSeq{2}, TimePs{2}), "out-of-order");
 }
 
 TEST(ResultFifo, OverflowReportsFailure)
 {
     ResultFifo f(2);
-    EXPECT_TRUE(f.push(0, 1));
-    EXPECT_TRUE(f.push(1, 2));
-    EXPECT_FALSE(f.push(2, 3)); // saturated lagger signal
+    EXPECT_TRUE(f.push(InstSeq{0}, TimePs{1}));
+    EXPECT_TRUE(f.push(InstSeq{1}, TimePs{2}));
+    EXPECT_FALSE(f.push(InstSeq{2}, TimePs{3})); // saturated lagger signal
     EXPECT_EQ(f.size(), 2u);
     f.pop();
-    EXPECT_TRUE(f.push(2, 3)); // retry after drain succeeds
+    EXPECT_TRUE(f.push(InstSeq{2}, TimePs{3})); // retry after drain succeeds
 }
 
 TEST(ResultFifo, ClearAdvancesPopCounterPastBufferedEntries)
 {
     ResultFifo f(4);
-    f.push(0, 1);
-    f.push(1, 2);
+    f.push(InstSeq{0}, TimePs{1});
+    f.push(InstSeq{1}, TimePs{2});
     f.pop();
     f.clear();
     EXPECT_TRUE(f.empty());
@@ -87,7 +87,7 @@ TEST(ResultFifo, ClearAdvancesPopCounterPastBufferedEntries)
     // in-order push carries seq 2; clear() must leave the pop
     // counter there, not at the stale head.
     EXPECT_EQ(f.headSeq(), 2u);
-    EXPECT_TRUE(f.push(2, 3));
+    EXPECT_TRUE(f.push(InstSeq{2}, TimePs{3}));
     EXPECT_EQ(f.headSeq(), 2u);
     EXPECT_EQ(f.size(), 1u);
 }
@@ -113,16 +113,16 @@ TEST(CoreContestUnit, ConfirmEarlyResolvePopsTheWinningSource)
     // Both sources retired branch seq 0, but over GRBs of very
     // different latency: source 0's result is still on the bus at
     // the resolve time, source 1's has arrived.
-    u.receiveResult(0, 0, 1000);
-    u.receiveResult(1, 0, 10);
+    u.receiveResult(0, InstSeq{0}, TimePs{1000});
+    u.receiveResult(1, InstSeq{0}, TimePs{10});
 
-    auto arrival = u.externalBranchResolve(0, 50);
+    auto arrival = u.externalBranchResolve(InstSeq{0}, TimePs{50});
     ASSERT_TRUE(arrival.has_value());
     EXPECT_EQ(*arrival, 10u);
 
     // Confirming must pop source 1's FIFO — the one whose arrival
     // won — not whichever FIFO happens to hold the seq first.
-    u.confirmEarlyResolve(0, 50);
+    u.confirmEarlyResolve(InstSeq{0}, TimePs{50});
     EXPECT_EQ(u.popCounter(1), 1u);
     EXPECT_EQ(u.popCounter(0), 0u);
     EXPECT_EQ(u.stats().paired, 1u);
@@ -134,58 +134,58 @@ TEST(CoreContestUnit, ConfirmWithoutResolvePanics)
     cfg.earlyBranchResolve = true;
     auto sys = makeThreeCoreSystem(cfg);
     CoreContestUnit &u = sys.unit(2);
-    u.receiveResult(0, 0, 10);
-    EXPECT_DEATH(u.confirmEarlyResolve(0, 50), "no armed");
+    u.receiveResult(0, InstSeq{0}, TimePs{10});
+    EXPECT_DEATH(u.confirmEarlyResolve(InstSeq{0}, TimePs{50}), "no armed");
 }
 
 TEST(Exception, RendezvousWaitsForAllCores)
 {
-    ExceptionCoordinator coord(3, 1000);
-    EXPECT_FALSE(coord.arrive(0, 500, 10).has_value());
-    EXPECT_FALSE(coord.arrive(1, 500, 20).has_value());
-    auto r = coord.arrive(2, 500, 30);
+    ExceptionCoordinator coord(3, TimePs{1000});
+    EXPECT_FALSE(coord.arrive(0, InstSeq{500}, TimePs{10}).has_value());
+    EXPECT_FALSE(coord.arrive(1, InstSeq{500}, TimePs{20}).has_value());
+    auto r = coord.arrive(2, InstSeq{500}, TimePs{30});
     ASSERT_TRUE(r.has_value());
     // Handler runs for 1000 ps after the last arrival.
     EXPECT_EQ(*r, 1030u);
     // Earlier arrivals re-query and see the same resume time.
-    EXPECT_EQ(*coord.arrive(0, 500, 40), 1030u);
+    EXPECT_EQ(*coord.arrive(0, InstSeq{500}, TimePs{40}), 1030u);
     EXPECT_EQ(coord.handled(), 1u);
 }
 
 TEST(Exception, ArrivalsAreIdempotent)
 {
-    ExceptionCoordinator coord(2, 100);
-    EXPECT_FALSE(coord.arrive(0, 7, 1).has_value());
-    EXPECT_FALSE(coord.arrive(0, 7, 2).has_value()); // same core again
-    EXPECT_TRUE(coord.arrive(1, 7, 3).has_value());
+    ExceptionCoordinator coord(2, TimePs{100});
+    EXPECT_FALSE(coord.arrive(0, InstSeq{7}, TimePs{1}).has_value());
+    EXPECT_FALSE(coord.arrive(0, InstSeq{7}, TimePs{2}).has_value()); // same core again
+    EXPECT_TRUE(coord.arrive(1, InstSeq{7}, TimePs{3}).has_value());
 }
 
 TEST(Exception, IndependentRendezvousPerPosition)
 {
-    ExceptionCoordinator coord(2, 100);
-    EXPECT_FALSE(coord.arrive(0, 10, 1).has_value());
-    EXPECT_FALSE(coord.arrive(1, 20, 2).has_value());
-    EXPECT_TRUE(coord.arrive(1, 10, 3).has_value());
-    EXPECT_TRUE(coord.arrive(0, 20, 4).has_value());
+    ExceptionCoordinator coord(2, TimePs{100});
+    EXPECT_FALSE(coord.arrive(0, InstSeq{10}, TimePs{1}).has_value());
+    EXPECT_FALSE(coord.arrive(1, InstSeq{20}, TimePs{2}).has_value());
+    EXPECT_TRUE(coord.arrive(1, InstSeq{10}, TimePs{3}).has_value());
+    EXPECT_TRUE(coord.arrive(0, InstSeq{20}, TimePs{4}).has_value());
     EXPECT_EQ(coord.handled(), 2u);
 }
 
 TEST(Exception, DropCoreReleasesWaiters)
 {
-    ExceptionCoordinator coord(2, 100);
-    EXPECT_FALSE(coord.arrive(0, 5, 50).has_value());
-    coord.dropCore(1, 60); // lagger parked; waiter must not hang
-    auto r = coord.arrive(0, 5, 70);
+    ExceptionCoordinator coord(2, TimePs{100});
+    EXPECT_FALSE(coord.arrive(0, InstSeq{5}, TimePs{50}).has_value());
+    coord.dropCore(1, TimePs{60}); // lagger parked; waiter must not hang
+    auto r = coord.arrive(0, InstSeq{5}, TimePs{70});
     ASSERT_TRUE(r.has_value());
     EXPECT_EQ(*r, 160u);
 }
 
 TEST(Exception, DroppedCoreDoesNotBlockNewRendezvous)
 {
-    ExceptionCoordinator coord(3, 100);
-    coord.dropCore(2, 0);
-    EXPECT_FALSE(coord.arrive(0, 9, 10).has_value());
-    EXPECT_TRUE(coord.arrive(1, 9, 20).has_value());
+    ExceptionCoordinator coord(3, TimePs{100});
+    coord.dropCore(2, TimePs{0});
+    EXPECT_FALSE(coord.arrive(0, InstSeq{9}, TimePs{10}).has_value());
+    EXPECT_TRUE(coord.arrive(1, InstSeq{9}, TimePs{20}).has_value());
 }
 
 } // namespace

@@ -24,16 +24,16 @@ testConfig()
 {
     CoreConfig c;
     c.name = "test";
-    c.memAccessCycles = 100;
+    c.memAccessCycles = Cycles{100};
     c.frontEndDepth = 4;
     c.width = 4;
     c.robSize = 64;
     c.iqSize = 32;
-    c.wakeupLatency = 1;
-    c.schedDepth = 2;
-    c.clockPeriodPs = 250;
-    c.l1d = CacheConfig{64, 2, 64, 2, false, true};
-    c.l2 = CacheConfig{256, 4, 64, 8, false, true};
+    c.wakeupLatency = Cycles{1};
+    c.schedDepth = Cycles{2};
+    c.clockPeriodPs = TimePs{250};
+    c.l1d = CacheConfig{64, 2, 64, Cycles{2}, false, true};
+    c.l2 = CacheConfig{256, 4, 64, Cycles{8}, false, true};
     c.lsqSize = 32;
     c.l1dPorts = 2;
     c.mshrs = 8;
@@ -64,7 +64,7 @@ makeTrace(const std::vector<TraceInst> &insts)
 Cycles
 runToCompletion(OooCore &core)
 {
-    TimePs now = 0;
+    TimePs now{};
     while (!core.done()) {
         core.tick(now);
         now += core.periodPs();
@@ -104,7 +104,7 @@ TEST(Core, SerialChainPaysWakeupLatency)
 TEST(Core, WakeupZeroRunsChainsBackToBack)
 {
     auto cfg = testConfig();
-    cfg.wakeupLatency = 0;
+    cfg.wakeupLatency = Cycles{};
     std::vector<TraceInst> insts;
     insts.push_back(alu(1));
     for (int i = 1; i < 1000; ++i)
@@ -122,7 +122,7 @@ TEST(Core, RetiresInProgramOrder)
     for (int i = 0; i < 500; ++i)
         insts.push_back(alu(static_cast<RegId>(1 + (i % 60))));
     OooCore core(testConfig(), makeTrace(insts));
-    InstSeq expected = 0;
+    InstSeq expected{};
     core.setRetireCallback([&](InstSeq seq, TimePs) {
         EXPECT_EQ(seq, expected);
         ++expected;
@@ -214,7 +214,7 @@ TEST(Core, SyscallSerializesAndChargesHandler)
         insts.push_back(alu(static_cast<RegId>(1 + i)));
 
     auto cfg = testConfig();
-    cfg.syscallHandlerCycles = 64;
+    cfg.syscallHandlerCycles = Cycles{64};
     OooCore core(cfg, makeTrace(insts));
     Cycles cycles = runToCompletion(core);
     EXPECT_EQ(core.stats().syscalls, 1u);
@@ -298,7 +298,7 @@ TEST(Core, TickAfterDoneIsANoOp)
     OooCore core(testConfig(), makeTrace(insts));
     runToCompletion(core);
     Cycles cycles = core.cycle();
-    core.tick(1'000'000);
+    core.tick(TimePs{1'000'000});
     EXPECT_EQ(core.cycle(), cycles);
 }
 
@@ -344,7 +344,7 @@ TEST(Core, ICacheMissesStallFetch)
 
     auto with_ic = testConfig();
     with_ic.modelICache = true;
-    with_ic.l1i = CacheConfig{8, 1, 64, 1, false, true}; // 512B
+    with_ic.l1i = CacheConfig{8, 1, 64, Cycles{1}, false, true}; // 512B
     OooCore small_ic(with_ic, trace);
     Cycles small_cycles = runToCompletion(small_ic);
     EXPECT_GT(small_ic.stats().icacheMisses, 100u);
@@ -362,7 +362,7 @@ TEST(Core, LargeICacheApproachesPerfect)
     with_ic.modelICache = true;
     // Big enough for the whole synthetic code footprint.
     // High associativity absorbs the staggered phase code regions.
-    with_ic.l1i = CacheConfig{512, 8, 64, 1, false, true}; // 256KB
+    with_ic.l1i = CacheConfig{512, 8, 64, Cycles{1}, false, true}; // 256KB
     OooCore warm(with_ic, trace);
     Cycles warm_cycles = runToCompletion(warm);
     // The resident code working set keeps the miss rate low.

@@ -161,8 +161,8 @@ TEST(Annealer, TechnologyModelTradesFrequencyForStructures)
     EXPECT_GT(big.clockPeriodPs, small.clockPeriodPs);
 
     CoreConfig pipelined = big;
-    pipelined.schedDepth = 4;
-    pipelined.wakeupLatency = 3;
+    pipelined.schedDepth = Cycles{4};
+    pipelined.wakeupLatency = Cycles{3};
     pipelined.frontEndDepth = 12;
     applyTechnologyModel(pipelined);
     EXPECT_LT(pipelined.clockPeriodPs, big.clockPeriodPs);
@@ -171,10 +171,10 @@ TEST(Annealer, TechnologyModelTradesFrequencyForStructures)
 TEST(Annealer, CacheLatencyFollowsCapacity)
 {
     CoreConfig c;
-    c.l1d = CacheConfig{128, 1, 32, 1, false, true}; // 4KB
+    c.l1d = CacheConfig{128, 1, 32, Cycles{1}, false, true}; // 4KB
     applyTechnologyModel(c);
     Cycles small_lat = c.l1d.latency;
-    c.l1d = CacheConfig{16384, 4, 64, 1, false, true}; // 4MB
+    c.l1d = CacheConfig{16384, 4, 64, Cycles{1}, false, true}; // 4MB
     applyTechnologyModel(c);
     EXPECT_GT(c.l1d.latency, small_lat);
 }
@@ -200,7 +200,7 @@ TEST(Annealer, ImprovesAnAnalyticObjective)
     double start_score = objective(start);
 
     AnnealConfig ac;
-    ac.steps = 400;
+    ac.steps = StepCount{400};
     ac.seed = 5;
     auto result = annealCoreConfig(objective, start, ac);
     EXPECT_GT(result.bestScore, start_score);
@@ -217,7 +217,7 @@ TEST(Annealer, DeterministicForEqualSeeds)
     };
     CoreConfig start;
     AnnealConfig ac;
-    ac.steps = 100;
+    ac.steps = StepCount{100};
     ac.seed = 9;
     auto r1 = annealCoreConfig(objective, start, ac);
     auto r2 = annealCoreConfig(objective, start, ac);

@@ -17,8 +17,8 @@ namespace
 TEST(RegionLog, ClosesEveryTwentyInstructions)
 {
     RegionLog log;
-    TimePs now = 0;
-    for (InstSeq seq = 0; seq < 100; ++seq) {
+    TimePs now{};
+    for (InstSeq seq{}; seq < 100; ++seq) {
         now += 10;
         log.onRetire(seq, now);
     }
@@ -31,8 +31,8 @@ TEST(RegionLog, ClosesEveryTwentyInstructions)
 TEST(Fusion, PicksTheFasterSeriesPerBlock)
 {
     // Config A is fast in even regions, B in odd regions.
-    std::vector<TimePs> a{10, 100, 10, 100};
-    std::vector<TimePs> b{100, 10, 100, 10};
+    std::vector<TimePs> a{TimePs{10}, TimePs{100}, TimePs{10}, TimePs{100}};
+    std::vector<TimePs> b{TimePs{100}, TimePs{10}, TimePs{100}, TimePs{10}};
     // Granularity 1 region: oracle gets 10 everywhere.
     EXPECT_EQ(fuseRegionTimes(a, b, 1), 40u);
     // Granularity 2 regions: each block is 110 on both.
@@ -43,8 +43,8 @@ TEST(Fusion, PicksTheFasterSeriesPerBlock)
 
 TEST(Fusion, HandlesUnequalLengths)
 {
-    std::vector<TimePs> a{10, 10, 10};
-    std::vector<TimePs> b{5, 5};
+    std::vector<TimePs> a{TimePs{10}, TimePs{10}, TimePs{10}};
+    std::vector<TimePs> b{TimePs{5}, TimePs{5}};
     EXPECT_EQ(fuseRegionTimes(a, b, 1), 10u);
 }
 

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the contest_lint rule engine (tools/lint_core.hh): each
+ * rule must fire on the canonical bad shape, stay quiet on the
+ * idiomatic fix, and honor the allow-comment escape hatch. The
+ * seeded fixture in tests/lint_fixtures/ is linted too, so the
+ * binary's non-zero-on-fixture acceptance check can never rot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "../tools/lint_core.hh"
+
+namespace contest::lint
+{
+namespace
+{
+
+std::vector<std::string>
+rulesIn(const std::vector<Violation> &vs)
+{
+    std::vector<std::string> rules;
+    for (const auto &v : vs)
+        rules.push_back(v.rule);
+    return rules;
+}
+
+bool
+fired(const std::vector<Violation> &vs, const std::string &rule)
+{
+    auto rules = rulesIn(vs);
+    return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+TEST(LintBareU64, FlagsQuantityNamesOutsideTypesHeader)
+{
+    auto v = lintFile("src/core/x.cc",
+                      "std::uint64_t arriveTimePs = 0;\n"
+                      "std::uint64_t stallCycles = 0;\n"
+                      "std::uint64_t fetchSeq = 0;\n"
+                      "std::uint64_t grbLatency = 0;\n");
+    EXPECT_EQ(v.size(), 4u);
+    for (const auto &f : v)
+        EXPECT_EQ(f.rule, "bare-u64-quantity");
+}
+
+TEST(LintBareU64, IgnoresNonQuantityNamesAndTypesHeader)
+{
+    EXPECT_TRUE(lintFile("src/core/x.cc",
+                         "std::uint64_t steps = 0;\n"
+                         "std::uint64_t hash = 0;\n"
+                         "std::uint64_t footprintBytes = 0;\n")
+                    .empty());
+    // The Strong<> aliases themselves live on raw uint64_t.
+    EXPECT_TRUE(lintFile("src/common/types.hh",
+                         "#ifndef CONTEST_COMMON_TYPES_HH\n"
+                         "#define CONTEST_COMMON_TYPES_HH\n"
+                         "using TimePs = Strong<struct TimePsTag, "
+                         "std::uint64_t>;\n"
+                         "#endif\n")
+                    .empty());
+}
+
+TEST(LintBareU64, AllowCommentSuppresses)
+{
+    EXPECT_TRUE(
+        lintFile("src/core/x.cc",
+                 "std::uint64_t rawPs = 0; "
+                 "// contest-lint: allow(bare-u64-quantity)\n")
+            .empty());
+    EXPECT_TRUE(
+        lintFile("src/core/x.cc",
+                 "// contest-lint: allow(bare-u64-quantity)\n"
+                 "std::uint64_t rawPs = 0;\n")
+            .empty());
+}
+
+TEST(LintUnsignedSub, FlagsTheCanAcceptBugShape)
+{
+    // The exact PR 1 bug: performed - numMerged wraps when the
+    // queue state goes stale, and the comparison happily accepts.
+    auto v = lintFile("src/mem/q.cc",
+                      "return performed[core] - numMerged < cap;\n");
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "unsigned-sub");
+    EXPECT_EQ(v[0].line, 1u);
+}
+
+TEST(LintUnsignedSub, ParenthesizedOrStrongIsQuiet)
+{
+    EXPECT_TRUE(
+        lintFile("src/mem/q.cc",
+                 "return (performed[core] - numMerged).count() < "
+                 "cap;\n")
+            .empty());
+    EXPECT_TRUE(
+        lintFile("src/mem/q.cc",
+                 "return (performed[core] - numMerged) < cap;\n")
+            .empty());
+    // Arrow members and templates are not subtractions.
+    EXPECT_TRUE(lintFile("src/mem/q.cc",
+                         "if (it->seq < rob.front().seq) {}\n"
+                         "while (trace->size() < num_insts) {}\n"
+                         "std::vector<TimePs> v;\n")
+                    .empty());
+    // Numeric literal operands are not counter subtraction.
+    EXPECT_TRUE(
+        lintFile("src/mem/q.cc", "if (i < n - 1) {}\n").empty());
+}
+
+TEST(LintUnsignedSub, FlagsBothComparisonDirections)
+{
+    EXPECT_TRUE(fired(
+        lintFile("src/mem/q.cc", "if (head - tail > cap) {}\n"),
+        "unsigned-sub"));
+    EXPECT_TRUE(fired(
+        lintFile("src/mem/q.cc", "if (head - tail >= cap) {}\n"),
+        "unsigned-sub"));
+}
+
+TEST(LintIncludeGuard, EnforcesPathDerivedName)
+{
+    EXPECT_TRUE(lintFile("src/mem/cache.hh",
+                         "#ifndef CONTEST_MEM_CACHE_HH\n"
+                         "#define CONTEST_MEM_CACHE_HH\n"
+                         "#endif\n")
+                    .empty());
+    auto v = lintFile("src/mem/cache.hh",
+                      "#ifndef CACHE_H\n#define CACHE_H\n#endif\n");
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "include-guard");
+    EXPECT_NE(v[0].message.find("CONTEST_MEM_CACHE_HH"),
+              std::string::npos);
+    // Missing guard entirely.
+    EXPECT_TRUE(fired(lintFile("src/mem/cache.hh", "int x;\n"),
+                      "include-guard"));
+}
+
+TEST(LintIncludeGuard, CollapsedDuplicateTokensAccepted)
+{
+    // bench/bench_common.hh guards as CONTEST_BENCH_COMMON_HH.
+    EXPECT_TRUE(lintFile("bench/bench_common.hh",
+                         "#ifndef CONTEST_BENCH_COMMON_HH\n"
+                         "#define CONTEST_BENCH_COMMON_HH\n"
+                         "#endif\n")
+                    .empty());
+}
+
+TEST(LintNakedNew, FlagsRawNewButNotIdentifiers)
+{
+    EXPECT_TRUE(fired(
+        lintFile("src/core/x.cc", "auto *p = new Widget();\n"),
+        "naked-new"));
+    EXPECT_TRUE(lintFile("src/core/x.cc",
+                         "auto p = std::make_unique<Widget>();\n"
+                         "int renewed = renew();\n"
+                         "// a new comment mentioning new\n")
+                    .empty());
+}
+
+TEST(LintPanicMessage, RequiresInvariantNamingMessage)
+{
+    EXPECT_TRUE(fired(
+        lintFile("src/core/x.cc", "panic(\"bad state\");\n"),
+        "panic-message"));
+    EXPECT_TRUE(
+        lintFile("src/core/x.cc",
+                 "panic_if(core >= performed.size(),\n"
+                 "         \"SyncStoreQueue: core %u out of "
+                 "range\", core);\n")
+            .empty());
+}
+
+TEST(LintFixture, SeededFixtureTripsEveryRule)
+{
+    std::ifstream in(std::string(CONTEST_LINT_FIXTURE_DIR)
+                     + "/bad_example.hh");
+    ASSERT_TRUE(in.good())
+        << "fixture missing: tests/lint_fixtures/bad_example.hh";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto v = lintFile("tests/lint_fixtures/bad_example.hh", ss.str());
+    EXPECT_TRUE(fired(v, "bare-u64-quantity"));
+    EXPECT_TRUE(fired(v, "unsigned-sub"));
+    EXPECT_TRUE(fired(v, "include-guard"));
+    EXPECT_TRUE(fired(v, "naked-new"));
+    EXPECT_TRUE(fired(v, "panic-message"));
+    // The two allow-commented declarations must not be reported:
+    // exactly two bare-u64 findings remain (startTimePs,
+    // stallCycles).
+    const auto rules = rulesIn(v);
+    EXPECT_EQ(std::count(rules.begin(), rules.end(),
+                         std::string("bare-u64-quantity")),
+              2);
+}
+
+} // namespace
+} // namespace contest::lint

@@ -18,13 +18,13 @@ namespace
 
 CacheConfig
 tinyCache(unsigned sets, unsigned assoc, unsigned block,
-          Cycles latency)
+          unsigned latency)
 {
     CacheConfig c;
     c.sets = sets;
     c.assoc = assoc;
     c.blockBytes = block;
-    c.latency = latency;
+    c.latency = Cycles{latency};
     return c;
 }
 
@@ -132,18 +132,18 @@ TEST(Cache, InvalidateAllDropsLines)
 TEST(Hierarchy, LatencyAccumulatesAcrossLevels)
 {
     DataHierarchy h(tinyCache(4, 1, 64, 2), tinyCache(16, 2, 64, 10),
-                    100);
+                    Cycles{100});
     // Cold: L1 miss + L2 miss -> 2 + 10 + 100.
-    auto r1 = h.access(0x1000, false, 0);
+    auto r1 = h.access(0x1000, false, Cycles{0});
     EXPECT_EQ(r1.level, MemLevel::Memory);
     EXPECT_EQ(r1.latency, 112u);
     // Warm L1.
-    auto r2 = h.access(0x1000, false, 0);
+    auto r2 = h.access(0x1000, false, Cycles{0});
     EXPECT_EQ(r2.level, MemLevel::L1);
     EXPECT_EQ(r2.latency, 2u);
     // Conflict out of L1 but still in L2: L1 + L2 latency.
-    h.access(0x1100, false, 0); // evicts 0x1000 from 4-set L1
-    auto r3 = h.access(0x1000, false, 0);
+    h.access(0x1100, false, Cycles{0}); // evicts 0x1000 from 4-set L1
+    auto r3 = h.access(0x1000, false, Cycles{0});
     EXPECT_EQ(r3.level, MemLevel::L2);
     EXPECT_EQ(r3.latency, 12u);
 }
@@ -152,13 +152,13 @@ TEST(Hierarchy, BandwidthQueuesConsecutiveFills)
 {
     // load gap of 50 cycles between shared-level fills.
     DataHierarchy h(tinyCache(4, 1, 64, 2), tinyCache(16, 2, 64, 10),
-                    100, 50, 5);
-    auto r1 = h.access(0x10000, false, 0);
+                    Cycles{100}, Cycles{50}, Cycles{5});
+    auto r1 = h.access(0x10000, false, Cycles{0});
     EXPECT_EQ(r1.latency, 112u); // no queue yet
-    auto r2 = h.access(0x20000, false, 0);
+    auto r2 = h.access(0x20000, false, Cycles{0});
     // Second fill waits for the 50-cycle bus slot.
     EXPECT_EQ(r2.latency, 112u + 50u);
-    auto r3 = h.access(0x30000, false, 200);
+    auto r3 = h.access(0x30000, false, Cycles{200});
     // At cycle 200 the bus (free at 100) is idle again.
     EXPECT_EQ(r3.latency, 112u);
 }
@@ -166,17 +166,17 @@ TEST(Hierarchy, BandwidthQueuesConsecutiveFills)
 TEST(Hierarchy, WriteThroughStorePropagatesToL2)
 {
     DataHierarchy h(tinyCache(4, 1, 64, 2), tinyCache(16, 2, 64, 10),
-                    100);
+                    Cycles{100});
     h.setWriteThrough(true);
-    h.access(0x1000, false, 0); // fill both levels
+    h.access(0x1000, false, Cycles{0}); // fill both levels
     // Conflict 0x1000 out of L1 only.
-    h.access(0x1100, false, 0);
+    h.access(0x1100, false, Cycles{0});
     // Store hits L1? No - 0x1000 now misses L1, hits L2.
-    auto r = h.access(0x1000, true, 0);
+    auto r = h.access(0x1000, true, Cycles{0});
     EXPECT_EQ(r.level, MemLevel::L2);
     // A store that hits L1 updates L2 tags too (stays inclusive).
-    h.access(0x2000, false, 0);
-    auto r2 = h.access(0x2000, true, 0);
+    h.access(0x2000, false, Cycles{0});
+    auto r2 = h.access(0x2000, true, Cycles{0});
     EXPECT_EQ(r2.level, MemLevel::L1);
 }
 

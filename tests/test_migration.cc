@@ -20,11 +20,11 @@ namespace
 TEST(Migration, OracleSwitchesWhenProfitable)
 {
     // A alternates fast/slow blocks against B (times per region).
-    std::vector<TimePs> a{10, 10, 100, 100, 10, 10, 100, 100};
-    std::vector<TimePs> b{100, 100, 10, 10, 100, 100, 10, 10};
+    std::vector<TimePs> a{TimePs{10}, TimePs{10}, TimePs{100}, TimePs{100}, TimePs{10}, TimePs{10}, TimePs{100}, TimePs{100}};
+    std::vector<TimePs> b{TimePs{100}, TimePs{100}, TimePs{10}, TimePs{10}, TimePs{100}, TimePs{100}, TimePs{10}, TimePs{10}};
     MigrationConfig cfg;
     cfg.regionsPerBlock = 2;
-    cfg.migrationPenaltyPs = 0;
+    cfg.migrationPenaltyPs = TimePs{};
     cfg.policy = MigrationPolicy::Oracle;
     auto r = simulateMigration(a, b, cfg);
     EXPECT_EQ(r.totalPs, 80u); // 4 blocks x 20 ps each
@@ -34,17 +34,17 @@ TEST(Migration, OracleSwitchesWhenProfitable)
 
 TEST(Migration, PenaltyMakesSwitchingUnprofitable)
 {
-    std::vector<TimePs> a{10, 100, 10, 100};
-    std::vector<TimePs> b{100, 10, 100, 10};
+    std::vector<TimePs> a{TimePs{10}, TimePs{100}, TimePs{10}, TimePs{100}};
+    std::vector<TimePs> b{TimePs{100}, TimePs{10}, TimePs{100}, TimePs{10}};
     MigrationConfig cfg;
     cfg.regionsPerBlock = 1;
     cfg.policy = MigrationPolicy::Oracle;
 
-    cfg.migrationPenaltyPs = 0;
+    cfg.migrationPenaltyPs = TimePs{};
     auto free_switch = simulateMigration(a, b, cfg);
     EXPECT_EQ(free_switch.totalPs, 40u);
 
-    cfg.migrationPenaltyPs = 1000;
+    cfg.migrationPenaltyPs = TimePs{1000};
     auto costly = simulateMigration(a, b, cfg);
     // The oracle here is per-block greedy; penalties add up.
     EXPECT_EQ(costly.totalPs, 40u + 3u * 1000u);
@@ -55,11 +55,11 @@ TEST(Migration, HistoryLagsOneBlock)
 {
     // Behaviour flips every block, so yesterday's winner is always
     // today's loser: history picks wrong every time after block 0.
-    std::vector<TimePs> a{10, 100, 10, 100};
-    std::vector<TimePs> b{100, 10, 100, 10};
+    std::vector<TimePs> a{TimePs{10}, TimePs{100}, TimePs{10}, TimePs{100}};
+    std::vector<TimePs> b{TimePs{100}, TimePs{10}, TimePs{100}, TimePs{10}};
     MigrationConfig cfg;
     cfg.regionsPerBlock = 1;
-    cfg.migrationPenaltyPs = 0;
+    cfg.migrationPenaltyPs = TimePs{};
     cfg.policy = MigrationPolicy::History;
     auto r = simulateMigration(a, b, cfg);
     // Block 0 on A (10), then always the previous winner: block 1
@@ -74,7 +74,7 @@ TEST(Migration, CoarserBlocksReduceOpportunity)
     const auto &rb = runner.single("twolf", "vpr");
     MigrationConfig fine;
     fine.regionsPerBlock = 1;
-    fine.migrationPenaltyPs = 0;
+    fine.migrationPenaltyPs = TimePs{};
     MigrationConfig coarse = fine;
     coarse.regionsPerBlock = 512;
     auto f = simulateMigration(ra.regions->series(),
@@ -88,8 +88,8 @@ TEST(Interrupts, ReforkCompletesCorrectly)
 {
     auto trace = makeBenchmarkTrace("gcc", 3, 30000);
     ContestConfig cfg;
-    cfg.interruptPeriodPs = 3'000'000;  // 3 us
-    cfg.interruptHandlerPs = 200'000;   // 200 ns
+    cfg.interruptPeriodPs = TimePs{3'000'000};  // 3 us
+    cfg.interruptHandlerPs = TimePs{200'000};   // 200 ns
     ContestSystem sys({coreConfigByName("twolf"),
                        coreConfigByName("gzip")},
                       trace, cfg);
@@ -107,14 +107,14 @@ TEST(Interrupts, CostPerformance)
     auto run_with = [&](TimePs period) {
         ContestConfig cfg;
         cfg.interruptPeriodPs = period;
-        cfg.interruptHandlerPs = 200'000;
+        cfg.interruptHandlerPs = TimePs{200'000};
         ContestSystem sys({coreConfigByName("twolf"),
                            coreConfigByName("vpr")},
                           trace, cfg);
         return sys.run();
     };
-    auto frequent = run_with(1'000'000);
-    auto none = run_with(0);
+    auto frequent = run_with(TimePs{1'000'000});
+    auto none = run_with(TimePs{});
     EXPECT_GT(frequent.interruptsHandled, none.interruptsHandled);
     EXPECT_LT(frequent.ipt, none.ipt);
 }
@@ -124,7 +124,7 @@ TEST(Interrupts, DeterministicWithRefork)
     auto trace = makeBenchmarkTrace("parser", 7, 20000);
     auto run_once = [&]() {
         ContestConfig cfg;
-        cfg.interruptPeriodPs = 2'000'000;
+        cfg.interruptPeriodPs = TimePs{2'000'000};
         ContestSystem sys({coreConfigByName("parser"),
                            coreConfigByName("gzip")},
                           trace, cfg);
@@ -140,8 +140,8 @@ TEST(Interrupts, RejectsPeriodShorterThanHandler)
 {
     auto trace = makeBenchmarkTrace("vpr", 9, 2000);
     ContestConfig cfg;
-    cfg.interruptPeriodPs = 100;
-    cfg.interruptHandlerPs = 200;
+    cfg.interruptPeriodPs = TimePs{100};
+    cfg.interruptHandlerPs = TimePs{200};
     EXPECT_EXIT(ContestSystem({coreConfigByName("vpr")}, trace, cfg),
                 ::testing::ExitedWithCode(1), "interrupt period");
 }
@@ -151,12 +151,12 @@ TEST(Interrupts, CoreReforkResetsPipelineState)
     // Direct core-level check: refork mid-run, then finish.
     auto trace = makeBenchmarkTrace("gcc", 13, 5000);
     OooCore core(coreConfigByName("twolf"), trace);
-    TimePs now = 0;
+    TimePs now{};
     while (core.retired() < 1000) {
         core.tick(now);
         now += core.periodPs();
     }
-    core.reforkTo(500);
+    core.reforkTo(InstSeq{500});
     EXPECT_EQ(core.retired(), 500u);
     EXPECT_EQ(core.nextFetchSeq(), 500u);
     while (!core.done()) {

@@ -118,14 +118,14 @@ TEST(CoreConfig, ValidationCatchesBadShapes)
     EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
                 "issue queue");
     c = CoreConfig{};
-    c.clockPeriodPs = 0;
+    c.clockPeriodPs = TimePs{};
     EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "clock");
 }
 
 TEST(CoreConfig, BandwidthGapsScaleWithBlockAndClock)
 {
     CoreConfig c;
-    c.clockPeriodPs = 250;
+    c.clockPeriodPs = TimePs{250};
     c.memBandwidthBytesPerNs = 16.0;
     c.l2.blockBytes = 64; // 4ns per fill = 16 cycles at 250ps
     EXPECT_EQ(c.loadFillGapCycles(), 16u);

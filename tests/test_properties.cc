@@ -53,12 +53,12 @@ TEST_P(ArchetypeOnCore, RunsToCompletionInOrder)
     const auto &cfg = appendixAPalette()[core_idx];
 
     OooCore core(cfg, trace);
-    InstSeq expected = 0;
+    InstSeq expected{};
     core.setRetireCallback([&](InstSeq seq, TimePs) {
         ASSERT_EQ(seq, expected);
         ++expected;
     });
-    TimePs now = 0;
+    TimePs now{};
     while (!core.done()) {
         core.tick(now);
         now += core.periodPs();
@@ -93,7 +93,7 @@ TEST_P(BenchmarkDeterminism, SameSeedSameCycles)
     auto trace = makeBenchmarkTrace(GetParam(), 77, 10000);
     auto run = [&]() {
         OooCore core(coreConfigByName("gcc"), trace);
-        TimePs now = 0;
+        TimePs now{};
         while (!core.done()) {
             core.tick(now);
             now += core.periodPs();
@@ -127,9 +127,9 @@ TEST(TimingMonotonicity, FasterClockIsFasterOnComputeCode)
 {
     auto trace = archetypeTrace(PhaseKind::HotLoop, 20000);
     CoreConfig slow;
-    slow.clockPeriodPs = 500;
+    slow.clockPeriodPs = TimePs{500};
     CoreConfig fast = slow;
-    fast.clockPeriodPs = 250;
+    fast.clockPeriodPs = TimePs{250};
     // Cache/memory latencies are in cycles here, so halving the
     // period at fixed cycle counts must speed compute-bound code.
     EXPECT_GT(runSingle(fast, trace).ipt,
@@ -140,9 +140,9 @@ TEST(TimingMonotonicity, LowerWakeupHelpsSerialChains)
 {
     auto trace = archetypeTrace(PhaseKind::SerialChain, 20000);
     CoreConfig lazy;
-    lazy.wakeupLatency = 3;
+    lazy.wakeupLatency = Cycles{3};
     CoreConfig eager = lazy;
-    eager.wakeupLatency = 0;
+    eager.wakeupLatency = Cycles{};
     EXPECT_GT(runSingle(eager, trace).ipt,
               runSingle(lazy, trace).ipt * 1.3);
 }
@@ -179,9 +179,9 @@ TEST(TimingMonotonicity, BiggerL1CapturesBiggerFootprints)
     auto trace = gen.generate(30000);
 
     CoreConfig small;
-    small.l1d = CacheConfig{64, 2, 64, 2, false, true}; // 8KB
+    small.l1d = CacheConfig{64, 2, 64, Cycles{2}, false, true}; // 8KB
     CoreConfig big = small;
-    big.l1d = CacheConfig{1024, 2, 64, 2, false, true}; // 128KB
+    big.l1d = CacheConfig{1024, 2, 64, Cycles{2}, false, true}; // 128KB
     EXPECT_GT(runSingle(big, trace).ipt,
               runSingle(small, trace).ipt * 1.1);
 }

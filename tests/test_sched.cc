@@ -156,8 +156,8 @@ TEST(Energy, StaticScalesWithStructuresAndTime)
 
     CoreStats stats;
     ActivityCounts none;
-    auto e1 = estimateEnergy(small, stats, none, 1'000'000);
-    auto e2 = estimateEnergy(small, stats, none, 2'000'000);
+    auto e1 = estimateEnergy(small, stats, none, TimePs{1'000'000});
+    auto e2 = estimateEnergy(small, stats, none, TimePs{2'000'000});
     EXPECT_NEAR(e2.staticNj, 2.0 * e1.staticNj, 1e-9);
 }
 
@@ -173,7 +173,7 @@ TEST(Energy, DynamicTracksActivity)
     activity.l1Misses = 30;
     activity.l2Accesses = 30;
     activity.l2Misses = 5;
-    auto e = estimateEnergy(cfg, stats, activity, 0);
+    auto e = estimateEnergy(cfg, stats, activity, TimePs{});
     EXPECT_GT(e.pipelineNj, 0.0);
     EXPECT_GT(e.cacheNj, 0.0);
     EXPECT_GT(e.bpredNj, 0.0);
@@ -191,8 +191,8 @@ TEST(Energy, InjectedWorkIsCheaperThanExecuted)
     executed_all.retired = 1000;
     CoreStats injected_all = executed_all;
     injected_all.injected = 1000;
-    auto e_exec = estimateEnergy(cfg, executed_all, activity, 0);
-    auto e_inj = estimateEnergy(cfg, injected_all, activity, 0);
+    auto e_exec = estimateEnergy(cfg, executed_all, activity, TimePs{});
+    auto e_inj = estimateEnergy(cfg, injected_all, activity, TimePs{});
     EXPECT_LT(e_inj.pipelineNj, e_exec.pipelineNj);
 }
 
@@ -203,7 +203,7 @@ TEST(Energy, ContestEnergyCountsBusAndInjections)
     ActivityCounts activity;
     activity.grbBroadcasts = 1000;
     activity.injections = 500;
-    auto e = estimateEnergy(cfg, stats, activity, 0);
+    auto e = estimateEnergy(cfg, stats, activity, TimePs{});
     EXPECT_GT(e.contestNj, 0.0);
 }
 

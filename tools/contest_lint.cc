@@ -1,0 +1,111 @@
+/**
+ * @file
+ * contest_lint — the repo's static-analysis gate.
+ *
+ * Usage:
+ *     contest_lint [--root <repo-root>] [paths...]
+ *
+ * Walks the given paths (default: src bench tests) relative to the
+ * repo root, lints every .hh/.cc/.cpp file with the rules in
+ * lint_core.hh, prints findings as file:line: rule: message, and
+ * exits non-zero if anything fired. tests/lint_fixtures/ is skipped:
+ * it holds intentionally-broken inputs for the linter's own tests.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hh"
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+bool
+lintableFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".hh" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = ".";
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: contest_lint [--root <dir>] "
+                        "[paths...]\n");
+            return 0;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "bench", "tests"};
+
+    std::size_t files = 0;
+    std::vector<contest::lint::Violation> all;
+    for (const auto &p : paths) {
+        fs::path base = root / p;
+        if (!fs::exists(base)) {
+            std::fprintf(stderr, "contest_lint: no such path: %s\n",
+                         base.string().c_str());
+            return 2;
+        }
+        std::vector<fs::path> targets;
+        if (fs::is_regular_file(base)) {
+            targets.push_back(base);
+        } else {
+            // Skip the linter's own intentionally-broken fixtures
+            // unless they were requested explicitly.
+            const bool fixtures_requested =
+                base.string().find("lint_fixtures")
+                != std::string::npos;
+            for (const auto &e :
+                 fs::recursive_directory_iterator(base)) {
+                if (!e.is_regular_file() || !lintableFile(e.path()))
+                    continue;
+                if (!fixtures_requested
+                    && e.path().string().find("lint_fixtures")
+                           != std::string::npos)
+                    continue;
+                targets.push_back(e.path());
+            }
+        }
+        for (const auto &t : targets) {
+            ++files;
+            std::string rel =
+                fs::relative(t, root).generic_string();
+            auto v = contest::lint::lintFile(rel, readFile(t));
+            all.insert(all.end(), v.begin(), v.end());
+        }
+    }
+
+    for (const auto &v : all)
+        std::printf("%s:%zu: %s: %s\n", v.file.c_str(), v.line,
+                    v.rule.c_str(), v.message.c_str());
+    std::printf("contest_lint: %zu file(s), %zu finding(s)\n", files,
+                all.size());
+    return all.empty() ? 0 : 1;
+}

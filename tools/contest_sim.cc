@@ -44,7 +44,7 @@ struct Options
 {
     std::uint64_t insts = 200'000;
     std::uint64_t seed = 2009;
-    TimePs latencyPs = 1'000;
+    TimePs latencyPs{1'000};
     std::string traceFile;
     InjectionStyle style = InjectionStyle::PortSteal;
     unsigned jobs = defaultJobs();
