@@ -11,6 +11,8 @@
 
 #include "bench/bench_common.hh"
 
+#include <algorithm>
+
 #include "explore/annealer.hh"
 
 namespace contest
@@ -19,10 +21,10 @@ namespace
 {
 
 void
-runAblation()
+runAblation(ExperimentContext &ctx)
 {
-    printBenchPreamble("Ablation G: contest-aware core exploration");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
 
     // Contest-aware exploration simulates a contested pair per
     // objective evaluation, so use shorter traces and a small
@@ -33,10 +35,11 @@ runAblation()
     std::uint64_t steps = benchFastMode() ? 15 : 40;
     std::vector<std::string> benches{"gcc", "twolf", "bzip"};
 
-    TextTable t("Ablation G: best palette pair vs a partner core "
-                "annealed with contesting in the objective");
-    t.header({"bench", "own core", "best palette pair",
-              "annealed partner", "evals"});
+    auto &t = art.table("Ablation G: best palette pair vs a partner "
+                        "core annealed with contesting in the "
+                        "objective");
+    t.columns = {"bench", "own core", "best palette pair",
+                 "annealed partner", "evals"};
 
     for (const auto &bench : benches) {
         auto trace =
@@ -75,24 +78,24 @@ runAblation()
         start.name = bench + "-partner";
         auto annealed = annealCoreConfig(objective, start, ac);
 
-        t.row({bench,
-               TextTable::num(own_ipt),
-               TextTable::num(best_pair) + " (+" + best_partner
-                   + ")",
-               TextTable::num(annealed.bestScore),
-               std::to_string(annealed.evaluations)});
+        t.row({cellText(bench), cellNum(own_ipt),
+               cellCustom(best_pair,
+                          TextTable::num(best_pair) + " (+"
+                              + best_partner + ")"),
+               cellNum(annealed.bestScore),
+               cellCount(annealed.evaluations)});
     }
-    t.print();
 
-    std::printf(
-        "An explored partner can match or beat the best "
-        "application-customized partner, at the cost of contested "
-        "simulation inside the exploration loop — the tradeoff "
-        "Section 7.2 describes.\n\n");
-    std::fflush(stdout);
+    art.note("An explored partner can match or beat the best "
+             "application-customized partner, at the cost of "
+             "contested simulation inside the exploration loop — "
+             "the tradeoff Section 7.2 describes.");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("abl_contest_aware",
+                    "Ablation G: contest-aware core exploration",
+                    runAblation);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runAblation)

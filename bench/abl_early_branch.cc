@@ -14,15 +14,15 @@ namespace
 {
 
 void
-runAblation()
+runAblation(ExperimentContext &ctx)
 {
-    printBenchPreamble("Ablation B: early branch resolution");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
 
-    TextTable t("Ablation B: contested IPT with and without early "
-                "branch resolution");
-    t.header({"bench", "pair", "enabled", "disabled", "benefit",
-              "early resolves"});
+    auto &t = art.table("Ablation B: contested IPT with and without "
+                        "early branch resolution");
+    t.columns = {"bench", "pair", "enabled", "disabled", "benefit",
+                 "early resolves"};
 
     std::vector<double> benefits;
     for (const auto &bench : profileNames()) {
@@ -37,22 +37,24 @@ runAblation()
         std::uint64_t resolves =
             choice.result.coreStats[0].earlyResolves
             + choice.result.coreStats[1].earlyResolves;
-        t.row({bench, choice.coreA + "+" + choice.coreB,
-               TextTable::num(choice.result.ipt),
-               TextTable::num(no_early.ipt),
-               TextTable::pct(benefit), std::to_string(resolves)});
+        t.row({cellText(bench),
+               cellText(choice.coreA + "+" + choice.coreB),
+               cellNum(choice.result.ipt), cellNum(no_early.ipt),
+               cellPct(benefit), cellCount(resolves)});
     }
-    t.print();
-    std::printf(
-        "Early resolution benefit: avg %s. The mechanism matters "
-        "most for branchy workloads where the trailing core's "
-        "retired outcomes arrive before the leader resolves its own "
-        "mispredictions.\n\n",
-        TextTable::pct(arithmeticMean(benefits)).c_str());
-    std::fflush(stdout);
+
+    art.scalar("avg_benefit", arithmeticMean(benefits));
+    art.note("Early resolution benefit: avg "
+             + TextTable::pct(arithmeticMean(benefits))
+             + ". The mechanism matters most for branchy workloads "
+               "where the trailing core's retired outcomes arrive "
+               "before the leader resolves its own mispredictions.");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("abl_early_branch",
+                    "Ablation B: early branch resolution",
+                    runAblation);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runAblation)

@@ -9,6 +9,8 @@
 
 #include "bench/bench_common.hh"
 
+#include <cstdio>
+
 #include "power/energy.hh"
 
 namespace contest
@@ -17,15 +19,16 @@ namespace
 {
 
 void
-runAblation()
+runAblation(ExperimentContext &ctx)
 {
-    printBenchPreamble("Ablation F: the energy cost of contesting");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
 
-    TextTable t("Ablation F: energy per instruction (nJ) and "
-                "energy-delay product, single vs contested");
-    t.header({"bench", "pair", "speedup", "EPI single", "EPI pair",
-              "energy ratio", "ED ratio"});
+    auto &t = art.table("Ablation F: energy per instruction (nJ) "
+                        "and energy-delay product, single vs "
+                        "contested");
+    t.columns = {"bench", "pair", "speedup", "EPI single",
+                 "EPI pair", "energy ratio", "ED ratio"};
 
     std::vector<double> e_ratios;
     std::vector<double> ed_ratios;
@@ -46,26 +49,33 @@ runAblation()
         e_ratios.push_back(e_ratio);
         ed_ratios.push_back(ed_ratio);
 
-        t.row({bench, choice.coreA + "+" + choice.coreB,
-               TextTable::pct(speedup(r.ipt, own.result.ipt)),
-               TextTable::num(epi_single, 2),
-               TextTable::num(epi_pair, 2),
-               TextTable::num(e_ratio, 2) + "x",
-               TextTable::num(ed_ratio, 2) + "x"});
+        t.row({cellText(bench),
+               cellText(choice.coreA + "+" + choice.coreB),
+               cellPct(speedup(r.ipt, own.result.ipt)),
+               cellNum(epi_single, 2), cellNum(epi_pair, 2),
+               cellCustom(e_ratio, TextTable::num(e_ratio, 2) + "x"),
+               cellCustom(ed_ratio,
+                          TextTable::num(ed_ratio, 2) + "x")});
     }
-    t.print();
 
-    std::printf(
+    art.scalar("avg_energy_ratio", arithmeticMean(e_ratios));
+    art.scalar("avg_ed_ratio", arithmeticMean(ed_ratios));
+    char summary[320];
+    std::snprintf(
+        summary, sizeof(summary),
         "Contesting costs %.1fx the energy (two active cores plus "
-        "the GRB) for its single-thread speedup; energy-delay "
-        "lands at %.1fx. This is the paper's point about employing "
+        "the GRB) for its single-thread speedup; energy-delay lands "
+        "at %.1fx. This is the paper's point about employing "
         "contesting on a need-to-have basis: it is a mode, not a "
-        "default.\n\n",
+        "default.",
         arithmeticMean(e_ratios), arithmeticMean(ed_ratios));
-    std::fflush(stdout);
+    art.note(summary);
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("abl_energy",
+                    "Ablation F: the energy cost of contesting",
+                    runAblation);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runAblation)

@@ -11,6 +11,8 @@
 
 #include "bench/bench_common.hh"
 
+#include <algorithm>
+
 namespace contest
 {
 namespace
@@ -25,15 +27,15 @@ withICache(const CoreConfig &base)
 }
 
 void
-runAblation()
+runAblation(ExperimentContext &ctx)
 {
-    printBenchPreamble("Ablation H: instruction-cache modeling");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
 
-    TextTable t("Ablation H: perfect vs 64KB L1I, alone and "
-                "contested");
-    t.header({"bench", "own perfect-I$", "own 64KB-I$", "cost",
-              "pair contest w/ I$", "contest speedup"});
+    auto &t = art.table("Ablation H: perfect vs 64KB L1I, alone and "
+                        "contested");
+    t.columns = {"bench", "own perfect-I$", "own 64KB-I$", "cost",
+                 "pair contest w/ I$", "contest speedup"};
 
     std::vector<double> costs;
     std::vector<double> speedups;
@@ -63,29 +65,32 @@ runAblation()
                 .ipt);
         double sp = speedup(contested.ipt, best_single_ic);
         speedups.push_back(sp);
-        t.row({bench, TextTable::num(perfect),
-               TextTable::num(with_ic), TextTable::pct(cost),
-               TextTable::num(contested.ipt), TextTable::pct(sp)});
+        t.row({cellText(bench), cellNum(perfect), cellNum(with_ic),
+               cellPct(cost), cellNum(contested.ipt), cellPct(sp)});
     }
-    t.print();
 
-    std::printf(
-        "Modeling a 64KB L1I costs %s single-core performance on "
-        "these synthetic code footprints (~100KB of flat code per "
-        "benchmark — far larger than real hot code), and contesting "
-        "moves by %s against the best I-cached single core: when "
-        "instruction supply dominates, both cores stall on the same "
-        "fills, write-through store traffic thrashes the unified L2 "
-        "that feeds the I-cache, and fine-grain lead changes stop "
-        "paying. This is exactly why the palette (like Appendix A, "
-        "which explores only the data hierarchy) runs with the "
-        "I-cache held perfect by default.\n\n",
-        TextTable::pct(arithmeticMean(costs)).c_str(),
-        TextTable::pct(arithmeticMean(speedups)).c_str());
-    std::fflush(stdout);
+    art.scalar("avg_icache_cost", arithmeticMean(costs));
+    art.scalar("avg_contest_speedup", arithmeticMean(speedups));
+    art.note("Modeling a 64KB L1I costs "
+             + TextTable::pct(arithmeticMean(costs))
+             + " single-core performance on these synthetic code "
+               "footprints (~100KB of flat code per benchmark — far "
+               "larger than real hot code), and contesting moves by "
+             + TextTable::pct(arithmeticMean(speedups))
+             + " against the best I-cached single core: when "
+               "instruction supply dominates, both cores stall on "
+               "the same fills, write-through store traffic thrashes "
+               "the unified L2 that feeds the I-cache, and "
+               "fine-grain lead changes stop paying. This is exactly "
+               "why the palette (like Appendix A, which explores "
+               "only the data hierarchy) runs with the I-cache held "
+               "perfect by default.");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("abl_icache",
+                    "Ablation H: instruction-cache modeling",
+                    runAblation);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runAblation)

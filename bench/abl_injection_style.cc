@@ -15,14 +15,15 @@ namespace
 {
 
 void
-runAblation()
+runAblation(ExperimentContext &ctx)
 {
-    printBenchPreamble("Ablation A: injection style");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
 
-    TextTable t("Ablation A: contested IPT with port-stealing vs "
-                "mark-ready injection");
-    t.header({"bench", "pair", "port-steal", "mark-ready", "delta"});
+    auto &t = art.table("Ablation A: contested IPT with "
+                        "port-stealing vs mark-ready injection");
+    t.columns = {"bench", "pair", "port-steal", "mark-ready",
+                 "delta"};
 
     std::vector<double> deltas;
     for (const auto &bench : profileNames()) {
@@ -34,20 +35,23 @@ runAblation()
                                        choice.coreB, mark);
         double delta = speedup(choice.result.ipt, mr.ipt);
         deltas.push_back(delta);
-        t.row({bench, choice.coreA + "+" + choice.coreB,
-               TextTable::num(choice.result.ipt),
-               TextTable::num(mr.ipt), TextTable::pct(delta)});
+        t.row({cellText(bench),
+               cellText(choice.coreA + "+" + choice.coreB),
+               cellNum(choice.result.ipt), cellNum(mr.ipt),
+               cellPct(delta)});
     }
-    t.print();
-    std::printf(
-        "Port stealing over mark-ready: avg %s. Injected results "
-        "that bypass the issue queue free issue slots and queue "
-        "capacity for the lagger's catch-up sprint.\n\n",
-        TextTable::pct(arithmeticMean(deltas)).c_str());
-    std::fflush(stdout);
+
+    art.scalar("avg_port_steal_delta", arithmeticMean(deltas));
+    art.note("Port stealing over mark-ready: avg "
+             + TextTable::pct(arithmeticMean(deltas))
+             + ". Injected results that bypass the issue queue free "
+               "issue slots and queue capacity for the lagger's "
+               "catch-up sprint.");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("abl_injection_style", "Ablation A: injection style",
+                    runAblation);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runAblation)

@@ -16,16 +16,17 @@ namespace
 {
 
 void
-runAblation()
+runAblation(ExperimentContext &ctx)
 {
-    printBenchPreamble("Ablation E: N-way contesting");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
     const auto &m = runner.matrix();
 
-    TextTable t("Ablation E: contested IPT for 2-, 3- and 4-way "
-                "contesting (adding the next-best core types)");
-    t.header({"bench", "2-way pair", "2-way", "3-way", "4-way",
-              "3rd/4th cores"});
+    auto &t = art.table("Ablation E: contested IPT for 2-, 3- and "
+                        "4-way contesting (adding the next-best "
+                        "core types)");
+    t.columns = {"bench", "2-way pair", "2-way", "3-way", "4-way",
+                 "3rd/4th cores"};
 
     std::vector<double> gain3;
     std::vector<double> gain4;
@@ -63,23 +64,25 @@ runAblation()
 
         gain3.push_back(speedup(three.ipt, choice.result.ipt));
         gain4.push_back(speedup(four.ipt, choice.result.ipt));
-        t.row({bench, choice.coreA + "+" + choice.coreB,
-               TextTable::num(choice.result.ipt),
-               TextTable::num(three.ipt), TextTable::num(four.ipt),
-               third + "/" + fourth});
+        t.row({cellText(bench),
+               cellText(choice.coreA + "+" + choice.coreB),
+               cellNum(choice.result.ipt), cellNum(three.ipt),
+               cellNum(four.ipt), cellText(third + "/" + fourth)});
     }
-    t.print();
 
-    std::printf(
-        "Adding a third core: avg %s; a fourth: avg %s over 2-way. "
-        "The paper's cost-effectiveness claim (Fig. 13) predicts "
-        "rapidly diminishing returns beyond two contestants.\n\n",
-        TextTable::pct(arithmeticMean(gain3)).c_str(),
-        TextTable::pct(arithmeticMean(gain4)).c_str());
-    std::fflush(stdout);
+    art.scalar("avg_gain_3way", arithmeticMean(gain3));
+    art.scalar("avg_gain_4way", arithmeticMean(gain4));
+    art.note("Adding a third core: avg "
+             + TextTable::pct(arithmeticMean(gain3)) + "; a fourth: "
+             + "avg " + TextTable::pct(arithmeticMean(gain4))
+             + " over 2-way. The paper's cost-effectiveness claim "
+               "(Fig. 13) predicts rapidly diminishing returns "
+               "beyond two contestants.");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("abl_nway", "Ablation E: N-way contesting",
+                    runAblation);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runAblation)

@@ -9,16 +9,18 @@
 
 #include "bench/bench_common.hh"
 
+#include <cstdio>
+
 namespace contest
 {
 namespace
 {
 
 void
-runAblation()
+runAblation(ExperimentContext &ctx)
 {
-    printBenchPreamble("Ablation D: saturated lagger policy");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
     const auto &m = runner.matrix();
 
     // HET-B (har) is the design the paper observes saturation on:
@@ -27,10 +29,10 @@ runAblation()
     const std::string core_a = m.coreNames[het_b.cores[0]];
     const std::string core_b = m.coreNames[het_b.cores[1]];
 
-    TextTable t("Ablation D: " + core_a + "+" + core_b
-                + " contesting with park vs drop policy "
-                  "(small FIFOs force saturation)");
-    t.header({"bench", "park (paper)", "drop", "delta", "parked?"});
+    auto &t = art.table("Ablation D: " + core_a + "+" + core_b
+                        + " contesting with park vs drop policy "
+                          "(small FIFOs force saturation)");
+    t.columns = {"bench", "park (paper)", "drop", "delta", "parked?"};
 
     std::vector<double> deltas;
     unsigned parked_count = 0;
@@ -51,21 +53,28 @@ runAblation()
         parked_count += parked ? 1 : 0;
         double delta = speedup(park.ipt, drop.ipt);
         deltas.push_back(delta);
-        t.row({bench, TextTable::num(park.ipt),
-               TextTable::num(drop.ipt), TextTable::pct(delta),
-               parked ? "yes" : "no"});
+        t.row({cellText(bench), cellNum(park.ipt), cellNum(drop.ipt),
+               cellPct(delta), cellText(parked ? "yes" : "no")});
     }
-    t.print();
-    std::printf(
+
+    art.scalar("avg_park_delta", arithmeticMean(deltas));
+    art.scalar("saturated_benchmarks",
+               static_cast<double>(parked_count));
+    char summary[256];
+    std::snprintf(
+        summary, sizeof(summary),
         "Parking vs dropping: avg %s; %u of %zu benchmarks "
         "saturated a lagger. Paper: a saturated lagger falls behind "
-        "unboundedly, so contesting is simply disabled for it.\n\n",
-        TextTable::pct(arithmeticMean(deltas)).c_str(),
-        parked_count, profileNames().size());
-    std::fflush(stdout);
+        "unboundedly, so contesting is simply disabled for it.",
+        TextTable::pct(arithmeticMean(deltas)).c_str(), parked_count,
+        profileNames().size());
+    art.note(summary);
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("abl_saturated_lagger",
+                    "Ablation D: saturated lagger policy",
+                    runAblation);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runAblation)

@@ -15,10 +15,10 @@ namespace
 {
 
 void
-runAblation()
+runAblation(ExperimentContext &ctx)
 {
-    printBenchPreamble("Ablation C: store queue depth");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
 
     std::vector<std::size_t> depths{64, 256, 1024, 4096};
     std::vector<TimePs> latencies{TimePs{1'000}, TimePs{10'000}};
@@ -32,19 +32,19 @@ runAblation()
                                      "parser", "vpr"};
 
     for (TimePs lat : latencies) {
-        TextTable t("Ablation C: contested IPT vs store queue depth "
-                    "at " + std::to_string(lat.count() / 1000)
-                    + "ns GRB latency");
-        std::vector<std::string> head{"bench", "pair"};
+        auto &t = art.table(
+            "Ablation C: contested IPT vs store queue depth at "
+            + std::to_string(lat.count() / 1000) + "ns GRB latency");
+        t.columns = {"bench", "pair"};
         for (auto d : depths)
-            head.push_back("depth " + std::to_string(d));
-        head.push_back("leader stalls @min");
-        t.header(head);
+            t.columns.push_back("depth " + std::to_string(d));
+        t.columns.push_back("leader stalls @min");
 
         for (const auto &bench : benches) {
             auto choice = runner.bestContestingPair(bench, {}, 3);
-            std::vector<std::string> cells{
-                bench, choice.coreA + "+" + choice.coreB};
+            std::vector<ArtifactCell> cells{
+                cellText(bench),
+                cellText(choice.coreA + "+" + choice.coreB)};
             Cycles min_depth_stalls{};
             for (std::size_t di = 0; di < depths.size(); ++di) {
                 ContestConfig cfg;
@@ -52,25 +52,25 @@ runAblation()
                 cfg.storeQueueCapacity = depths[di];
                 auto r = runner.contestedPair(bench, choice.coreA,
                                               choice.coreB, cfg);
-                cells.push_back(TextTable::num(r.ipt));
+                cells.push_back(cellNum(r.ipt));
                 if (di == 0)
                     min_depth_stalls =
                         r.coreStats[0].storeQueueStalls
                         + r.coreStats[1].storeQueueStalls;
             }
-            cells.push_back(std::to_string(min_depth_stalls.count()));
+            cells.push_back(cellCount(min_depth_stalls.count()));
             t.row(cells);
         }
-        t.print();
     }
-    std::printf(
-        "Shallow queues bound the lagging distance through commit "
-        "backpressure; with a generous queue the FIFO capacity and "
-        "saturation detector take over that role.\n\n");
-    std::fflush(stdout);
+
+    art.note("Shallow queues bound the lagging distance through "
+             "commit backpressure; with a generous queue the FIFO "
+             "capacity and saturation detector take over that role.");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("abl_store_queue", "Ablation C: store queue depth",
+                    runAblation);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runAblation)

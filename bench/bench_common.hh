@@ -1,15 +1,15 @@
 /**
  * @file
- * Shared scaffolding for the bench binaries: a google-benchmark
- * main that runs the experiment exactly once (the experiment prints
- * its paper-style tables to stdout), plus the HET-design experiment
- * used by Figures 10-13.
+ * Shared scaffolding for the experiment suite: the parallel sweep
+ * helper with wall-clock accounting, and the HET-design experiment
+ * used by Figures 10-13. Experiments register themselves with
+ * REGISTER_EXPERIMENT (harness/registry.hh) and emit FigureArtifacts
+ * (harness/artifact.hh); the contest_bench driver — also linked into
+ * every standalone figure binary — selects and runs them.
  */
 
 #ifndef CONTEST_BENCH_COMMON_HH
 #define CONTEST_BENCH_COMMON_HH
-
-#include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
@@ -20,6 +20,7 @@
 #include "common/thread_pool.hh"
 #include "explore/cmp_design.hh"
 #include "harness/experiment.hh"
+#include "harness/registry.hh"
 
 namespace contest
 {
@@ -77,15 +78,17 @@ runParallel(std::size_t n, Fn fn, ParallelStats *stats = nullptr)
     return out;
 }
 
-/** Print a sweep's measured wall-clock speedup under the figure. */
-inline void
-printParallelStats(const ParallelStats &s)
+/** A sweep's measured wall-clock speedup, as an artifact note. */
+inline std::string
+parallelNote(const ParallelStats &s)
 {
-    std::printf("parallel harness: %zu tasks on %u jobs, wall "
-                "%.2f s, serial-equivalent %.2f s (%.2fx "
-                "wall-clock speedup)\n\n",
-                s.tasks, s.jobs, s.wallSec, s.taskSec, s.speedup());
-    std::fflush(stdout);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "parallel harness: %zu tasks on %u jobs, wall "
+                  "%.2f s, serial-equivalent %.2f s (%.2fx "
+                  "wall-clock speedup)",
+                  s.tasks, s.jobs, s.wallSec, s.taskSec, s.speedup());
+    return buf;
 }
 
 /**
@@ -146,7 +149,6 @@ runHetExperiment(Runner &runner, const CmpDesign &design,
              "runHetExperiment needs a two-type design");
     const std::string core_a = m.coreNames[design.cores[0]];
     const std::string core_b = m.coreNames[design.cores[1]];
-    const std::string hom_core = m.coreNames[hom.cores[0]];
 
     HetExperiment exp;
     exp.design = design;
@@ -166,78 +168,57 @@ runHetExperiment(Runner &runner, const CmpDesign &design,
             r.unitStats[0].saturated || r.unitStats[1].saturated;
         exp.rows.push_back(row);
 
-        double sp = speedup(row.contestIpt, row.bestIpt);
-        contest_speedups.push_back(sp);
+        contest_speedups.push_back(
+            speedup(row.contestIpt, row.bestIpt));
         vs_hom.push_back(speedup(row.contestIpt, row.homIpt));
         nocontest_vs_hom.push_back(speedup(row.bestIpt, row.homIpt));
-        if (sp >= exp.maxContestSpeedup) {
-            exp.maxContestSpeedup = sp;
-            exp.maxSpeedupBench = row.bench;
-        }
     }
+    std::size_t max_at = argmaxFirst(contest_speedups);
+    exp.maxContestSpeedup = contest_speedups[max_at];
+    exp.maxSpeedupBench = exp.rows[max_at].bench;
     exp.avgContestSpeedup = arithmeticMean(contest_speedups);
     exp.avgVsHom = arithmeticMean(vs_hom);
     exp.avgNoContestVsHom = arithmeticMean(nocontest_vs_hom);
     return exp;
 }
 
-/** Print a HET experiment in the Figure 10-12 format. */
+/**
+ * Append a HET experiment to an artifact in the Figure 10-12 format:
+ * the per-benchmark table, the summary scalars, and the summary
+ * sentence as a note.
+ */
 inline void
-printHetExperiment(const HetExperiment &exp, const IptMatrix &m,
-                   const std::string &figure)
+hetArtifact(FigureArtifact &art, const HetExperiment &exp,
+            const IptMatrix &m, const std::string &figure)
 {
-    TextTable t(figure + ": IPT on HOM ("
-                + m.coreNames[exp.hom.cores[0]] + "), "
-                + exp.design.name + " ("
-                + designCoreNames(m, exp.design)
-                + ") without and with contesting");
-    t.header({"bench", "HOM", exp.design.name + " no-contest",
-              exp.design.name + " contest", "speedup", "lagger"});
+    auto &t = art.table(figure + ": IPT on HOM ("
+                        + m.coreNames[exp.hom.cores[0]] + "), "
+                        + exp.design.name + " ("
+                        + designCoreNames(m, exp.design)
+                        + ") without and with contesting");
+    t.columns = {"bench", "HOM", exp.design.name + " no-contest",
+                 exp.design.name + " contest", "speedup", "lagger"};
     for (const auto &row : exp.rows) {
-        t.row({row.bench, TextTable::num(row.homIpt),
-               TextTable::num(row.bestIpt),
-               TextTable::num(row.contestIpt),
-               TextTable::pct(speedup(row.contestIpt, row.bestIpt)),
-               row.parked ? "parked" : "-"});
+        t.row({cellText(row.bench), cellNum(row.homIpt),
+               cellNum(row.bestIpt), cellNum(row.contestIpt),
+               cellPct(speedup(row.contestIpt, row.bestIpt)),
+               cellText(row.parked ? "parked" : "-")});
     }
-    t.print();
-    std::printf(
-        "%s contesting: avg %s / max %s (%s) over the best "
-        "available core; avg %s over HOM (no contesting: %s)\n\n",
-        exp.design.name.c_str(),
-        TextTable::pct(exp.avgContestSpeedup).c_str(),
-        TextTable::pct(exp.maxContestSpeedup).c_str(),
-        exp.maxSpeedupBench.c_str(),
-        TextTable::pct(exp.avgVsHom).c_str(),
-        TextTable::pct(exp.avgNoContestVsHom).c_str());
-    std::fflush(stdout);
+
+    art.scalar("avg_contest_speedup", exp.avgContestSpeedup);
+    art.scalar("max_contest_speedup", exp.maxContestSpeedup);
+    art.scalar("avg_vs_hom", exp.avgVsHom);
+    art.scalar("avg_nocontest_vs_hom", exp.avgNoContestVsHom);
+
+    art.note(exp.design.name + " contesting: avg "
+             + TextTable::pct(exp.avgContestSpeedup) + " / max "
+             + TextTable::pct(exp.maxContestSpeedup) + " ("
+             + exp.maxSpeedupBench + ") over the best available "
+             + "core; avg " + TextTable::pct(exp.avgVsHom)
+             + " over HOM (no contesting: "
+             + TextTable::pct(exp.avgNoContestVsHom) + ")");
 }
 
 } // namespace contest
-
-/**
- * Define the single-iteration google-benchmark entry point. The
- * experiment body runs once inside the timing loop, so the reported
- * wall time is the cost of regenerating the figure. `--jobs N`
- * (equivalent to CONTEST_JOBS=N) sizes the parallel harness and is
- * consumed before google-benchmark sees the arguments.
- */
-#define CONTEST_BENCH_MAIN(fn)                                       \
-    static void BM_Experiment(benchmark::State &state)              \
-    {                                                               \
-        for (auto _ : state)                                        \
-            fn();                                                   \
-    }                                                               \
-    BENCHMARK(BM_Experiment)                                        \
-        ->Iterations(1)                                             \
-        ->Unit(benchmark::kSecond);                                 \
-    int main(int argc, char **argv)                                 \
-    {                                                               \
-        contest::applyJobsFlag(&argc, argv);                        \
-        benchmark::Initialize(&argc, argv);                         \
-        benchmark::RunSpecifiedBenchmarks();                        \
-        benchmark::Shutdown();                                      \
-        return 0;                                                   \
-    }
 
 #endif // CONTEST_BENCH_COMMON_HH

@@ -18,10 +18,10 @@ namespace
 {
 
 void
-runCmpMigration()
+runCmpMigration(ExperimentContext &ctx)
 {
-    printBenchPreamble("Contesting vs migrational baselines");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
 
     struct Scheme
     {
@@ -46,14 +46,12 @@ runCmpMigration()
     if (benchFastMode())
         schemes.resize(2);
 
-    std::vector<std::string> head{"bench", "pair"};
+    auto &t = art.table("Contesting vs migration: speedup over the "
+                        "benchmark's own customized core");
+    t.columns = {"bench", "pair"};
     for (const auto &s : schemes)
-        head.push_back(s.label);
-    head.push_back("contesting");
-
-    TextTable t("Contesting vs migration: speedup over the "
-                "benchmark's own customized core");
-    t.header(head);
+        t.columns.push_back(s.label);
+    t.columns.push_back("contesting");
 
     std::vector<double> avg(schemes.size() + 1, 0.0);
     unsigned top = benchFastMode() ? 2 : 5;
@@ -64,8 +62,9 @@ runCmpMigration()
         const auto &ra = runner.single(bench, choice.coreA);
         const auto &rb = runner.single(bench, choice.coreB);
 
-        std::vector<std::string> cells{
-            bench, choice.coreA + "+" + choice.coreB};
+        std::vector<ArtifactCell> cells{
+            cellText(bench),
+            cellText(choice.coreA + "+" + choice.coreB)};
         for (std::size_t si = 0; si < schemes.size(); ++si) {
             auto m = simulateMigration(ra.regions->series(),
                                        rb.regions->series(),
@@ -74,32 +73,38 @@ runCmpMigration()
                     / static_cast<double>(m.totalPs)
                 - 1.0;
             avg[si] += sp;
-            cells.push_back(TextTable::pct(sp));
+            cells.push_back(cellPct(sp));
         }
         double contest_sp = speedup(choice.result.ipt,
                                     own.result.ipt);
         avg.back() += contest_sp;
-        cells.push_back(TextTable::pct(contest_sp));
+        cells.push_back(cellPct(contest_sp));
         t.row(cells);
     }
 
-    std::vector<std::string> avg_row{"AVERAGE", ""};
+    std::vector<ArtifactCell> avg_row{cellText("AVERAGE"),
+                                      cellText("")};
     for (double a : avg)
         avg_row.push_back(
-            TextTable::pct(a / static_cast<double>(names.size())));
+            cellPct(a / static_cast<double>(names.size())));
     t.row(avg_row);
-    t.print();
 
-    std::printf(
-        "Contesting needs no phase detector, no decision policy and "
-        "no migration cost: it reaches the fine-grain regime that "
-        "even a free 1.3k-instruction oracle only approximates, "
-        "while costed and history-based migration surrender most of "
-        "the benefit (the paper's Section 2/3 argument).\n\n");
-    std::fflush(stdout);
+    art.scalar("avg_contest_speedup",
+               avg.back() / static_cast<double>(names.size()));
+    art.scalar("avg_best_oracle_speedup",
+               avg.front() / static_cast<double>(names.size()));
+    art.note("Contesting needs no phase detector, no decision policy "
+             "and no migration cost: it reaches the fine-grain "
+             "regime that even a free 1.3k-instruction oracle only "
+             "approximates, while costed and history-based migration "
+             "surrender most of the benefit (the paper's Section 2/3 "
+             "argument).");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("cmp_migration",
+                    "Contesting vs migrational baselines",
+                    runCmpMigration);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runCmpMigration)

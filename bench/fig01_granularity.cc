@@ -11,7 +11,6 @@
 #include "bench/bench_common.hh"
 
 #include <algorithm>
-#include <cstdio>
 
 namespace contest
 {
@@ -19,10 +18,10 @@ namespace
 {
 
 void
-runFig01()
+runFig01(ExperimentContext &ctx)
 {
-    printBenchPreamble("Figure 1: oracle switching granularity");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
     const auto &palette = appendixAPalette();
 
     // Granularities in instructions (regions are 20 instructions).
@@ -35,20 +34,20 @@ runFig01()
 
     std::vector<std::string> head{"bench"};
     for (auto g : grans)
-        head.push_back(g == whole ? "whole"
-                                  : std::to_string(g));
+        head.push_back(g == whole ? "whole" : std::to_string(g));
     head.push_back("best pair @20");
 
-    TextTable t("Figure 1: % speedup of oracle pair-switching over "
-                "the benchmark's own customized core");
-    t.header(head);
+    auto &t = art.table("Figure 1: % speedup of oracle "
+                        "pair-switching over the benchmark's own "
+                        "customized core");
+    t.columns = head;
 
     std::vector<double> avg_speedup(grans.size(), 0.0);
     for (const auto &bench : profileNames()) {
         TimePs own_total =
             runner.single(bench, bench).regions->total();
 
-        std::vector<std::string> cells{bench};
+        std::vector<ArtifactCell> cells{cellText(bench)};
         std::string finest_pair;
         for (std::size_t gi = 0; gi < grans.size(); ++gi) {
             std::uint64_t regions_per_block = std::max<std::uint64_t>(
@@ -75,32 +74,35 @@ runFig01()
                     }
                 }
             }
-            cells.push_back(TextTable::pct(best));
+            cells.push_back(cellPct(best));
             if (gi == 0)
                 finest_pair = best_pair.empty() ? "-" : best_pair;
             avg_speedup[gi] += best;
         }
-        cells.push_back(finest_pair);
-        t.row(cells);
+        cells.push_back(cellText(finest_pair));
+        t.row(std::move(cells));
     }
 
-    std::vector<std::string> avg_row{"AVERAGE"};
+    std::vector<ArtifactCell> avg_row{cellText("AVERAGE")};
     std::size_t n = profileNames().size();
     for (std::size_t gi = 0; gi < grans.size(); ++gi)
         avg_row.push_back(
-            TextTable::pct(avg_speedup[gi] / static_cast<double>(n)));
-    avg_row.push_back("");
-    t.row(avg_row);
-    t.print();
+            cellPct(avg_speedup[gi] / static_cast<double>(n)));
+    avg_row.push_back(cellText(""));
+    t.row(std::move(avg_row));
 
-    std::printf(
-        "Paper: up to ~25%% below 1k-instruction granularity, ~5%% "
-        "near 1280, ~0%% at whole-SimPoint granularity; knee near "
-        "1280 instructions.\n\n");
-    std::fflush(stdout);
+    art.scalar("avg_speedup_finest",
+               avg_speedup.front() / static_cast<double>(n));
+    art.scalar("avg_speedup_whole",
+               avg_speedup.back() / static_cast<double>(n));
+    art.note("Paper: up to ~25% below 1k-instruction granularity, "
+             "~5% near 1280, ~0% at whole-SimPoint granularity; "
+             "knee near 1280 instructions.");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("fig01", "Figure 1: oracle switching granularity",
+                    runFig01);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runFig01)

@@ -9,21 +9,24 @@
 
 #include "bench/bench_common.hh"
 
+#include <cstdio>
+
 namespace contest
 {
 namespace
 {
 
 void
-runFig06()
+runFig06(ExperimentContext &ctx)
 {
-    printBenchPreamble("Figure 6: 2-way contesting vs own core");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
 
-    TextTable t("Figure 6: IPT of contesting between the best two "
-                "cores vs the benchmark's own customized core");
-    t.header({"bench", "own core", "contest", "pair", "speedup",
-              "lead A/B", "lead changes"});
+    auto &t = art.table("Figure 6: IPT of contesting between the "
+                        "best two cores vs the benchmark's own "
+                        "customized core");
+    t.columns = {"bench", "own core", "contest", "pair", "speedup",
+                 "lead A/B", "lead changes"};
 
     struct Row
     {
@@ -46,39 +49,36 @@ runFig06()
         &ps);
 
     std::vector<double> speedups;
-    double max_speedup = -1.0;
-    std::string max_bench;
     for (std::size_t i = 0; i < benches.size(); ++i) {
         const Row &row = rows[i];
         double sp = speedup(row.choice.result.ipt, row.own);
         speedups.push_back(sp);
-        if (sp > max_speedup) {
-            max_speedup = sp;
-            max_bench = benches[i];
-        }
         char lead[32];
         std::snprintf(lead, sizeof(lead), "%.2f/%.2f",
                       row.choice.result.leadFraction[0],
                       row.choice.result.leadFraction[1]);
-        t.row({benches[i], TextTable::num(row.own),
-               TextTable::num(row.choice.result.ipt),
-               row.choice.coreA + "+" + row.choice.coreB,
-               TextTable::pct(sp), lead,
-               std::to_string(row.choice.result.leadChanges)});
+        t.row({cellText(benches[i]), cellNum(row.own),
+               cellNum(row.choice.result.ipt),
+               cellText(row.choice.coreA + "+" + row.choice.coreB),
+               cellPct(sp), cellText(lead),
+               cellCount(row.choice.result.leadChanges)});
     }
-    t.print();
 
-    std::printf(
-        "Average speedup %s, maximum %s (%s). Paper: average +15%%, "
-        "maximum +25%% (gcc); four of eleven benchmarks above "
-        "+18%%.\n\n",
-        TextTable::pct(arithmeticMean(speedups)).c_str(),
-        TextTable::pct(max_speedup).c_str(), max_bench.c_str());
-    std::fflush(stdout);
-    printParallelStats(ps);
+    std::size_t max_at = argmaxFirst(speedups);
+    art.scalar("avg_speedup", arithmeticMean(speedups));
+    art.scalar("max_speedup", speedups[max_at]);
+    art.note("Average speedup "
+             + TextTable::pct(arithmeticMean(speedups)) + ", maximum "
+             + TextTable::pct(speedups[max_at]) + " ("
+             + benches[max_at]
+             + "). Paper: average +15%, maximum +25% (gcc); four of "
+               "eleven benchmarks above +18%.");
+    art.note(parallelNote(ps));
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("fig06", "Figure 6: 2-way contesting vs own core",
+                    runFig06);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runFig06)

@@ -9,6 +9,8 @@
 
 #include "bench/bench_common.hh"
 
+#include <algorithm>
+
 namespace contest
 {
 namespace
@@ -25,15 +27,16 @@ withL2Of(const CoreConfig &base, const CoreConfig &donor)
 }
 
 void
-runFig07()
+runFig07(ExperimentContext &ctx)
 {
-    printBenchPreamble("Figure 7: L2-heterogeneity isolation");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
 
-    TextTable t("Figure 7: fraction of the contesting speedup "
-                "attributable to L2 heterogeneity alone");
-    t.header({"bench", "pair", "full speedup", "L2-only speedup",
-              "L2-only share"});
+    auto &t = art.table("Figure 7: fraction of the contesting "
+                        "speedup attributable to L2 heterogeneity "
+                        "alone");
+    t.columns = {"bench", "pair", "full speedup", "L2-only speedup",
+                 "L2-only share"};
 
     unsigned top = benchFastMode() ? 2 : 5;
     std::vector<double> shares;
@@ -55,22 +58,27 @@ runFig07()
             ? std::clamp(l2_sp / full_sp, 0.0, 1.0)
             : 0.0;
         shares.push_back(share);
-        t.row({bench, choice.coreA + "+" + choice.coreB,
-               TextTable::pct(full_sp), TextTable::pct(l2_sp),
-               TextTable::num(share * 100.0, 0) + "%"});
+        t.row({cellText(bench),
+               cellText(choice.coreA + "+" + choice.coreB),
+               cellPct(full_sp), cellPct(l2_sp),
+               cellCustom(share,
+                          TextTable::num(share * 100.0, 0) + "%")});
     }
-    t.print();
 
-    std::printf(
+    art.scalar("mean_l2_only_share", arithmeticMean(shares));
+    char summary[240];
+    std::snprintf(
+        summary, sizeof(summary),
         "Mean L2-only share %.0f%%. Paper: for most benchmarks only "
         "a minor portion of the enhancement comes from L2 "
-        "heterogeneity alone (gcc and parser are the "
-        "exceptions).\n\n",
+        "heterogeneity alone (gcc and parser are the exceptions).",
         arithmeticMean(shares) * 100.0);
-    std::fflush(stdout);
+    art.note(summary);
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("fig07", "Figure 7: L2-heterogeneity isolation",
+                    runFig07);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runFig07)

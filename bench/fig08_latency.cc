@@ -13,10 +13,10 @@ namespace
 {
 
 void
-runFig08()
+runFig08(ExperimentContext &ctx)
 {
-    printBenchPreamble("Figure 8: core-to-core latency sweep");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
 
     std::vector<TimePs> latencies{TimePs{1'000}, TimePs{2'000},
                                   TimePs{5'000}, TimePs{10'000},
@@ -28,9 +28,9 @@ runFig08()
     for (TimePs l : latencies)
         head.push_back(std::to_string(l.count() / 1000) + "ns");
 
-    TextTable t("Figure 8: contesting speedup over the own "
-                "customized core at different GRB latencies");
-    t.header(head);
+    auto &t = art.table("Figure 8: contesting speedup over the own "
+                        "customized core at different GRB latencies");
+    t.columns = head;
 
     unsigned top = benchFastMode() ? 2 : 5;
     std::vector<double> avg(latencies.size(), 0.0);
@@ -39,8 +39,9 @@ runFig08()
         double own = runner.single(bench, bench).result.ipt;
         auto choice = runner.bestContestingPair(bench, {}, top);
 
-        std::vector<std::string> cells{
-            bench, choice.coreA + "+" + choice.coreB};
+        std::vector<ArtifactCell> cells{
+            cellText(bench),
+            cellText(choice.coreA + "+" + choice.coreB)};
         for (std::size_t li = 0; li < latencies.size(); ++li) {
             ContestConfig cfg;
             cfg.grbLatencyPs = latencies[li];
@@ -52,26 +53,31 @@ runFig08()
                       .ipt;
             double sp = speedup(ipt, own);
             avg[li] += sp;
-            cells.push_back(TextTable::pct(sp));
+            cells.push_back(cellPct(sp));
         }
-        t.row(cells);
+        t.row(std::move(cells));
     }
 
-    std::vector<std::string> avg_row{"AVERAGE", ""};
+    std::vector<ArtifactCell> avg_row{cellText("AVERAGE"),
+                                      cellText("")};
     for (std::size_t li = 0; li < latencies.size(); ++li)
-        avg_row.push_back(TextTable::pct(
+        avg_row.push_back(cellPct(
             avg[li] / static_cast<double>(names.size())));
-    t.row(avg_row);
-    t.print();
+    t.row(std::move(avg_row));
 
-    std::printf(
-        "Paper: the average benefit decreases with latency, down to "
-        "~6%% at 100 ns; sensitivity differs strongly per benchmark "
-        "(bzip <1%% loss from 1 ns to 2 ns, gzip >35%%).\n\n");
-    std::fflush(stdout);
+    art.scalar("avg_speedup_baseline",
+               avg.front() / static_cast<double>(names.size()));
+    art.scalar("avg_speedup_slowest",
+               avg.back() / static_cast<double>(names.size()));
+    art.note("Paper: the average benefit decreases with latency, "
+             "down to ~6% at 100 ns; sensitivity differs strongly "
+             "per benchmark (bzip <1% loss from 1 ns to 2 ns, gzip "
+             ">35%).");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("fig08", "Figure 8: core-to-core latency sweep",
+                    runFig08);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runFig08)

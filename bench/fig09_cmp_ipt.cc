@@ -13,10 +13,10 @@ namespace
 {
 
 void
-runFig09()
+runFig09(ExperimentContext &ctx)
 {
-    printBenchPreamble("Figure 9: per-benchmark IPT per CMP design");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
     ParallelStats ps = warmMatrix(runner);
     const auto &m = runner.matrix();
 
@@ -28,34 +28,33 @@ runFig09()
     std::vector<const CmpDesign *> designs{&het_a, &het_b, &het_c,
                                            &hom, &het_all};
 
-    TextTable t("Figure 9: IPT on the most suitable core of each "
-                "design");
+    auto &t = art.table("Figure 9: IPT on the most suitable core of "
+                        "each design");
     std::vector<std::string> head{"bench"};
     for (const auto *d : designs)
         head.push_back(d->name + " (" + designCoreNames(m, *d)
                        + ")");
     // HET-ALL's core list is long; shorten its header.
     head.back() = "HET-ALL";
-    t.header(head);
+    t.columns = head;
 
     for (std::size_t b = 0; b < m.numBenches(); ++b) {
-        std::vector<std::string> cells{m.benchNames[b]};
+        std::vector<ArtifactCell> cells{cellText(m.benchNames[b])};
         for (const auto *d : designs)
-            cells.push_back(TextTable::num(
-                m.ipt[b][bestCoreFor(m, b, d->cores)]));
-        t.row(cells);
+            cells.push_back(
+                cellNum(m.ipt[b][bestCoreFor(m, b, d->cores)]));
+        t.row(std::move(cells));
     }
-    t.print();
 
-    std::printf(
-        "Paper: the choice of available core types visibly moves "
-        "individual benchmarks (Figure 9); HET-ALL upper-bounds "
-        "every row.\n\n");
-    std::fflush(stdout);
-    printParallelStats(ps);
+    art.note("Paper: the choice of available core types visibly "
+             "moves individual benchmarks (Figure 9); HET-ALL "
+             "upper-bounds every row.");
+    art.note(parallelNote(ps));
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("fig09", "Figure 9: per-benchmark IPT per CMP design",
+                    runFig09);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runFig09)

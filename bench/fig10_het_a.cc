@@ -14,24 +14,24 @@ namespace
 {
 
 void
-runFig10()
+runFig10(ExperimentContext &ctx)
 {
-    printBenchPreamble("Figure 10: contesting on HET-A");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
     const auto &m = runner.matrix();
     auto het_a = designCmp(m, 2, Merit::Avg, "HET-A");
     auto hom = designHom(m, Merit::Avg, "HOM");
     auto exp = runHetExperiment(runner, het_a, hom);
-    printHetExperiment(exp, m, "Figure 10");
-    std::printf(
-        "Paper: HET-A contesting averages +16%% over not "
-        "contesting, max +41%% (gcc); benchmarks that lost "
-        "performance to the constrained design are more than "
-        "compensated.\n\n");
-    std::fflush(stdout);
+    hetArtifact(art, exp, m, "Figure 10");
+    art.note("Paper: HET-A contesting averages +16% over not "
+             "contesting, max +41% (gcc); benchmarks that lost "
+             "performance to the constrained design are more than "
+             "compensated.");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("fig10", "Figure 10: contesting on HET-A",
+                    runFig10);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runFig10)

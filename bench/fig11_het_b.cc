@@ -14,29 +14,31 @@ namespace
 {
 
 void
-runFig11()
+runFig11(ExperimentContext &ctx)
 {
-    printBenchPreamble("Figure 11: contesting on HET-B");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
     const auto &m = runner.matrix();
     auto het_b = designCmp(m, 2, Merit::Har, "HET-B");
     auto hom = designHom(m, Merit::Avg, "HOM");
     auto exp = runHetExperiment(runner, het_b, hom);
-    printHetExperiment(exp, m, "Figure 11");
+    hetArtifact(art, exp, m, "Figure 11");
 
     unsigned parked = 0;
     for (const auto &row : exp.rows)
         parked += row.parked ? 1 : 0;
-    std::printf(
-        "Saturated laggers parked on %u of %zu benchmarks. Paper: "
-        "the mcf core's long clock period makes it a saturated "
-        "lagger for half the benchmarks; HET-B contesting still "
-        "averages +13%%, max +39%% (twolf).\n\n",
-        parked, exp.rows.size());
-    std::fflush(stdout);
+    art.scalar("parked_benchmarks", parked);
+    art.note("Saturated laggers parked on " + std::to_string(parked)
+             + " of " + std::to_string(exp.rows.size())
+             + " benchmarks. Paper: the mcf core's long clock "
+               "period makes it a saturated lagger for half the "
+               "benchmarks; HET-B contesting still averages +13%, "
+               "max +39% (twolf).");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("fig11", "Figure 11: contesting on HET-B",
+                    runFig11);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runFig11)

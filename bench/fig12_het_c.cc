@@ -9,33 +9,41 @@
 
 #include "bench/bench_common.hh"
 
+#include <cstdio>
+
 namespace contest
 {
 namespace
 {
 
 void
-runFig12()
+runFig12(ExperimentContext &ctx)
 {
-    printBenchPreamble("Figure 12: contesting on HET-C");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
     const auto &m = runner.matrix();
     auto het_c = designCmp(m, 2, Merit::CwHar, "HET-C");
     auto hom = designHom(m, Merit::Avg, "HOM");
     auto exp = runHetExperiment(runner, het_c, hom);
-    printHetExperiment(exp, m, "Figure 12");
+    hetArtifact(art, exp, m, "Figure 12");
 
-    std::printf(
+    double het_multiplier = exp.avgNoContestVsHom != 0.0
+        ? exp.avgVsHom / exp.avgNoContestVsHom
+        : 0.0;
+    art.scalar("het_advantage_multiplier", het_multiplier);
+    char summary[240];
+    std::snprintf(
+        summary, sizeof(summary),
         "Contesting multiplies the heterogeneity advantage over HOM "
         "by %.1fx (paper: ~3x — +34%% with contesting vs +11%% "
-        "without). Paper HET-C: avg +22%%, max +50%% (vpr).\n\n",
-        exp.avgNoContestVsHom != 0.0
-            ? exp.avgVsHom / exp.avgNoContestVsHom
-            : 0.0);
-    std::fflush(stdout);
+        "without). Paper HET-C: avg +22%%, max +50%% (vpr).",
+        het_multiplier);
+    art.note(summary);
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("fig12", "Figure 12: contesting on HET-C",
+                    runFig12);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runFig12)

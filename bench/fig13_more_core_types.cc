@@ -14,10 +14,10 @@ namespace
 {
 
 void
-runFig13()
+runFig13(ExperimentContext &ctx)
 {
-    printBenchPreamble("Figure 13: contesting vs more core types");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
     const auto &m = runner.matrix();
 
     auto het_c = designCmp(m, 2, Merit::CwHar, "HET-C");
@@ -25,12 +25,13 @@ runFig13()
     const std::string core_a = m.coreNames[het_c.cores[0]];
     const std::string core_b = m.coreNames[het_c.cores[1]];
 
-    TextTable t("Figure 13: HET-C (" + designCoreNames(m, het_c)
-                + ") contesting vs HET-D ("
-                + designCoreNames(m, het_d)
-                + ") and HET-ALL without contesting");
-    t.header({"bench", "HET-C contest", "HET-D no-contest",
-              "HET-ALL (own core)"});
+    auto &t = art.table("Figure 13: HET-C ("
+                        + designCoreNames(m, het_c)
+                        + ") contesting vs HET-D ("
+                        + designCoreNames(m, het_d)
+                        + ") and HET-ALL without contesting");
+    t.columns = {"bench", "HET-C contest", "HET-D no-contest",
+                 "HET-ALL (own core)"};
 
     // The per-benchmark HET-C contests are independent: sweep them
     // on the harness pool.
@@ -54,29 +55,29 @@ runFig13()
         c_ipts.push_back(r.ipt);
         d_ipts.push_back(d_ipt);
         all_ipts.push_back(own_ipt);
-        t.row({bench, TextTable::num(r.ipt), TextTable::num(d_ipt),
-               TextTable::num(own_ipt)});
+        t.row({cellText(bench), cellNum(r.ipt), cellNum(d_ipt),
+               cellNum(own_ipt)});
     }
-    t.row({"HAR-MEAN", TextTable::num(harmonicMean(c_ipts)),
-           TextTable::num(harmonicMean(d_ipts)),
-           TextTable::num(harmonicMean(all_ipts))});
-    t.print();
+    t.row({cellText("HAR-MEAN"), cellNum(harmonicMean(c_ipts)),
+           cellNum(harmonicMean(d_ipts)),
+           cellNum(harmonicMean(all_ipts))});
 
-    std::printf(
-        "Two-type contesting vs three-type selection: %s "
-        "(harmonic mean). Paper: contesting between two core types "
-        "matches or beats executing on the best of three types, and "
-        "on average matches eleven types — a more cost-effective "
-        "route to single-thread performance than more core "
-        "types.\n\n",
-        TextTable::pct(speedup(harmonicMean(c_ipts),
-                               harmonicMean(d_ipts)))
-            .c_str());
-    std::fflush(stdout);
-    printParallelStats(ps);
+    double two_vs_three =
+        speedup(harmonicMean(c_ipts), harmonicMean(d_ipts));
+    art.scalar("two_type_contest_vs_three_type", two_vs_three);
+    art.note("Two-type contesting vs three-type selection: "
+             + TextTable::pct(two_vs_three)
+             + " (harmonic mean). Paper: contesting between two core "
+               "types matches or beats executing on the best of "
+               "three types, and on average matches eleven types — a "
+               "more cost-effective route to single-thread "
+               "performance than more core types.");
+    art.note(parallelNote(ps));
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("fig13", "Figure 13: contesting vs more core types",
+                    runFig13);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runFig13)

@@ -19,10 +19,10 @@ namespace
 {
 
 void
-runSchedContention()
+runSchedContention(ExperimentContext &ctx)
 {
-    printBenchPreamble("Section 6.1: multiprogrammed contention");
-    Runner &runner = benchRunner();
+    FigureArtifact art = ctx.artifact();
+    Runner &runner = ctx.runner;
     const auto &m = runner.matrix();
 
     auto het_a = designCmp(m, 2, Merit::Avg, "HET-A");
@@ -45,11 +45,13 @@ runSchedContention()
         loads = {{"light", 4'000'000.0}, {"heavy", 700'000.0}};
 
     for (const auto &load : loads) {
-        TextTable t(std::string("Mean job turnaround (us) under ")
-                    + load.label
-                    + " load, 4 cores, queue-at-preferred-type");
-        t.header({"design", "core types", "cw-har score",
-                  "mean turnaround", "p95", "queue share"});
+        auto &t = art.table(std::string("Mean job turnaround (us) "
+                                        "under ")
+                            + load.label
+                            + " load, 4 cores, "
+                              "queue-at-preferred-type");
+        t.columns = {"design", "core types", "cw-har score",
+                     "mean turnaround", "p95", "queue share"};
         for (const auto *d : designs) {
             SchedConfig cfg;
             cfg.totalCores = 4;
@@ -61,30 +63,31 @@ runSchedContention()
             double queue_share = r.meanTurnaroundNs > 0.0
                 ? r.meanQueueNs / r.meanTurnaroundNs
                 : 0.0;
-            t.row({d->name, designCoreNames(m, *d),
-                   TextTable::num(
-                       scoreCmp(m, d->cores, Merit::CwHar), 3),
-                   TextTable::num(r.meanTurnaroundNs / 1000.0, 1),
-                   TextTable::num(r.p95TurnaroundNs / 1000.0, 1),
-                   TextTable::pct(queue_share)});
+            t.row({cellText(d->name),
+                   cellText(designCoreNames(m, *d)),
+                   cellNum(scoreCmp(m, d->cores, Merit::CwHar), 3),
+                   cellNum(r.meanTurnaroundNs / 1000.0, 1),
+                   cellNum(r.p95TurnaroundNs / 1000.0, 1),
+                   cellPct(queue_share)});
         }
-        t.print();
     }
 
-    std::printf(
-        "Under light load the heterogeneous designs win on pure "
-        "service time. Under heavy load with the paper's "
-        "queue-at-preferred-type policy, turnaround ranks exactly "
-        "by the cw-har score: designs that split the benchmarks "
-        "evenly across their types queue least, and pooled "
-        "homogeneous capacity is the limiting case of that "
-        "balance. This is the Little's-law argument behind cw-har "
-        "(Section 6.1) — and why HET-C plus contesting-when-idle "
-        "is the paper's robust design point (Section 7.1).\n\n");
-    std::fflush(stdout);
+    art.note("Under light load the heterogeneous designs win on pure "
+             "service time. Under heavy load with the paper's "
+             "queue-at-preferred-type policy, turnaround ranks "
+             "exactly by the cw-har score: designs that split the "
+             "benchmarks evenly across their types queue least, and "
+             "pooled homogeneous capacity is the limiting case of "
+             "that balance. This is the Little's-law argument behind "
+             "cw-har (Section 6.1) — and why HET-C plus "
+             "contesting-when-idle is the paper's robust design "
+             "point (Section 7.1).");
+    ctx.sink.emit(art);
 }
+
+REGISTER_EXPERIMENT("sched_contention",
+                    "Section 6.1: multiprogrammed contention",
+                    runSchedContention);
 
 } // namespace
 } // namespace contest
-
-CONTEST_BENCH_MAIN(contest::runSchedContention)

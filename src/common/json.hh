@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Minimal JSON document model for the artifact pipeline: an ordered
+ * value type, a serializer whose doubles round-trip exactly (shortest
+ * representation that parses back bit-identical), and a strict
+ * recursive-descent parser. Objects preserve insertion order so the
+ * emitted artifacts diff cleanly under version control.
+ */
+
+#ifndef CONTEST_COMMON_JSON_HH
+#define CONTEST_COMMON_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace contest
+{
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /** A null value. */
+    JsonValue() = default;
+
+    /** @name Typed constructors */
+    /** @{ */
+    static JsonValue boolean(bool b);
+    static JsonValue number(double v);
+    static JsonValue str(std::string s);
+    static JsonValue array();
+    static JsonValue object();
+    /** @} */
+
+    Kind kind() const { return k; }
+    bool isNull() const { return k == Kind::Null; }
+    bool isBool() const { return k == Kind::Bool; }
+    bool isNumber() const { return k == Kind::Number; }
+    bool isString() const { return k == Kind::String; }
+    bool isArray() const { return k == Kind::Array; }
+    bool isObject() const { return k == Kind::Object; }
+
+    /** The boolean payload; panics unless isBool(). */
+    bool asBool() const;
+    /** The numeric payload; panics unless isNumber(). */
+    double asNumber() const;
+    /** The string payload; panics unless isString(). */
+    const std::string &asString() const;
+
+    /** Array elements; panics unless isArray(). */
+    const std::vector<JsonValue> &elements() const;
+    /** Append an element; panics unless isArray(). */
+    void push(JsonValue v);
+
+    /** Object members in insertion order; panics unless isObject(). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+    /** Set (or overwrite) a member; panics unless isObject(). */
+    void set(const std::string &key, JsonValue v);
+    /** Member by key, or nullptr when absent; panics unless
+     *  isObject(). */
+    const JsonValue *find(const std::string &key) const;
+    /** Member by key; panics when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Number of elements (array) or members (object). */
+    std::size_t size() const;
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per nesting level; 0 emits a compact single line.
+     */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parse a complete JSON document. On failure returns a null
+     * value and, when @p error is non-null, stores a message with
+     * the byte offset of the problem.
+     */
+    static JsonValue parse(const std::string &text,
+                           std::string *error = nullptr);
+
+  private:
+    Kind k = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string s;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+};
+
+/** Escape @p s as the body of a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Format a double as the shortest decimal that parses back to the
+ * identical bits (integers within 2^53 print without a fraction).
+ */
+std::string jsonNumber(double v);
+
+} // namespace contest
+
+#endif // CONTEST_COMMON_JSON_HH

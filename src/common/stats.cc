@@ -62,4 +62,16 @@ weightedHarmonicMean(const std::vector<double> &xs,
     return w_sum / ratio_sum;
 }
 
+std::size_t
+argmaxFirst(const std::vector<double> &xs)
+{
+    fatal_if(xs.empty(), "argmaxFirst over an empty vector");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+        if (xs[i] > xs[best])
+            best = i;
+    }
+    return best;
+}
+
 } // namespace contest

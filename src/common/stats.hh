@@ -149,6 +149,14 @@ double geometricMean(const std::vector<double> &xs);
 double weightedHarmonicMean(const std::vector<double> &xs,
                             const std::vector<double> &weights);
 
+/**
+ * Index of the largest element, ties resolved to the FIRST
+ * occurrence. Every best-row scan in the experiment suite funnels
+ * through this so tie-breaking is uniform (and independent of scan
+ * direction or job count); fatal() on an empty vector.
+ */
+std::size_t argmaxFirst(const std::vector<double> &xs);
+
 } // namespace contest
 
 #endif // CONTEST_COMMON_STATS_HH

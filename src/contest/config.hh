@@ -60,6 +60,14 @@ struct ContestConfig
 
     /** Service time of one asynchronous interrupt. */
     TimePs interruptHandlerPs{500'000};
+
+    /**
+     * Deadlock watchdog: panic after this many global core ticks
+     * without the retire frontier advancing. Large enough that the
+     * slowest palette core at the longest Figure 8 bus latency never
+     * trips it; tests shrink it to exercise the watchdog quickly.
+     */
+    std::uint64_t deadlockStuckTicks = 40'000'000;
 };
 
 } // namespace contest

@@ -148,7 +148,7 @@ ContestSystem::run()
     // last advanced.
     InstSeq last_frontier{};
     std::uint64_t stuck_ticks = 0;
-    constexpr std::uint64_t stuck_limit = 40'000'000;
+    const std::uint64_t stuck_limit = cfg.deadlockStuckTicks;
 
     while (!finished) {
         // Pick the core with the earliest next clock edge; ties go
@@ -209,11 +209,7 @@ ContestSystem::run()
         TimePs powered = units[c]->stats().saturated
             ? units[c]->stats().parkedAt
             : finish_time;
-        ActivityCounts activity;
-        activity.l1Accesses = cores[c]->memory().l1().accesses();
-        activity.l1Misses = cores[c]->memory().l1().misses();
-        activity.l2Accesses = cores[c]->memory().l2().accesses();
-        activity.l2Misses = cores[c]->memory().l2().misses();
+        ActivityCounts activity = baseActivity(*cores[c]);
         activity.grbBroadcasts = units[c]->stats().broadcasts;
         activity.injections = cores[c]->stats().injected;
         result.energy.push_back(
@@ -248,14 +244,20 @@ runSingle(const CoreConfig &config, TracePtr trace)
     r.timePs = t;
     r.ipt = instPerNs(trace->endSeq(), t);
     r.stats = core.stats();
+    r.energy = estimateEnergy(config, core.stats(), baseActivity(core),
+                              t);
+    return r;
+}
 
+ActivityCounts
+baseActivity(const OooCore &core)
+{
     ActivityCounts activity;
     activity.l1Accesses = core.memory().l1().accesses();
     activity.l1Misses = core.memory().l1().misses();
     activity.l2Accesses = core.memory().l2().accesses();
     activity.l2Misses = core.memory().l2().misses();
-    r.energy = estimateEnergy(config, core.stats(), activity, t);
-    return r;
+    return activity;
 }
 
 } // namespace contest

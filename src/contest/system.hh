@@ -154,6 +154,13 @@ struct SingleRunResult
 /** Execute the trace on a single core of the given configuration. */
 SingleRunResult runSingle(const CoreConfig &config, TracePtr trace);
 
+/**
+ * The cache-activity counters a finished core contributes to its
+ * energy estimate. Contested runs add the GRB broadcast and
+ * injection counts on top.
+ */
+ActivityCounts baseActivity(const OooCore &core);
+
 } // namespace contest
 
 #endif // CONTEST_CONTEST_SYSTEM_HH

@@ -1,6 +1,6 @@
 #include "harness/experiment.hh"
 
-#include <cstdio>
+#include <cstdlib>
 
 namespace contest
 {
@@ -9,20 +9,16 @@ Runner &
 benchRunner()
 {
     static Runner runner(benchTraceLen(), benchSeed());
+    static const bool attached = [] {
+        const char *cache_dir = std::getenv("CONTEST_CACHE_DIR");
+        if (cache_dir != nullptr && *cache_dir != '\0') {
+            static ResultCache cache{std::string(cache_dir)};
+            runner.setResultCache(&cache);
+        }
+        return true;
+    }();
+    (void)attached;
     return runner;
-}
-
-void
-printBenchPreamble(const std::string &experiment)
-{
-    std::printf(
-        "# %s | trace length %llu, seed %llu, jobs %u%s\n",
-        experiment.c_str(),
-        static_cast<unsigned long long>(benchTraceLen()),
-        static_cast<unsigned long long>(benchSeed()),
-        defaultJobs(),
-        benchFastMode() ? ", fast mode" : "");
-    std::fflush(stdout);
 }
 
 } // namespace contest

@@ -1,8 +1,9 @@
 /**
  * @file
- * Shared scaffolding for the bench binaries: the process-wide Runner
- * configured from the environment, and small formatting helpers so
- * every figure/table is printed in one consistent style.
+ * Shared scaffolding for the experiment suite: the process-wide
+ * Runner configured from the environment (with the optional
+ * persistent result cache attached), and small helpers shared by
+ * every figure/table.
  */
 
 #ifndef CONTEST_HARNESS_EXPERIMENT_HH
@@ -18,8 +19,10 @@ namespace contest
 {
 
 /**
- * The process-wide runner used by a bench binary, configured from
- * CONTEST_TRACE_LEN / CONTEST_SEED on first use.
+ * The process-wide runner used by the experiment suite, configured
+ * from CONTEST_TRACE_LEN / CONTEST_SEED on first use. When
+ * CONTEST_CACHE_DIR names a directory, a persistent ResultCache is
+ * attached so single-core runs survive across processes.
  */
 Runner &benchRunner();
 
@@ -29,9 +32,6 @@ speedup(double value, double baseline)
 {
     return baseline > 0.0 ? value / baseline - 1.0 : 0.0;
 }
-
-/** Print the standard bench header (trace length, seed, mode). */
-void printBenchPreamble(const std::string &experiment);
 
 } // namespace contest
 

@@ -30,6 +30,13 @@ class RegionLog
     /** The paper logs cycles per 20 dynamic instructions. */
     static constexpr std::uint64_t regionInsts = 20;
 
+    RegionLog() = default;
+
+    /** Rebuild from a recorded series (result-cache restore). */
+    explicit RegionLog(std::vector<TimePs> recorded)
+        : times(std::move(recorded))
+    {}
+
     /**
      * Observe one retirement (wired to OooCore::setRetireCallback).
      * Every regionInsts-th retirement closes a region.

@@ -1,0 +1,51 @@
+#include "harness/registry.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+void
+ExperimentRegistry::add(ExperimentInfo info)
+{
+    fatal_if(info.name.empty() || info.fn == nullptr,
+             "experiment registration needs a name and a function");
+    fatal_if(find(info.name) != nullptr,
+             "experiment '%s' is registered twice",
+             info.name.c_str());
+    experiments.push_back(std::move(info));
+}
+
+const ExperimentInfo *
+ExperimentRegistry::find(const std::string &name) const
+{
+    for (const auto &e : experiments)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+std::vector<const ExperimentInfo *>
+ExperimentRegistry::all() const
+{
+    std::vector<const ExperimentInfo *> out;
+    out.reserve(experiments.size());
+    for (const auto &e : experiments)
+        out.push_back(&e);
+    std::sort(out.begin(), out.end(),
+              [](const ExperimentInfo *a, const ExperimentInfo *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+} // namespace contest

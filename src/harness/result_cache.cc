@@ -1,0 +1,337 @@
+#include "harness/result_cache.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+namespace
+{
+
+/** FNV-1a 64-bit digest of a string. */
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+void
+appendCacheGeom(std::ostringstream &os, const char *tag,
+                const CacheConfig &c)
+{
+    os << tag << '=' << c.sets << '/' << c.assoc << '/' << c.blockBytes
+       << '/' << c.latency.count() << '/' << (c.writeThrough ? 1 : 0)
+       << '/' << (c.writeAllocate ? 1 : 0) << ';';
+}
+
+/** Little-endian binary writer. */
+struct Writer
+{
+    std::string buf;
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+};
+
+/** Little-endian binary reader; any overrun poisons ok. */
+struct Reader
+{
+    const std::string &buf;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    explicit Reader(const std::string &data) : buf(data) {}
+
+    std::uint64_t
+    u64()
+    {
+        if (pos + 8 > buf.size()) {
+            ok = false;
+            return 0;
+        }
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(buf[pos + i]))
+                 << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    bytes(std::size_t n)
+    {
+        if (pos + n > buf.size()) {
+            ok = false;
+            return {};
+        }
+        std::string s = buf.substr(pos, n);
+        pos += n;
+        return s;
+    }
+};
+
+constexpr char cacheMagic[4] = {'C', 'T', 'R', 'C'};
+
+void
+writeStats(Writer &w, const CoreStats &s)
+{
+    w.u64(s.cycles.count());
+    w.u64(s.retired);
+    w.u64(s.injected);
+    w.u64(s.condBranches);
+    w.u64(s.mispredicts);
+    w.u64(s.earlyResolves);
+    w.u64(s.btbMissRedirects);
+    w.u64(s.syscalls);
+    w.u64(s.icacheMisses);
+    w.u64(s.fetchStallBranch.count());
+    w.u64(s.robFullStalls.count());
+    w.u64(s.iqFullStalls.count());
+    w.u64(s.lsqFullStalls.count());
+    w.u64(s.storeQueueStalls.count());
+    w.u64(s.syscallStalls.count());
+}
+
+void
+readStats(Reader &r, CoreStats &s)
+{
+    s.cycles = Cycles{r.u64()};
+    s.retired = r.u64();
+    s.injected = r.u64();
+    s.condBranches = r.u64();
+    s.mispredicts = r.u64();
+    s.earlyResolves = r.u64();
+    s.btbMissRedirects = r.u64();
+    s.syscalls = r.u64();
+    s.icacheMisses = r.u64();
+    s.fetchStallBranch = Cycles{r.u64()};
+    s.robFullStalls = Cycles{r.u64()};
+    s.iqFullStalls = Cycles{r.u64()};
+    s.lsqFullStalls = Cycles{r.u64()};
+    s.storeQueueStalls = Cycles{r.u64()};
+    s.syscallStalls = Cycles{r.u64()};
+}
+
+void
+writeEnergy(Writer &w, const EnergyBreakdown &e)
+{
+    w.f64(e.staticNj);
+    w.f64(e.pipelineNj);
+    w.f64(e.cacheNj);
+    w.f64(e.bpredNj);
+    w.f64(e.squashNj);
+    w.f64(e.contestNj);
+}
+
+void
+readEnergy(Reader &r, EnergyBreakdown &e)
+{
+    e.staticNj = r.f64();
+    e.pipelineNj = r.f64();
+    e.cacheNj = r.f64();
+    e.bpredNj = r.f64();
+    e.squashNj = r.f64();
+    e.contestNj = r.f64();
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string cache_dir, int version)
+    : dir(std::move(cache_dir)), formatVersion(version)
+{
+    fatal_if(dir.empty(),
+             "ResultCache needs a non-empty cache directory");
+}
+
+std::string
+ResultCache::singleRunKey(const CoreConfig &core,
+                          const std::string &bench,
+                          std::uint64_t seed, std::uint64_t trace_len)
+{
+    std::ostringstream os;
+    os << "bench=" << bench << ";seed=" << seed
+       << ";len=" << trace_len << ';';
+    os << "core=" << core.name << ';';
+    os << "memlat=" << core.memAccessCycles.count() << ';';
+    os << "fed=" << core.frontEndDepth << ';';
+    os << "width=" << core.width << ';';
+    os << "rob=" << core.robSize << ';';
+    os << "iq=" << core.iqSize << ';';
+    os << "wakeup=" << core.wakeupLatency.count() << ';';
+    os << "sched=" << core.schedDepth.count() << ';';
+    os << "clock=" << core.clockPeriodPs.count() << ';';
+    appendCacheGeom(os, "l1d", core.l1d);
+    appendCacheGeom(os, "l2", core.l2);
+    os << "lsq=" << core.lsqSize << ';';
+    os << "l1dports=" << core.l1dPorts << ';';
+    os << "mshrs=" << core.mshrs << ';';
+    char bw[64];
+    std::snprintf(bw, sizeof(bw), "bw=%.17g;",
+                  core.memBandwidthBytesPerNs);
+    os << bw;
+    os << "btbmiss=" << core.btbMissPenalty.count() << ';';
+    os << "syscall=" << core.syscallHandlerCycles.count() << ';';
+    os << "bpred=" << static_cast<int>(core.bpred.kind) << '/'
+       << core.bpred.tableBits << '/' << core.bpred.historyBits << '/'
+       << core.bpred.localHistBits << '/' << core.bpred.localTableBits
+       << ';';
+    os << "btb=" << core.btb.sets << '/' << core.btb.assoc << ';';
+    os << "icache=" << (core.modelICache ? 1 : 0) << ';';
+    appendCacheGeom(os, "l1i", core.l1i);
+    return os.str();
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    // The version participates in the digest, so a version bump
+    // addresses different files; the header check below is the
+    // guard against digest collisions and stale formats.
+    char name[64];
+    std::snprintf(name, sizeof(name), "%016llx.bin",
+                  static_cast<unsigned long long>(fnv1a64(
+                      std::to_string(formatVersion) + "|" + key)));
+    return dir + "/" + name;
+}
+
+bool
+ResultCache::load(const std::string &key, SingleRunResult &result,
+                  std::vector<TimePs> &regions) const
+{
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in) {
+        ++missCount;
+        return false;
+    }
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    const std::string data = raw.str();
+
+    Reader r(data);
+    std::string magic = r.bytes(sizeof(cacheMagic));
+    if (!r.ok
+        || std::memcmp(magic.data(), cacheMagic,
+                       sizeof(cacheMagic)) != 0
+        || static_cast<int>(r.u64()) != formatVersion) {
+        ++missCount;
+        return false;
+    }
+    std::string stored_key = r.bytes(r.u64());
+    if (!r.ok || stored_key != key) {
+        ++missCount;
+        return false;
+    }
+
+    SingleRunResult out;
+    out.timePs = TimePs{r.u64()};
+    out.ipt = r.f64();
+    readStats(r, out.stats);
+    readEnergy(r, out.energy);
+    std::vector<TimePs> series(r.u64());
+    if (!r.ok || series.size() > data.size()) {
+        // A corrupt length would reserve absurd memory; any entry's
+        // series is necessarily smaller than the file that holds it.
+        ++missCount;
+        return false;
+    }
+    for (auto &t : series)
+        t = TimePs{r.u64()};
+    if (!r.ok || r.pos != data.size()) {
+        ++missCount;
+        return false;
+    }
+
+    result = out;
+    regions = std::move(series);
+    ++hitCount;
+    return true;
+}
+
+void
+ResultCache::store(const std::string &key,
+                   const SingleRunResult &result,
+                   const std::vector<TimePs> &regions) const
+{
+    Writer w;
+    w.buf.append(cacheMagic, sizeof(cacheMagic));
+    w.u64(static_cast<std::uint64_t>(formatVersion));
+    w.u64(key.size());
+    w.buf.append(key);
+    w.u64(result.timePs.count());
+    w.f64(result.ipt);
+    writeStats(w, result.stats);
+    writeEnergy(w, result.energy);
+    w.u64(regions.size());
+    for (TimePs t : regions)
+        w.u64(t.count());
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("result cache: cannot create '%s': %s", dir.c_str(),
+             ec.message().c_str());
+        return;
+    }
+
+    // Write-then-rename so a concurrent reader (another process
+    // sharing the cache directory) never sees a partial entry.
+    const std::string final_path = entryPath(key);
+    const std::string tmp_path =
+        final_path + ".tmp." + std::to_string(getpid());
+    {
+        std::ofstream out(tmp_path, std::ios::binary);
+        out.write(w.buf.data(),
+                  static_cast<std::streamsize>(w.buf.size()));
+        if (!out) {
+            warn("result cache: write to '%s' failed",
+                 tmp_path.c_str());
+            std::filesystem::remove(tmp_path, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+        warn("result cache: rename to '%s' failed: %s",
+             final_path.c_str(), ec.message().c_str());
+        std::filesystem::remove(tmp_path, ec);
+        return;
+    }
+    ++storeCount;
+}
+
+} // namespace contest

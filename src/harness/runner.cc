@@ -46,11 +46,29 @@ Runner::single(const std::string &bench, const std::string &core)
         entry = slot.get();
     }
     std::call_once(entry->once, [&] {
-        TracePtr t = trace(bench);
         LoggedRun &run = entry->run;
+        const CoreConfig &config = coreConfigByName(core);
+
+        // Persistent layer first: a disk hit restores the result and
+        // region series without generating the trace or simulating.
+        std::string key;
+        if (disk != nullptr) {
+            key = ResultCache::singleRunKey(config, bench, seed_, len);
+            SingleRunResult restored;
+            std::vector<TimePs> series;
+            if (disk->load(key, restored, series)) {
+                run.result = restored;
+                run.regions =
+                    std::make_shared<RegionLog>(std::move(series));
+                ++diskHitCount;
+                return;
+            }
+        }
+
+        TracePtr t = trace(bench);
         run.regions = std::make_shared<RegionLog>();
 
-        OooCore sim(coreConfigByName(core), t);
+        OooCore sim(config, t);
         RegionLog *log = run.regions.get();
         sim.setRetireCallback(
             [log](InstSeq seq, TimePs now) { log->onRetire(seq, now); });
@@ -63,14 +81,12 @@ Runner::single(const std::string &bench, const std::string &core)
         run.result.timePs = now;
         run.result.ipt = instPerNs(t->endSeq(), now);
         run.result.stats = sim.stats();
+        run.result.energy = estimateEnergy(config, sim.stats(),
+                                           baseActivity(sim), now);
+        ++simsDone;
 
-        ActivityCounts activity;
-        activity.l1Accesses = sim.memory().l1().accesses();
-        activity.l1Misses = sim.memory().l1().misses();
-        activity.l2Accesses = sim.memory().l2().accesses();
-        activity.l2Misses = sim.memory().l2().misses();
-        run.result.energy = estimateEnergy(coreConfigByName(core),
-                                           sim.stats(), activity, now);
+        if (disk != nullptr)
+            disk->store(key, run.result, run.regions->series());
     });
     return entry->run;
 }

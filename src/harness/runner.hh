@@ -9,6 +9,7 @@
 #ifndef CONTEST_HARNESS_RUNNER_HH
 #define CONTEST_HARNESS_RUNNER_HH
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,6 +22,7 @@
 #include "core/palette.hh"
 #include "explore/merit.hh"
 #include "harness/region_log.hh"
+#include "harness/result_cache.hh"
 #include "trace/generator.hh"
 
 namespace contest
@@ -103,6 +105,29 @@ class Runner
     /** Workload seed in use. */
     std::uint64_t workloadSeed() const { return seed_; }
 
+    /**
+     * Attach a persistent result cache (not owned; must outlive the
+     * runner). single() consults it inside the once-latch: a disk
+     * hit skips the simulation entirely, a miss simulates and then
+     * stores. Attach before the first single() call — entries
+     * already latched in memory are not revisited.
+     */
+    void setResultCache(ResultCache *cache) { disk = cache; }
+
+    /** The attached result cache, if any. */
+    ResultCache *resultCache() const { return disk; }
+
+    /** Single-core simulations actually executed by this runner
+     *  (in-memory and disk hits excluded). */
+    std::uint64_t
+    simulationsPerformed() const
+    {
+        return simsDone.load();
+    }
+
+    /** single() calls satisfied from the persistent cache. */
+    std::uint64_t diskHits() const { return diskHitCount.load(); }
+
   private:
     /** Memo-map slot: the once-latch serializes the first (and only)
      *  computation of the keyed value; later readers see it filled. */
@@ -120,6 +145,9 @@ class Runner
     std::uint64_t len;
     std::uint64_t seed_;
     ThreadPool *pool_;
+    ResultCache *disk = nullptr;
+    std::atomic<std::uint64_t> simsDone{0};
+    std::atomic<std::uint64_t> diskHitCount{0};
 
     /** Guards the maps' structure only; entries latch themselves. */
     std::mutex cacheMu;

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the artifact pipeline: cell helpers, JSON
+ * round-trips, the tolerance-based golden diff, and the sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/artifact.hh"
+
+namespace contest
+{
+namespace
+{
+
+FigureArtifact
+sampleArtifact()
+{
+    FigureArtifact art("fig99", "Figure 99: a sample");
+    art.meta.traceLen = 1000;
+    art.meta.seed = 7;
+    art.meta.jobs = 4;
+    art.meta.fast = true;
+    art.meta.git = "abc123";
+    auto &t = art.table("speeds");
+    t.columns = {"bench", "ipt", "speedup"};
+    t.row({cellText("gcc"), cellNum(1.2345), cellPct(0.153)});
+    t.row({cellText("vpr \"quoted\"\n"), cellNum(0.5), cellPct(-0.02)});
+    art.scalar("avg_speedup", 0.0665);
+    art.note("free-text commentary, 1.23 s wall clock");
+    return art;
+}
+
+TEST(ArtifactCells, CarryTextAndValue)
+{
+    EXPECT_EQ(cellText("gcc").text, "gcc");
+    EXPECT_FALSE(cellText("gcc").numeric);
+    auto n = cellNum(1.2345);
+    EXPECT_TRUE(n.numeric);
+    EXPECT_DOUBLE_EQ(n.value, 1.2345);
+    EXPECT_EQ(n.text, "1.23");
+    auto p = cellPct(0.153);
+    EXPECT_DOUBLE_EQ(p.value, 0.153);
+    EXPECT_EQ(p.text, "+15.3%");
+    auto c = cellCount(42);
+    EXPECT_DOUBLE_EQ(c.value, 42.0);
+    EXPECT_EQ(c.text, "42");
+    auto x = cellCustom(1.5, "1.50x");
+    EXPECT_DOUBLE_EQ(x.value, 1.5);
+    EXPECT_EQ(x.text, "1.50x");
+}
+
+TEST(ArtifactJson, RoundTripsExactly)
+{
+    FigureArtifact art = sampleArtifact();
+    std::string dumped = art.toJson().dump();
+
+    std::string parse_error;
+    JsonValue v = JsonValue::parse(dumped, &parse_error);
+    EXPECT_TRUE(parse_error.empty()) << parse_error;
+
+    std::string from_error;
+    FigureArtifact back = FigureArtifact::fromJson(v, &from_error);
+    EXPECT_TRUE(from_error.empty()) << from_error;
+
+    EXPECT_EQ(back.name, art.name);
+    EXPECT_EQ(back.title, art.title);
+    EXPECT_EQ(back.meta.traceLen, art.meta.traceLen);
+    EXPECT_EQ(back.meta.seed, art.meta.seed);
+    EXPECT_EQ(back.meta.jobs, art.meta.jobs);
+    EXPECT_EQ(back.meta.fast, art.meta.fast);
+    EXPECT_EQ(back.meta.git, art.meta.git);
+    ASSERT_EQ(back.tables.size(), 1u);
+    EXPECT_EQ(back.tables[0].columns, art.tables[0].columns);
+    ASSERT_EQ(back.tables[0].rows.size(), 2u);
+    // The escaped-quote/newline label survives the round trip.
+    EXPECT_EQ(back.tables[0].rows[1][0].text, "vpr \"quoted\"\n");
+    // Numeric payloads are bit-identical (shortest round-trip
+    // serialization), so a zero-tolerance diff sees no change.
+    EXPECT_EQ(back.tables[0].rows[0][1].value,
+              art.tables[0].rows[0][1].value);
+    EXPECT_EQ(back.scalars, art.scalars);
+    EXPECT_EQ(back.notes, art.notes);
+    EXPECT_TRUE(diffArtifacts(art, back, {0.0, 0.0}).empty());
+}
+
+TEST(ArtifactJson, FromJsonRejectsNonObject)
+{
+    std::string error;
+    FigureArtifact art =
+        FigureArtifact::fromJson(JsonValue::number(3.0), &error);
+    EXPECT_FALSE(error.empty());
+    EXPECT_TRUE(art.name.empty());
+}
+
+TEST(ArtifactDiff, FlagsOffToleranceScalar)
+{
+    FigureArtifact golden = sampleArtifact();
+    FigureArtifact cand = sampleArtifact();
+    cand.scalars[0].second *= 1.01; // 1% off, rtol is 1e-6
+    auto diffs = diffArtifacts(golden, cand);
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_NE(diffs[0].find("avg_speedup"), std::string::npos);
+    // A loose tolerance accepts the same change.
+    EXPECT_TRUE(diffArtifacts(golden, cand, {0.05, 0.0}).empty());
+}
+
+TEST(ArtifactDiff, FlagsCellAndShapeChanges)
+{
+    FigureArtifact golden = sampleArtifact();
+
+    FigureArtifact cell = sampleArtifact();
+    cell.tables[0].rows[0][1].value += 0.5;
+    EXPECT_FALSE(diffArtifacts(golden, cell).empty());
+
+    FigureArtifact label = sampleArtifact();
+    label.tables[0].rows[0][0].text = "gzip";
+    EXPECT_FALSE(diffArtifacts(golden, label).empty());
+
+    FigureArtifact shape = sampleArtifact();
+    shape.tables[0].rows.pop_back();
+    EXPECT_FALSE(diffArtifacts(golden, shape).empty());
+
+    FigureArtifact meta = sampleArtifact();
+    meta.meta.traceLen = 999;
+    EXPECT_FALSE(diffArtifacts(golden, meta).empty());
+}
+
+TEST(ArtifactDiff, IgnoresInformationalFields)
+{
+    FigureArtifact golden = sampleArtifact();
+    FigureArtifact cand = sampleArtifact();
+    cand.meta.jobs = 16;
+    cand.meta.git = "fff999-dirty";
+    cand.notes[0] = "different wall clock text";
+    EXPECT_TRUE(diffArtifacts(golden, cand).empty());
+}
+
+TEST(ArtifactDiff, WithinToleranceIsClean)
+{
+    FigureArtifact golden = sampleArtifact();
+    FigureArtifact cand = sampleArtifact();
+    cand.scalars[0].second += 1e-12;
+    cand.tables[0].rows[0][1].value += 1e-12;
+    EXPECT_TRUE(diffArtifacts(golden, cand).empty());
+}
+
+TEST(ArtifactSink, WritesParsableJsonFiles)
+{
+    namespace fs = std::filesystem;
+    fs::path dir =
+        fs::temp_directory_path() / "contest_artifact_sink_test";
+    fs::remove_all(dir);
+
+    ArtifactSink sink(dir.string(), /*echo=*/false);
+    sink.emit(sampleArtifact());
+    ASSERT_EQ(sink.writtenFiles().size(), 1u);
+    ASSERT_EQ(sink.emitted().size(), 1u);
+
+    std::ifstream in(sink.writtenFiles()[0]);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string error;
+    JsonValue v = JsonValue::parse(ss.str(), &error);
+    EXPECT_TRUE(error.empty()) << error;
+    FigureArtifact back = FigureArtifact::fromJson(v, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(back.name, "fig99");
+    fs::remove_all(dir);
+}
+
+TEST(ArtifactScalars, RejectDuplicateNames)
+{
+    EXPECT_EXIT(([] {
+                    FigureArtifact art("x", "X");
+                    art.scalar("a", 1.0);
+                    art.scalar("a", 2.0);
+                }()),
+                ::testing::ExitedWithCode(1), "already has a scalar");
+}
+
+TEST(ArtifactTables, RejectWidthMismatch)
+{
+    EXPECT_EXIT(([] {
+                    FigureArtifact art("x", "X");
+                    auto &t = art.table("T");
+                    t.columns = {"a", "b"};
+                    t.row({cellText("only-one")});
+                }()),
+                ::testing::ExitedWithCode(1), "row width");
+}
+
+} // namespace
+} // namespace contest

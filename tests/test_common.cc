@@ -283,6 +283,25 @@ TEST(Means, ArithmeticHarmonicGeometric)
     EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
 }
 
+TEST(ArgmaxFirst, PicksTheFirstOfTiedMaxima)
+{
+    // Tie-breaking must be first-wins so best-row selection is
+    // deterministic regardless of how a sweep is ordered or split
+    // across workers.
+    std::vector<double> tied{1.0, 5.0, 3.0, 5.0, 5.0};
+    EXPECT_EQ(argmaxFirst(tied), 1u);
+    std::vector<double> single{2.0};
+    EXPECT_EQ(argmaxFirst(single), 0u);
+    std::vector<double> rising{-3.0, -2.0, -1.0};
+    EXPECT_EQ(argmaxFirst(rising), 2u);
+}
+
+TEST(ArgmaxFirst, RejectsEmptyInput)
+{
+    EXPECT_EXIT(argmaxFirst({}), ::testing::ExitedWithCode(1),
+                "argmaxFirst");
+}
+
 TEST(Means, WeightedHarmonic)
 {
     // Equal weights reduce to the plain harmonic mean.

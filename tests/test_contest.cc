@@ -116,6 +116,22 @@ TEST(ContestSystem, EarlyResolveCanBeDisabled)
               0u);
 }
 
+TEST(ContestSystem, DeadlockWatchdogIsConfigurable)
+{
+    // A zero stuck budget trips the watchdog on the first tick
+    // without a retirement (the pipeline-fill tick), proving the
+    // ContestConfig field reaches the engine. The default budget of
+    // 40M ticks is what every other test runs under.
+    auto trace = shortTrace("gcc", 5000);
+    ContestConfig cfg;
+    cfg.deadlockStuckTicks = 0;
+    ContestSystem sys({coreConfigByName("twolf"),
+                       coreConfigByName("gzip")},
+                      trace, cfg);
+    EXPECT_DEATH(sys.run(), "contest deadlock: no retirement");
+    EXPECT_EQ(ContestConfig{}.deadlockStuckTicks, 40'000'000u);
+}
+
 TEST(ContestSystem, StoresMergeExactlyOnceInOrder)
 {
     auto trace = shortTrace("gzip", 20000);

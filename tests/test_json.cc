@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the JSON document model behind the artifact
+ * pipeline: construction, serialization, escaping, number
+ * round-tripping, and the strict parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.hh"
+
+namespace contest
+{
+namespace
+{
+
+TEST(Json, ScalarKindsAndAccessors)
+{
+    EXPECT_TRUE(JsonValue{}.isNull());
+    EXPECT_TRUE(JsonValue::boolean(true).asBool());
+    EXPECT_FALSE(JsonValue::boolean(false).asBool());
+    EXPECT_DOUBLE_EQ(JsonValue::number(2.5).asNumber(), 2.5);
+    EXPECT_EQ(JsonValue::str("hi").asString(), "hi");
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndOverwrites)
+{
+    JsonValue o = JsonValue::object();
+    o.set("z", JsonValue::number(1));
+    o.set("a", JsonValue::number(2));
+    o.set("z", JsonValue::number(3)); // overwrite keeps position
+    ASSERT_EQ(o.size(), 2u);
+    EXPECT_EQ(o.members()[0].first, "z");
+    EXPECT_EQ(o.members()[1].first, "a");
+    EXPECT_DOUBLE_EQ(o.at("z").asNumber(), 3.0);
+    EXPECT_EQ(o.find("missing"), nullptr);
+}
+
+TEST(Json, CompactDump)
+{
+    JsonValue o = JsonValue::object();
+    o.set("name", JsonValue::str("fig06"));
+    JsonValue a = JsonValue::array();
+    a.push(JsonValue::number(1));
+    a.push(JsonValue::boolean(false));
+    a.push(JsonValue{});
+    o.set("xs", std::move(a));
+    EXPECT_EQ(o.dump(0),
+              "{\"name\": \"fig06\", \"xs\": [1, false, null]}");
+}
+
+TEST(Json, EscapingRoundTrips)
+{
+    const std::string nasty =
+        "quote\" backslash\\ newline\n tab\t bell\x07 end";
+    JsonValue v = JsonValue::str(nasty);
+    std::string text = v.dump(0);
+    // Control characters must be escaped in the wire form.
+    EXPECT_EQ(text.find('\n'), std::string::npos);
+    EXPECT_NE(text.find("\\u0007"), std::string::npos);
+
+    std::string err;
+    JsonValue back = JsonValue::parse(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back.asString(), nasty);
+}
+
+TEST(Json, NumbersRoundTripBitIdentical)
+{
+    for (double v :
+         {0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 3.141592653589793,
+          2.718281828459045e-10, 1.7976931348623157e308,
+          5e-324, 400000.0, -2009.0}) {
+        std::string text = jsonNumber(v);
+        std::string err;
+        JsonValue back = JsonValue::parse(text, &err);
+        EXPECT_TRUE(err.empty()) << text << ": " << err;
+        // Bit-identical round trip, not merely approximate.
+        EXPECT_EQ(back.asNumber(), v) << text;
+    }
+}
+
+TEST(Json, IntegersPrintWithoutFraction)
+{
+    EXPECT_EQ(jsonNumber(400000.0), "400000");
+    EXPECT_EQ(jsonNumber(-3.0), "-3");
+    EXPECT_EQ(jsonNumber(0.0), "0");
+}
+
+TEST(Json, DocumentRoundTrip)
+{
+    JsonValue o = JsonValue::object();
+    o.set("schema", JsonValue::number(1));
+    o.set("title", JsonValue::str("Figure 6: contesting"));
+    JsonValue rows = JsonValue::array();
+    for (int i = 0; i < 3; ++i) {
+        JsonValue row = JsonValue::array();
+        row.push(JsonValue::str("bench" + std::to_string(i)));
+        row.push(JsonValue::number(1.5 + i));
+        rows.push(std::move(row));
+    }
+    o.set("rows", std::move(rows));
+
+    for (int indent : {0, 2, 4}) {
+        std::string err;
+        JsonValue back = JsonValue::parse(o.dump(indent), &err);
+        ASSERT_TRUE(err.empty()) << err;
+        EXPECT_EQ(back.dump(0), o.dump(0));
+    }
+}
+
+TEST(Json, ParserRejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\" 1}", "{\"a\":}", "[1 2]", "tru",
+          "\"unterminated", "{\"a\":1} trailing", "1e999",
+          "{'single': 1}"}) {
+        std::string err;
+        JsonValue v = JsonValue::parse(bad, &err);
+        EXPECT_FALSE(err.empty()) << "accepted: " << bad;
+        EXPECT_TRUE(v.isNull());
+    }
+}
+
+TEST(Json, ParserHandlesUnicodeEscapes)
+{
+    std::string err;
+    JsonValue v = JsonValue::parse("\"a\\u00e9b\\u20acc\"", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(v.asString(), "a\xC3\xA9"
+                            "b\xE2\x82\xAC"
+                            "c");
+}
+
+TEST(Json, ParseAcceptsWhitespaceEverywhere)
+{
+    std::string err;
+    JsonValue v = JsonValue::parse(
+        " \n { \"a\" : [ 1 , 2 ] , \"b\" : null } \t", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(v.at("a").size(), 2u);
+    EXPECT_TRUE(v.at("b").isNull());
+}
+
+} // namespace
+} // namespace contest

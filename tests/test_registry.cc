@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the experiment registry and the suite-sharing
+ * property it enables: experiments running back-to-back in one
+ * process reuse the Runner's memoized single-core results, so the
+ * second experiment performs zero new simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/artifact.hh"
+#include "harness/registry.hh"
+#include "harness/runner.hh"
+
+namespace contest
+{
+namespace
+{
+
+int firstRuns = 0;
+int secondRuns = 0;
+
+void
+firstExperiment(ExperimentContext &ctx)
+{
+    ++firstRuns;
+    FigureArtifact art = ctx.artifact();
+    art.scalar("gcc_ipt",
+               ctx.runner.single("gcc", "gcc").result.ipt);
+    ctx.sink.emit(art);
+}
+
+void
+secondExperiment(ExperimentContext &ctx)
+{
+    ++secondRuns;
+    FigureArtifact art = ctx.artifact();
+    // Same (bench, core) cells as the first experiment, plus one of
+    // its own.
+    art.scalar("gcc_ipt",
+               ctx.runner.single("gcc", "gcc").result.ipt);
+    art.scalar("vpr_ipt",
+               ctx.runner.single("vpr", "gcc").result.ipt);
+    ctx.sink.emit(art);
+}
+
+REGISTER_EXPERIMENT("zz_test_first", "Registry test A",
+                    firstExperiment);
+REGISTER_EXPERIMENT("zz_test_second", "Registry test B",
+                    secondExperiment);
+
+TEST(Registry, FindsRegisteredExperiments)
+{
+    auto &reg = ExperimentRegistry::instance();
+    const ExperimentInfo *a = reg.find("zz_test_first");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->title, "Registry test A");
+    EXPECT_EQ(a->fn, &firstExperiment);
+    EXPECT_EQ(reg.find("no_such_experiment"), nullptr);
+}
+
+TEST(Registry, ListsAllSortedByName)
+{
+    auto &reg = ExperimentRegistry::instance();
+    auto all = reg.all();
+    ASSERT_EQ(all.size(), reg.size());
+    ASSERT_GE(all.size(), 2u);
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i - 1]->name, all[i]->name);
+}
+
+TEST(Registry, RejectsDuplicateNames)
+{
+    EXPECT_EXIT(ExperimentRegistry::instance().add(
+                    {"zz_test_first", "clone", firstExperiment}),
+                ::testing::ExitedWithCode(1), "zz_test_first");
+}
+
+TEST(Registry, RejectsUnnamedOrNullExperiments)
+{
+    EXPECT_EXIT(ExperimentRegistry::instance().add(
+                    {"", "anonymous", firstExperiment}),
+                ::testing::ExitedWithCode(1),
+                "needs a name and a function");
+    EXPECT_EXIT(ExperimentRegistry::instance().add(
+                    {"zz_test_null", "null fn", nullptr}),
+                ::testing::ExitedWithCode(1),
+                "needs a name and a function");
+}
+
+TEST(Registry, SecondExperimentReusesRunnerCache)
+{
+    // One process, one Runner, two experiments: the suite driver's
+    // whole reason to exist. The second experiment re-requests the
+    // first one's (bench, core) cell, which must be a pure cache hit.
+    Runner runner(4000, 9);
+    ArtifactSink sink("", /*echo=*/false);
+    auto &reg = ExperimentRegistry::instance();
+
+    const ExperimentInfo *first = reg.find("zz_test_first");
+    const ExperimentInfo *second = reg.find("zz_test_second");
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+
+    ExperimentContext ctx1{runner, sink, *first};
+    first->fn(ctx1);
+    std::uint64_t after_first = runner.simulationsPerformed();
+    EXPECT_EQ(after_first, 1u);
+
+    ExperimentContext ctx2{runner, sink, *second};
+    second->fn(ctx2);
+    // Only the genuinely new (vpr, gcc) cell simulates; the shared
+    // gcc cell costs zero new single-core simulations.
+    EXPECT_EQ(runner.simulationsPerformed(), after_first + 1);
+
+    EXPECT_EQ(firstRuns, 1);
+    EXPECT_EQ(secondRuns, 1);
+    ASSERT_EQ(sink.emitted().size(), 2u);
+    EXPECT_EQ(sink.emitted()[0].name, "zz_test_first");
+    EXPECT_EQ(sink.emitted()[1].name, "zz_test_second");
+    // Both experiments measured the identical memoized result.
+    EXPECT_EQ(sink.emitted()[0].scalars[0].second,
+              sink.emitted()[1].scalars[0].second);
+}
+
+} // namespace
+} // namespace contest
