@@ -111,14 +111,17 @@ main(int argc, char **argv)
 
     if (list_only) {
         for (const ExperimentInfo *e : registry.all())
-            std::printf("%-22s %s\n", e->name.c_str(),
-                        e->title.c_str());
+            std::printf("%-22s %s%s\n", e->name.c_str(),
+                        e->title.c_str(),
+                        e->inSuite ? "" : " [standalone]");
         return 0;
     }
 
     std::vector<const ExperimentInfo *> to_run;
     if (run_all) {
-        to_run = registry.all();
+        for (const ExperimentInfo *e : registry.all())
+            if (e->inSuite)
+                to_run.push_back(e);
     } else if (!selected.empty()) {
         for (const auto &name : selected) {
             const ExperimentInfo *e = registry.find(name);

@@ -45,6 +45,12 @@ benchSeed()
     return envU64("CONTEST_SEED", 2009);
 }
 
+bool
+simNoSkip()
+{
+    return envFlag("CONTEST_NO_SKIP");
+}
+
 unsigned
 defaultJobs()
 {

@@ -12,6 +12,11 @@
  *                     (default: the hardware concurrency). 1 runs
  *                     everything serially. Results are bit-identical
  *                     for every value.
+ * CONTEST_NO_SKIP   — when set to a non-zero value, disables the
+ *                     idle-cycle fast-forward and steps every core
+ *                     cycle-by-cycle. The reference mode for
+ *                     debugging the event-driven scheduler; results
+ *                     are bit-identical either way.
  */
 
 #ifndef CONTEST_COMMON_ENV_HH
@@ -37,6 +42,13 @@ bool benchFastMode();
 
 /** Base seed for deterministic workload generation. */
 std::uint64_t benchSeed();
+
+/**
+ * Whether idle-cycle skipping is disabled (CONTEST_NO_SKIP). Read
+ * at every run so tests can toggle the mode with setenv between
+ * otherwise identical runs.
+ */
+bool simNoSkip();
 
 /**
  * Concurrency for parallel experiment sweeps: CONTEST_JOBS, falling

@@ -62,10 +62,14 @@ struct ContestConfig
     TimePs interruptHandlerPs{500'000};
 
     /**
-     * Deadlock watchdog: panic after this many global core ticks
-     * without the retire frontier advancing. Large enough that the
-     * slowest palette core at the longest Figure 8 bus latency never
-     * trips it; tests shrink it to exercise the watchdog quickly.
+     * Deadlock watchdog: panic after this many simulated core ticks
+     * without the retire frontier advancing. The budget counts
+     * *simulated* ticks including fast-forwarded ones — an elided
+     * idle stretch spends it exactly like per-cycle stepping, so
+     * idle-cycle skipping can neither mask a deadlock nor falsely
+     * trigger the panic. Large enough that the slowest palette core
+     * at the longest Figure 8 bus latency never trips it; tests
+     * shrink it to exercise the watchdog quickly.
      */
     std::uint64_t deadlockStuckTicks = 40'000'000;
 };

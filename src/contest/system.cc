@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/env.hh"
 #include "common/log.hh"
 
 namespace contest
@@ -89,6 +90,7 @@ ContestSystem::corePark(CoreId core, TimePs now)
 {
     storeQ->dropCore(core);
     excCoord->dropCore(core, now);
+    ++parkEvents;
     inform("core %u ('%s') parked as a saturated lagger at %.1f ns",
            core, configs[core].name.c_str(),
            static_cast<double>(now) / psPerNs);
@@ -107,8 +109,7 @@ ContestSystem::noteRetire(CoreId core, InstSeq seq)
 }
 
 void
-ContestSystem::serviceInterrupt(TimePs now,
-                                std::vector<TimePs> &next_tick)
+ContestSystem::serviceInterrupt(TimePs now, TickCalendar &calendar)
 {
     // The designated core (core 0) listens for external interrupts.
     // Stopping every redundant thread at the same point would need
@@ -121,7 +122,7 @@ ContestSystem::serviceInterrupt(TimePs now,
             continue;
         cores[c]->reforkTo(refork_at);
         units[c]->reforkTo(refork_at);
-        next_tick[c] = now + cfg.interruptHandlerPs;
+        calendar.set(c, now + cfg.interruptHandlerPs);
     }
     storeQ->reforkAll(
         StoreSeq{storePrefix[static_cast<std::size_t>(refork_at.count())]});
@@ -135,46 +136,95 @@ ContestSystem::serviceInterrupt(TimePs now,
 ContestResult
 ContestSystem::run()
 {
-    const auto n = cores.size();
-    constexpr TimePs never = TimePs::max();
-    std::vector<TimePs> next_tick(n, TimePs{});
+    const auto n = static_cast<CoreId>(cores.size());
+    const bool no_skip = simNoSkip();
+
+    // The event calendar orders clock edges by (time, core id), so
+    // ties go to the lower core id — the same deterministic choice
+    // the old linear min-scan made (the paper's round-robin
+    // handshake order).
+    TickCalendar calendar(n);
+    for (CoreId c = 0; c < n; ++c)
+        calendar.set(c, TimePs{});
+
+    // A skipping core's elided ticks happen "eagerly" when they are
+    // scheduled. If the core is parked mid-window (another core's
+    // broadcast overflows its FIFO), the elided ticks that would
+    // have ordered after the parking tick must be rewound; remember
+    // each core's latest window for that.
+    struct SkipRecord
+    {
+        TimePs tickedAt{};
+        Cycles scheduled{};
+    };
+    std::vector<SkipRecord> skipRec(n);
+    std::uint64_t parks_seen = parkEvents;
+
+    // Rewind the part of @p c's last skip window that would have
+    // ordered at or after the (time, id) edge (@p t, @p pick):
+    // elided tick i sat at rec.tickedAt + i*period and really
+    // elapsed iff its edge ordered before (t, pick).
+    auto rewindPastEdge = [&](CoreId c, TimePs t, CoreId pick) {
+        SkipRecord &rec = skipRec[c];
+        if (rec.scheduled == Cycles{})
+            return;
+        std::uint64_t step = cores[c]->periodPs().count();
+        std::uint64_t d = (t - rec.tickedAt).count();
+        std::uint64_t num_lt = d > 0 ? (d - 1) / step : 0;
+        std::uint64_t num_eq =
+            (c < pick && d > 0 && d % step == 0) ? 1 : 0;
+        std::uint64_t executed = num_lt + num_eq;
+        if (executed < rec.scheduled.count()) {
+            cores[c]->rewindIdleTicks(rec.scheduled
+                                      - Cycles{executed});
+            rec.scheduled = Cycles{executed};
+        }
+    };
 
     TimePs finish_time{};
     CoreId finisher = 0;
     bool finished = false;
     TimePs nextInterruptPs = cfg.interruptPeriodPs;
 
-    // Deadlock watchdog: global ticks since the retire frontier
-    // last advanced.
+    // Deadlock watchdog: simulated ticks (including fast-forwarded
+    // ones) since the retire frontier last advanced, so skipping
+    // can neither mask nor falsely trigger the panic.
     InstSeq last_frontier{};
     std::uint64_t stuck_ticks = 0;
     const std::uint64_t stuck_limit = cfg.deadlockStuckTicks;
 
     while (!finished) {
-        // Pick the core with the earliest next clock edge; ties go
-        // to the lower core id (the paper's round-robin handshake
-        // order made the same choice deterministic).
-        CoreId pick = 0;
-        TimePs t = never;
-        for (CoreId c = 0; c < n; ++c) {
-            if (units[c]->parked())
-                continue;
-            if (next_tick[c] < t) {
-                t = next_tick[c];
-                pick = c;
-            }
-        }
-        panic_if(t == never,
+        panic_if(calendar.empty(),
                  "contest deadlock: every core is parked");
+        TimePs t = calendar.minTime();
+        CoreId pick = calendar.minCore();
 
         if (cfg.interruptPeriodPs > TimePs{} && t >= nextInterruptPs) {
-            serviceInterrupt(nextInterruptPs, next_tick);
+            serviceInterrupt(nextInterruptPs, calendar);
             nextInterruptPs += cfg.interruptPeriodPs;
             continue; // re-pick with the updated tick times
         }
 
         cores[pick]->tick(t);
-        next_tick[pick] = t + cores[pick]->periodPs();
+
+        Cycles skipped{};
+        if (!no_skip && !cores[pick]->done()) {
+            Cycles max_skip = Cycles::max();
+            if (cfg.interruptPeriodPs > TimePs{}) {
+                // Every elided tick at t + i*period must precede
+                // the next interrupt edge; the first edge at or
+                // past it must be picked live so the service fires.
+                TimePs gap = nextInterruptPs - t;
+                max_skip = Cycles{
+                    (gap.count() - 1)
+                    / cores[pick]->periodPs().count()};
+            }
+            skipped = cores[pick]->skipIdleCycles(max_skip);
+        }
+        skipRec[pick] = SkipRecord{t, skipped};
+        calendar.set(pick,
+                     t + TimePs{cores[pick]->periodPs().count()
+                                * (skipped.count() + 1)});
 
         if (cores[pick]->done()) {
             finished = true;
@@ -182,15 +232,42 @@ ContestSystem::run()
             finish_time = t + cores[pick]->periodPs();
         }
 
+        if (parkEvents != parks_seen) {
+            // Someone parked during this tick (a broadcast from
+            // `pick` overflowed their FIFO). Drop them from the
+            // calendar and rewind any elided ticks that would have
+            // ordered after this tick's (t, pick) edge.
+            parks_seen = parkEvents;
+            for (CoreId c = 0; c < n; ++c) {
+                if (!units[c]->parked() || !calendar.contains(c))
+                    continue;
+                calendar.remove(c);
+                rewindPastEdge(c, t, pick);
+            }
+        }
+
         if (frontier != last_frontier) {
             last_frontier = frontier;
-            stuck_ticks = 0;
-        } else if (++stuck_ticks > stuck_limit) {
+            // Elided ticks follow the retiring tick, so they open
+            // the next stuck window.
+            stuck_ticks = skipped.count();
+        } else {
+            stuck_ticks += 1 + skipped.count();
+        }
+        if (!finished && stuck_ticks > stuck_limit)
             panic("contest deadlock: no retirement in %llu ticks "
                   "(frontier %llu of %zu)",
                   static_cast<unsigned long long>(stuck_limit),
                   static_cast<unsigned long long>(frontier),
                   trace->size());
+
+        if (finished) {
+            // Per-cycle stepping stops every other core at its last
+            // edge before (t, finisher); drop the losers' eagerly
+            // elided ticks that would have ordered after it.
+            for (CoreId c = 0; c < n; ++c)
+                if (c != finisher)
+                    rewindPastEdge(c, t, finisher);
         }
     }
 
@@ -235,10 +312,15 @@ runSingle(const CoreConfig &config, TracePtr trace)
     fatal_if(!trace || trace->empty(),
              "runSingle needs a non-empty trace");
     OooCore core(config, trace);
+    const bool no_skip = simNoSkip();
+    const std::uint64_t step = core.periodPs().count();
     TimePs t{};
     while (!core.done()) {
         core.tick(t);
-        t += core.periodPs();
+        std::uint64_t ticks = 1;
+        if (!no_skip && !core.done())
+            ticks += core.skipIdleCycles(Cycles::max()).count();
+        t += TimePs{step * ticks};
     }
     SingleRunResult r;
     r.timePs = t;

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "contest/calendar.hh"
 #include "contest/config.hh"
 #include "contest/exception.hh"
 #include "contest/unit.hh"
@@ -132,11 +133,16 @@ class ContestSystem
     /** @{ */
     /** Terminate-and-refork all cores at the designated core's
      *  position at global time @p now. */
-    void serviceInterrupt(TimePs now, std::vector<TimePs> &next_tick);
+    void serviceInterrupt(TimePs now, TickCalendar &calendar);
     /** Stores preceding each stream position (prefix counts). */
     std::vector<std::uint32_t> storePrefix;
     std::uint64_t interrupts = 0;
     /** @} */
+
+    /** Parks observed so far; run() compares against its own count
+     *  to detect a park that happened inside the current tick (the
+     *  parked core's in-flight skip window must be rewound). */
+    std::uint64_t parkEvents = 0;
 };
 
 /**

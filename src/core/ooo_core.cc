@@ -24,6 +24,19 @@ OooCore::OooCore(const CoreConfig &core_config, TracePtr trace_ptr,
              static_cast<unsigned long long>(cfg.wakeupLatency),
              static_cast<unsigned long long>(cfg.schedDepth));
     fetchQueueCap = std::size_t{cfg.width} * (cfg.frontEndDepth + 2);
+    fetchQueue.reset(fetchQueueCap);
+    rob.reset(cfg.robSize);
+    iqPool.resize(cfg.iqSize);
+    for (int i = 0; i < static_cast<int>(cfg.iqSize); ++i)
+        iqPool[i].freeNext = i + 1 < static_cast<int>(cfg.iqSize)
+            ? i + 1 : -1;
+    iqFreeHead = 0;
+    timedReady.reserve(2 * cfg.iqSize);
+    issueReady.reserve(2 * cfg.iqSize);
+    deferScratch.reserve(cfg.iqSize);
+    completions.reserve(cfg.robSize + 4);
+    loadReleases.reserve(cfg.lsqSize + 4);
+    mshrReleases.reserve(cfg.mshrs + 4);
     renameMap.assign(numArchRegs, RenameRef{});
     if (cfg.modelICache)
         icache = std::make_unique<Cache>(cfg.l1i);
@@ -51,6 +64,12 @@ OooCore::robFor(InstSeq seq)
     return rob[static_cast<std::size_t>(seq - head)];
 }
 
+const OooCore::RobEntry &
+OooCore::robFor(InstSeq seq) const
+{
+    return const_cast<OooCore *>(this)->robFor(seq);
+}
+
 bool
 OooCore::srcStatus(InstSeq producer, Cycles &ready_at) const
 {
@@ -70,6 +89,98 @@ OooCore::srcStatus(InstSeq producer, Cycles &ready_at) const
     return true;
 }
 
+int
+OooCore::allocIqSlot()
+{
+    panic_if(iqFreeHead == -1, "IQ slot pool exhausted past iqSize");
+    int slot = iqFreeHead;
+    IqSlot &sl = iqPool[slot];
+    iqFreeHead = sl.freeNext;
+    sl = IqSlot{};
+    sl.inUse = true;
+    ++iqCount;
+    return slot;
+}
+
+void
+OooCore::freeIqSlot(int slot)
+{
+    IqSlot &sl = iqPool[slot];
+    panic_if(!sl.inUse, "double free of IQ slot %d", slot);
+    sl.inUse = false;
+    sl.pendingMask = 0;
+    sl.nextWaiter[0] = sl.nextWaiter[1] = -1;
+    sl.freeNext = iqFreeHead;
+    iqFreeHead = slot;
+    panic_if(iqCount == 0, "IQ occupancy underflow");
+    --iqCount;
+}
+
+void
+OooCore::wakeWaiters(RobEntry &producer)
+{
+    int w = producer.firstWaiter;
+    producer.firstWaiter = -1;
+    while (w != -1) {
+        int slot = w >> 1;
+        int s = w & 1;
+        IqSlot &sl = iqPool[slot];
+        int next = sl.nextWaiter[s];
+        sl.nextWaiter[s] = -1;
+        sl.srcReadyAt[s] = producer.valueReadyAt;
+        sl.pendingMask &= static_cast<std::uint8_t>(~(1u << s));
+        if (sl.pendingMask == 0)
+            timedReady.push({std::max(sl.srcReadyAt[0],
+                                      sl.srcReadyAt[1]),
+                             sl.seq, slot});
+        w = next;
+    }
+}
+
+void
+OooCore::markIqStale(RobEntry &entry)
+{
+    IssueReady rec{entry.seq, entry.iqSlot};
+    staleIq.insert(
+        std::upper_bound(staleIq.begin(), staleIq.end(), rec),
+        rec);
+}
+
+void
+OooCore::dropStaleSlot(int slot)
+{
+    IqSlot &sl = iqPool[slot];
+    panic_if(!sl.inUse, "reaping a freed IQ slot %d", slot);
+    for (int s = 0; s < 2; ++s) {
+        if (!(sl.pendingMask & (1u << s)))
+            continue;
+        // A pending operand's producer cannot have issued (the wakeup
+        // would have cleared the bit) and therefore cannot have
+        // committed; unlink this slot from its waiter chain.
+        panic_if(rob.empty() || sl.srcProd[s] < rob.front().seq,
+                 "stale IQ slot waits on a committed producer");
+        RobEntry &pe = robFor(sl.srcProd[s]);
+        int want = slot * 2 + s;
+        int *link = &pe.firstWaiter;
+        while (*link != -1 && *link != want)
+            link = &iqPool[*link >> 1].nextWaiter[*link & 1];
+        panic_if(*link == -1,
+                 "stale IQ slot missing from its waiter chain");
+        *link = sl.nextWaiter[s];
+        sl.nextWaiter[s] = -1;
+    }
+    freeIqSlot(slot);
+}
+
+void
+OooCore::reapStaleBefore(InstSeq before)
+{
+    while (!staleIq.empty() && staleIq.front().seq < before) {
+        dropStaleSlot(staleIq.front().slot);
+        staleIq.erase(staleIq.begin());
+    }
+}
+
 void
 OooCore::reforkTo(InstSeq seq)
 {
@@ -78,15 +189,25 @@ OooCore::reforkTo(InstSeq seq)
              static_cast<unsigned long long>(seq));
     fetchQueue.clear();
     rob.clear();
-    iq.clear();
-    completions = {};
-    loadReleases = {};
-    mshrReleases = {};
+    for (int i = 0; i < static_cast<int>(cfg.iqSize); ++i) {
+        iqPool[i] = IqSlot{};
+        iqPool[i].freeNext = i + 1 < static_cast<int>(cfg.iqSize)
+            ? i + 1 : -1;
+    }
+    iqFreeHead = 0;
+    iqCount = 0;
+    timedReady.clear();
+    issueReady.clear();
+    staleIq.clear();
+    completions.clear();
+    loadReleases.clear();
+    mshrReleases.clear();
     lsqOcc = 0;
     stalledBranch.reset();
     earlyResolved.reset();
     stalledSyscall = false;
     syscallResumePs.reset();
+    lastSkip = SkipWindow{};
     for (auto &ref : renameMap)
         ref.inFlight = false;
     fetchSeq = seq;
@@ -215,59 +336,65 @@ OooCore::doIssue(TimePs)
     while (!mshrReleases.empty() && mshrReleases.top() <= curCycle)
         mshrReleases.pop();
 
+    // Wakeups whose operand time has arrived become issuable; the
+    // issue heap then replays the old linear select's oldest-first
+    // order over exactly the issuable entries.
+    while (!timedReady.empty() && timedReady.top().readyAt <= curCycle) {
+        TimedReady tr = timedReady.top();
+        timedReady.pop();
+        const IqSlot &sl = iqPool[tr.slot];
+        if (sl.inUse && sl.seq == tr.seq)
+            issueReady.push({tr.seq, tr.slot});
+    }
+
     unsigned issued = 0;
     unsigned mem_issued = 0;
-    for (auto it = iq.begin(); it != iq.end() && issued < cfg.width;) {
-        if (rob.empty() || it->seq < rob.front().seq) {
-            // The instruction was completed externally (early
-            // branch resolution) and has already committed.
-            it = iq.erase(it);
-            continue;
-        }
-        RobEntry &re = robFor(it->seq);
-        if (re.completed) {
-            // Early-resolved branch: its popped outcome already
-            // completed it; drop the queue entry.
-            it = iq.erase(it);
-            continue;
-        }
+    while (issued < cfg.width && !issueReady.empty()) {
+        IssueReady rec = issueReady.top();
+        issueReady.pop();
+        IqSlot &sl = iqPool[rec.slot];
+        if (!sl.inUse || sl.seq != rec.seq)
+            continue; // the slot was reaped; stale heap record
 
-        const TraceInst &inst = (*trace)[it->seq];
+        // The old linear select erased externally completed entries
+        // as its age-ordered scan passed them; reaching rec.seq with
+        // issue slots to spare means the scan passed everything
+        // older first.
+        reapStaleBefore(rec.seq);
 
-        bool ready = true;
-        for (int s = 0; s < 2; ++s) {
-            if (it->srcPending[s]) {
-                Cycles r{};
-                if (srcStatus(it->srcProd[s], r)) {
-                    it->srcPending[s] = false;
-                    it->srcReadyAt[s] = r;
-                } else {
-                    ready = false;
-                }
-            }
-            if (!it->srcPending[s] && it->srcReadyAt[s] > curCycle)
-                ready = false;
-        }
-        if (!ready) {
-            ++it;
+        if (rob.empty() || rec.seq < rob.front().seq
+            || robFor(rec.seq).completed) {
+            // This entry is itself externally completed (early
+            // branch resolution): the scan reached it, drop it.
+            auto it = std::find_if(staleIq.begin(), staleIq.end(),
+                                   [&](const IssueReady &r) {
+                                       return r.slot == rec.slot;
+                                   });
+            panic_if(it == staleIq.end(),
+                     "completed IQ entry missing from the stale list");
+            staleIq.erase(it);
+            dropStaleSlot(rec.slot);
             continue;
         }
 
-        bool is_mem = inst.isMem() && !it->injected;
+        RobEntry &re = robFor(rec.seq);
+        const TraceInst &inst = (*trace)[rec.seq];
+
+        bool is_mem = inst.isMem() && !sl.injected;
         if (is_mem && mem_issued >= cfg.l1dPorts) {
-            ++it;
+            deferScratch.push_back(rec);
             continue;
         }
 
         Cycles lat_total{};
-        if (it->injected) {
+        if (sl.injected) {
             // MarkReady injection: the value travels with the
             // instruction; issuing just writes it back.
             lat_total = Cycles{1};
         } else if (inst.op == OpClass::Load) {
             bool l1_hit = hier.l1().probe(inst.addr);
             if (!l1_hit && mshrReleases.size() >= cfg.mshrs) {
-                ++it;
+                deferScratch.push_back(rec);
                 continue; // no MSHR for the miss
             }
             auto res = hier.access(inst.addr, false, curCycle);
@@ -284,14 +411,49 @@ OooCore::doIssue(TimePs)
         re.valueReadyAt = curCycle + lat_total + cfg.wakeupLatency;
         re.completeAt = curCycle + cfg.schedDepth + lat_total;
         completions.push({re.completeAt, re.seq});
-        if (inst.op == OpClass::Load && !it->injected)
+        if (inst.op == OpClass::Load && !sl.injected)
             loadReleases.push(re.completeAt);
+        wakeWaiters(re);
+        re.iqSlot = -1;
+        freeIqSlot(rec.slot);
 
         if (is_mem)
             ++mem_issued;
         ++issued;
-        it = iq.erase(it);
     }
+    if (issued < cfg.width) {
+        // The old scan would have walked to the end of the queue.
+        reapStaleBefore(InstSeq::max());
+    }
+    for (const IssueReady &rec : deferScratch)
+        issueReady.push(rec);
+    deferScratch.clear();
+}
+
+OooCore::DispatchBlock
+OooCore::dispatchBlock() const
+{
+    if (fetchQueue.empty())
+        return DispatchBlock::Empty;
+    const FetchEntry &fe = fetchQueue.front();
+    if (fe.renameReadyAt > curCycle)
+        return DispatchBlock::Empty;
+    if (earlyResolved && *earlyResolved == fe.seq)
+        return DispatchBlock::ConsumesEarly;
+    const TraceInst &inst = (*trace)[fe.seq];
+    bool is_syscall = inst.op == OpClass::Syscall;
+    if (is_syscall && !rob.empty())
+        return DispatchBlock::SyscallDrain;
+    if (rob.size() >= cfg.robSize)
+        return DispatchBlock::RobFull;
+    bool port_steal = fe.injected && style == InjectionStyle::PortSteal;
+    bool needs_iq = !is_syscall && !port_steal;
+    if (needs_iq && iqCount >= cfg.iqSize)
+        return DispatchBlock::IqFull;
+    bool needs_lsq = inst.isMem() && !fe.injected;
+    if (needs_lsq && lsqOcc >= cfg.lsqSize)
+        return DispatchBlock::LsqFull;
+    return DispatchBlock::None;
 }
 
 void
@@ -322,7 +484,7 @@ OooCore::doDispatch(TimePs)
         bool port_steal =
             injected && style == InjectionStyle::PortSteal;
         bool needs_iq = !is_syscall && !port_steal;
-        if (needs_iq && iq.size() >= cfg.iqSize) {
+        if (needs_iq && iqCount >= cfg.iqSize) {
             ++st.iqFullStalls;
             break;
         }
@@ -343,7 +505,8 @@ OooCore::doDispatch(TimePs)
             re.valueReadyAt = curCycle + 1;
             completions.push({re.completeAt, re.seq});
         } else {
-            IqEntry qe;
+            int slot = allocIqSlot();
+            IqSlot &qe = iqPool[slot];
             qe.seq = fe.seq;
             qe.injected = injected;
             if (!injected) {
@@ -358,12 +521,22 @@ OooCore::doDispatch(TimePs)
                     if (srcStatus(ref.producer, r)) {
                         qe.srcReadyAt[s] = r;
                     } else {
-                        qe.srcPending[s] = true;
+                        // Producer still executing: chain onto its
+                        // waiter list for an issue-time wakeup.
+                        qe.pendingMask |=
+                            static_cast<std::uint8_t>(1u << s);
                         qe.srcProd[s] = ref.producer;
+                        RobEntry &pe = robFor(ref.producer);
+                        qe.nextWaiter[s] = pe.firstWaiter;
+                        pe.firstWaiter = slot * 2 + s;
                     }
                 }
             }
-            iq.push_back(qe);
+            if (qe.pendingMask == 0)
+                timedReady.push({std::max(qe.srcReadyAt[0],
+                                          qe.srcReadyAt[1]),
+                                 fe.seq, slot});
+            re.iqSlot = slot;
             if (needs_lsq)
                 ++lsqOcc;
         }
@@ -403,6 +576,9 @@ OooCore::doFetch(TimePs now)
                         e.injected = true;
                         e.issued = true;
                         e.valueReadyAt = curCycle + 1;
+                        wakeWaiters(e);
+                        if (e.iqSlot != -1)
+                            markIqStale(e);
                     }
                 } else {
                     // Still in the front-end pipe: complete it as an
@@ -499,6 +675,170 @@ OooCore::doFetch(TimePs now)
         if (stalledSyscall || end_group)
             break;
     }
+}
+
+Cycles
+OooCore::nextEventCycle() const
+{
+    // A tick is a provable no-op when every stage is inert and stays
+    // inert: nothing completes or releases, the commit head is not
+    // completed, no issue-queue entry can issue, dispatch is blocked
+    // (or empty), and fetch is stalled. The returned bound is
+    // conservative — the window may end before the next real event
+    // (the caller simply resumes cycle-by-case stepping), never
+    // after it.
+    if (done())
+        return curCycle;
+    if (hooks != nullptr && stalledBranch)
+        return curCycle; // polls external resolution every cycle
+    if (!staleIq.empty())
+        return curCycle; // a pending reap mutates IQ occupancy
+    if (!rob.empty() && rob.front().completed)
+        return curCycle; // commits (or replays a commit-stall hook)
+
+    Cycles next = Cycles::max();
+    auto consider = [&next](Cycles c) {
+        if (c < next)
+            next = c;
+    };
+
+    if (!completions.empty())
+        consider(completions.top().first);
+    if (!loadReleases.empty())
+        consider(loadReleases.top());
+    if (!mshrReleases.empty())
+        consider(mshrReleases.top());
+    if (!timedReady.empty())
+        consider(timedReady.top().readyAt);
+
+    // Issuable entries act immediately — unless every one is a load
+    // blocked on a full MSHR file, which frees at
+    // mshrReleases.top() (already considered above).
+    for (const IssueReady &rec : issueReady.items()) {
+        const IqSlot &sl = iqPool[rec.slot];
+        if (!sl.inUse || sl.seq != rec.seq)
+            continue; // superseded record; nothing will happen
+        if (rob.empty() || rec.seq < rob.front().seq
+            || robFor(rec.seq).completed)
+            return curCycle; // next doIssue reaps it
+        const TraceInst &inst = (*trace)[rec.seq];
+        if (inst.op != OpClass::Load || sl.injected)
+            return curCycle; // issues next tick
+        if (hier.l1().probe(inst.addr)
+            || mshrReleases.size() < cfg.mshrs)
+            return curCycle; // issues next tick
+    }
+
+    switch (dispatchBlock()) {
+      case DispatchBlock::None:
+      case DispatchBlock::ConsumesEarly:
+        return curCycle; // dispatch acts (or consumes the patch)
+      case DispatchBlock::Empty:
+        if (!fetchQueue.empty())
+            consider(fetchQueue.front().renameReadyAt);
+        break;
+      case DispatchBlock::SyscallDrain:
+      case DispatchBlock::RobFull:
+      case DispatchBlock::IqFull:
+      case DispatchBlock::LsqFull:
+        // Unblocks through a commit, issue, or release — all
+        // bounded by the events considered above.
+        break;
+    }
+
+    if (fetchSeq < trace->endSeq()) {
+        if (stalledBranch || stalledSyscall) {
+            // Resolution arrives via a completion (branch) or the
+            // syscall's commit — bounded above.
+        } else if (curCycle < fetchResumeAt) {
+            consider(fetchResumeAt);
+        } else if (fetchQueue.size() >= fetchQueueCap) {
+            // Drains through dispatch, which is blocked (else we
+            // returned curCycle above).
+        } else {
+            return curCycle; // fetch proceeds next tick
+        }
+    }
+
+    if (next == Cycles::max())
+        return curCycle; // no provable bound; step normally
+    return next;
+}
+
+Cycles
+OooCore::skipIdleCycles(Cycles max_ticks)
+{
+    lastSkip = SkipWindow{};
+    if (max_ticks == Cycles{} || done())
+        return Cycles{};
+    if (hooks != nullptr && hooks->parked())
+        return Cycles{};
+
+    Cycles ev = nextEventCycle();
+    if (ev <= curCycle)
+        return Cycles{};
+    Cycles n = ev - curCycle;
+    if (max_ticks < n)
+        n = max_ticks;
+
+    // The pipeline state is frozen across the window, so every
+    // elided tick would have incremented exactly the same stall
+    // counters: the (stable) first failing dispatch check, and the
+    // mispredict fetch stall when no hooks poll for it.
+    SkipWindow w;
+    w.ticks = n;
+    switch (dispatchBlock()) {
+      case DispatchBlock::RobFull:
+        w.robFull = true;
+        break;
+      case DispatchBlock::IqFull:
+        w.iqFull = true;
+        break;
+      case DispatchBlock::LsqFull:
+        w.lsqFull = true;
+        break;
+      default:
+        break;
+    }
+    w.branchStall = stalledBranch.has_value() && hooks == nullptr
+        && fetchSeq < trace->endSeq();
+
+    curCycle += n;
+    st.cycles += n;
+    if (w.robFull)
+        st.robFullStalls += n;
+    if (w.iqFull)
+        st.iqFullStalls += n;
+    if (w.lsqFull)
+        st.lsqFullStalls += n;
+    if (w.branchStall)
+        st.fetchStallBranch += n;
+    lastSkip = w;
+    skippedTotal += n;
+    return n;
+}
+
+void
+OooCore::rewindIdleTicks(Cycles n)
+{
+    if (n == Cycles{})
+        return;
+    panic_if(n > lastSkip.ticks,
+             "rewinding %llu ticks but the last window elided %llu",
+             static_cast<unsigned long long>(n),
+             static_cast<unsigned long long>(lastSkip.ticks));
+    curCycle = curCycle - n;
+    st.cycles = st.cycles - n;
+    if (lastSkip.robFull)
+        st.robFullStalls = st.robFullStalls - n;
+    if (lastSkip.iqFull)
+        st.iqFullStalls = st.iqFullStalls - n;
+    if (lastSkip.lsqFull)
+        st.lsqFullStalls = st.lsqFullStalls - n;
+    if (lastSkip.branchStall)
+        st.fetchStallBranch = st.fetchStallBranch - n;
+    lastSkip.ticks = lastSkip.ticks - n;
+    skippedTotal = skippedTotal - n;
 }
 
 } // namespace contest

@@ -17,6 +17,18 @@
  * charges the same resolution + front-end-refill penalty to baseline
  * and contested runs alike.
  *
+ * Hot-path structure: the ROB and fetch queue are fixed ring buffers
+ * sized by their architectural capacities, and the issue queue is a
+ * slot pool driven by a wakeup network — an instruction waits on its
+ * producers' waiter chains, moves to a (readyAt, seq) heap when the
+ * last producer issues, and to the oldest-first issue heap when its
+ * operands' time arrives, so doIssue touches only issuable entries
+ * instead of scanning the whole queue. On top of that the core can
+ * prove an idle window (nextEventCycle) and fast-forward through it
+ * (skipIdleCycles), replaying the per-cycle stall counters exactly;
+ * schedulers use this to elide provably dead ticks while staying
+ * bit-identical to cycle-by-cycle stepping.
+ *
  * Contesting hooks (fetch pairing, retirement broadcast, store
  * merging, exception rendezvous, saturated-lagger parking) are
  * injected through the ContestHooks interface so the core library
@@ -26,14 +38,14 @@
 #ifndef CONTEST_CORE_OOO_CORE_HH
 #define CONTEST_CORE_OOO_CORE_HH
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "bpred/bpred.hh"
+#include "common/min_heap.hh"
+#include "common/ring_buffer.hh"
 #include "core/config.hh"
 #include "core/contest_iface.hh"
 #include "core/stats.hh"
@@ -85,6 +97,36 @@ class OooCore
 
     /** Advance one clock cycle at global time @p now (picoseconds). */
     void tick(TimePs now);
+
+    /**
+     * The earliest cycle at which ticking could change state again.
+     * Returns curCycle itself when no idle window is provable, and
+     * a later cycle X when every tick in [curCycle, X) is a no-op
+     * except for its per-cycle stall counters. Conservative: the
+     * reported window may end before the next real event, never
+     * after it.
+     */
+    Cycles nextEventCycle() const;
+
+    /**
+     * Fast-forward over provably idle cycles: advances the clock by
+     * up to min(nextEventCycle() - curCycle, @p max_ticks) cycles,
+     * incrementing exactly the stall counters that cycle-by-cycle
+     * ticking would have. Call after tick(); the caller advances
+     * its own timeline by the returned tick count.
+     */
+    Cycles skipIdleCycles(Cycles max_ticks);
+
+    /**
+     * Un-apply the last @p n ticks of the most recent
+     * skipIdleCycles window. Schedulers use this when the core is
+     * parked mid-window: elided ticks that would have ordered after
+     * the parking event must not count.
+     */
+    void rewindIdleTicks(Cycles n);
+
+    /** Cycles elided by skipIdleCycles over the whole run. */
+    Cycles idleSkipped() const { return skippedTotal; }
 
     /**
      * Squash all in-flight work and restart execution at stream
@@ -139,6 +181,11 @@ class OooCore
         bool injected = false;
         Cycles completeAt{};
         Cycles valueReadyAt{};
+        /** Issue-queue slot of this instruction, or -1. */
+        int iqSlot = -1;
+        /** Head of the chain of IQ slots waiting on this value
+         *  (slot * 2 + operand), or -1. */
+        int firstWaiter = -1;
     };
 
     /** One front-end (fetch-to-rename) pipeline entry. */
@@ -149,14 +196,20 @@ class OooCore
         bool injected = false;
     };
 
-    /** One issue-queue entry. */
-    struct IqEntry
+    /** One issue-queue slot (pool storage, free-listed). */
+    struct IqSlot
     {
         InstSeq seq{};
         InstSeq srcProd[2] = {InstSeq{}, InstSeq{}};
-        bool srcPending[2] = {false, false};
         Cycles srcReadyAt[2] = {Cycles{}, Cycles{}};
+        /** Next slot*2+operand waiting on the same producer. */
+        int nextWaiter[2] = {-1, -1};
+        /** Bit s set: operand s still waits for its producer. */
+        std::uint8_t pendingMask = 0;
         bool injected = false;
+        bool inUse = false;
+        /** Free-list link when !inUse. */
+        int freeNext = -1;
     };
 
     /** Rename-map entry for one architectural register. */
@@ -164,6 +217,43 @@ class OooCore
     {
         InstSeq producer{};
         bool inFlight = false;
+    };
+
+    /** Operand-time wakeup record: migrates to issueReady when
+     *  readyAt arrives. (seq, slot) revalidates against the pool. */
+    struct TimedReady
+    {
+        Cycles readyAt{};
+        InstSeq seq{};
+        int slot = -1;
+
+        bool
+        operator<(const TimedReady &o) const
+        {
+            return readyAt != o.readyAt ? readyAt < o.readyAt
+                                        : seq < o.seq;
+        }
+    };
+
+    /** Issuable-now record, ordered oldest-first like the select. */
+    struct IssueReady
+    {
+        InstSeq seq{};
+        int slot = -1;
+
+        bool operator<(const IssueReady &o) const { return seq < o.seq; }
+    };
+
+    /** Why dispatch cannot accept the fetch-queue front right now. */
+    enum class DispatchBlock
+    {
+        None,           //!< front would dispatch
+        Empty,          //!< nothing renamed yet (or queue empty)
+        ConsumesEarly,  //!< front consumes the earlyResolved patch
+        SyscallDrain,   //!< syscall serializing on a non-empty ROB
+        RobFull,
+        IqFull,
+        LsqFull,
     };
 
     void doCommit(TimePs now);
@@ -174,9 +264,29 @@ class OooCore
 
     /** ROB entry for an in-flight stream position. */
     RobEntry &robFor(InstSeq seq);
+    const RobEntry &robFor(InstSeq seq) const;
 
     /** Is the given producer's value available, and when? */
     bool srcStatus(InstSeq producer, Cycles &ready_at) const;
+
+    /** @name Issue-queue pool */
+    /** @{ */
+    int allocIqSlot();
+    void freeIqSlot(int slot);
+    /** Move every waiter of @p producer to the timed-ready heap. */
+    void wakeWaiters(RobEntry &producer);
+    /** An in-queue instruction was completed externally (early
+     *  branch resolution): queue it for a scan-order reap. */
+    void markIqStale(RobEntry &entry);
+    /** Reap stale IQ entries older than @p before (the point the
+     *  old linear scan would have reached). */
+    void reapStaleBefore(InstSeq before);
+    /** Drop a stale slot: unchain pending operands and free it. */
+    void dropStaleSlot(int slot);
+    /** @} */
+
+    /** Classify the dispatch stage's view of the fetch-queue front. */
+    DispatchBlock dispatchBlock() const;
 
     const CoreConfig cfg;
     TracePtr trace;
@@ -196,24 +306,34 @@ class OooCore
     InstSeq fetchSeq{};
     InstSeq numRetired{};
 
-    std::deque<FetchEntry> fetchQueue;
+    RingBuffer<FetchEntry> fetchQueue;
     std::size_t fetchQueueCap;
-    std::deque<RobEntry> rob;
-    std::vector<IqEntry> iq;
+    RingBuffer<RobEntry> rob;
+
+    /** @name Issue queue */
+    /** @{ */
+    std::vector<IqSlot> iqPool;
+    int iqFreeHead = -1;
+    unsigned iqCount = 0;
+    MinHeap<TimedReady> timedReady;
+    MinHeap<IssueReady> issueReady;
+    /** Per-cycle scratch for port/MSHR-blocked pops (no realloc). */
+    std::vector<IssueReady> deferScratch;
+    /** Externally completed in-queue entries awaiting their reap
+     *  point, sorted by seq (almost always empty or a singleton). */
+    std::vector<IssueReady> staleIq;
+    /** @} */
+
     std::vector<RenameRef> renameMap;
 
     unsigned lsqOcc = 0;
     /** Completion times of in-flight loads (LSQ release). */
-    std::priority_queue<Cycles, std::vector<Cycles>,
-                        std::greater<Cycles>> loadReleases;
+    MinHeap<Cycles> loadReleases;
     /** Data-return times of outstanding misses (MSHR release). */
-    std::priority_queue<Cycles, std::vector<Cycles>,
-                        std::greater<Cycles>> mshrReleases;
+    MinHeap<Cycles> mshrReleases;
     /** (completeAt, seq) of issued-but-incomplete instructions. */
     using CompletionEvent = std::pair<Cycles, InstSeq>;
-    std::priority_queue<CompletionEvent,
-                        std::vector<CompletionEvent>,
-                        std::greater<CompletionEvent>> completions;
+    MinHeap<CompletionEvent> completions;
 
     /** @name Fetch-stall state */
     /** @{ */
@@ -227,6 +347,22 @@ class OooCore
     /** Syscall commit-block state. */
     std::optional<TimePs> syscallResumePs;
     bool syscallHandled = false;
+
+    /** @name Idle-skip bookkeeping */
+    /** @{ */
+    /** The last skip window's tick count and replayed counters,
+     *  kept so a mid-window park can rewind the tail. */
+    struct SkipWindow
+    {
+        Cycles ticks{};
+        bool robFull = false;
+        bool iqFull = false;
+        bool lsqFull = false;
+        bool branchStall = false;
+    };
+    SkipWindow lastSkip;
+    Cycles skippedTotal{};
+    /** @} */
 
     CoreStats st;
 };

@@ -30,6 +30,12 @@ struct ExperimentInfo
     std::string name;  //!< selector, e.g. "fig06"
     std::string title; //!< human title, e.g. "Figure 6: ..."
     ExperimentFn fn = nullptr;
+    /**
+     * Included in `--all`. Standalone-only experiments (e.g. the
+     * wall-clock throughput benchmark, whose artifact can never be
+     * bit-stable) must be selected by name.
+     */
+    bool inSuite = true;
 };
 
 /** Everything an experiment body needs. */
@@ -83,10 +89,10 @@ class ExperimentRegistry
 struct ExperimentRegistrar
 {
     ExperimentRegistrar(const char *name, const char *title,
-                        ExperimentFn fn)
+                        ExperimentFn fn, bool in_suite = true)
     {
         ExperimentRegistry::instance().add(
-            ExperimentInfo{name, title, fn});
+            ExperimentInfo{name, title, fn, in_suite});
     }
 };
 
@@ -99,5 +105,14 @@ struct ExperimentRegistrar
 #define REGISTER_EXPERIMENT(name, title, fn)                          \
     static const ::contest::ExperimentRegistrar                       \
         experimentRegistrar_##fn{name, title, fn}
+
+/**
+ * Like REGISTER_EXPERIMENT, but excluded from `--all`: the
+ * experiment only runs when selected by name (or as the sole
+ * registration of a standalone binary).
+ */
+#define REGISTER_EXPERIMENT_STANDALONE(name, title, fn)               \
+    static const ::contest::ExperimentRegistrar                       \
+        experimentRegistrar_##fn{name, title, fn, false}
 
 #endif // CONTEST_HARNESS_REGISTRY_HH

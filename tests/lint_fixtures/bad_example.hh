@@ -9,12 +9,19 @@
 #define WRONG_GUARD_NAME_HH
 
 #include <cstdint>
+#include <deque>
+#include <queue>
 
 namespace contest
 {
 
 struct BadCounters
 {
+    // core-container: node-based containers on the core hot path
+    // (fires when this content is linted under a src/core/ path;
+    // under this fixture's own path the rule stays quiet).
+    std::deque<std::uint64_t> pendingOps;
+    std::priority_queue<int> readyHeap;
     // bare-u64-quantity: a picosecond timestamp as a raw integer.
     std::uint64_t startTimePs = 0;
     // bare-u64-quantity: a cycle count as a raw integer.

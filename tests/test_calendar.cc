@@ -1,0 +1,117 @@
+/**
+ * @file
+ * TickCalendar unit tests: the event calendar that replaced the
+ * O(n) next_tick min-scan in ContestSystem::run must order edges by
+ * (time, core id) — equal-time ties deterministically go to the
+ * lower core id, the order the old linear scan produced — and must
+ * support keyed update and removal without disturbing that order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "contest/calendar.hh"
+#include "contest/system.hh"
+#include "core/palette.hh"
+#include "trace/generator.hh"
+
+namespace contest
+{
+namespace
+{
+
+TEST(TickCalendar, EqualTimesPopInCoreIdOrder)
+{
+    TickCalendar cal(4);
+    // Insert in scrambled order, all at the same time.
+    for (CoreId c : {2u, 0u, 3u, 1u})
+        cal.set(c, TimePs{100});
+    for (CoreId expect : {0u, 1u, 2u, 3u}) {
+        EXPECT_EQ(cal.minCore(), expect);
+        EXPECT_EQ(cal.minTime(), TimePs{100});
+        cal.remove(cal.minCore());
+    }
+    EXPECT_TRUE(cal.empty());
+}
+
+TEST(TickCalendar, UpdateMovesAnEdgeBothWays)
+{
+    TickCalendar cal(3);
+    cal.set(0, TimePs{300});
+    cal.set(1, TimePs{200});
+    cal.set(2, TimePs{100});
+    EXPECT_EQ(cal.minCore(), 2u);
+
+    cal.set(2, TimePs{400}); // later: core 1 surfaces
+    EXPECT_EQ(cal.minCore(), 1u);
+    EXPECT_EQ(cal.minTime(), TimePs{200});
+
+    cal.set(0, TimePs{50}); // earlier: core 0 surfaces
+    EXPECT_EQ(cal.minCore(), 0u);
+    EXPECT_EQ(cal.minTime(), TimePs{50});
+
+    // An update to an equal time still favors the lower id.
+    cal.set(1, TimePs{50});
+    EXPECT_EQ(cal.minCore(), 0u);
+}
+
+TEST(TickCalendar, RemoveKeepsTheRestConsistent)
+{
+    TickCalendar cal(5);
+    for (CoreId c = 0; c < 5; ++c)
+        cal.set(c, TimePs{10 * (5 - c)}); // 50,40,30,20,10
+    EXPECT_EQ(cal.minCore(), 4u);
+
+    cal.remove(4);
+    EXPECT_FALSE(cal.contains(4));
+    EXPECT_EQ(cal.minCore(), 3u);
+
+    cal.remove(1); // interior removal
+    EXPECT_EQ(cal.size(), 3u);
+    cal.remove(1); // double removal is a no-op
+    EXPECT_EQ(cal.size(), 3u);
+
+    // Remaining cores drain in time order.
+    for (CoreId expect : {3u, 2u, 0u}) {
+        EXPECT_EQ(cal.minCore(), expect);
+        cal.remove(cal.minCore());
+    }
+    EXPECT_TRUE(cal.empty());
+}
+
+TEST(TickCalendar, ReinsertAfterRemove)
+{
+    TickCalendar cal(2);
+    cal.set(0, TimePs{100});
+    cal.set(1, TimePs{200});
+    cal.remove(0);
+    cal.set(0, TimePs{300});
+    EXPECT_EQ(cal.minCore(), 1u);
+    EXPECT_TRUE(cal.contains(0));
+}
+
+TEST(TickCalendar, IdenticalCoresContestDeterministically)
+{
+    // Two identical cores tie on every clock edge; the calendar's
+    // id tie-break makes the whole contest deterministic (the old
+    // min-scan's behavior). Same-config runs must agree exactly,
+    // and core 0 — ticked first on every edge — leads.
+    auto trace = makeBenchmarkTrace("twolf", 2009, 15000);
+    auto run = [&] {
+        ContestSystem sys({coreConfigByName("twolf"),
+                           coreConfigByName("twolf")},
+                          trace);
+        return sys.run();
+    };
+    auto r1 = run();
+    auto r2 = run();
+    EXPECT_EQ(r1.timePs, r2.timePs);
+    EXPECT_EQ(r1.leadChanges, r2.leadChanges);
+    EXPECT_EQ(r1.leadFraction[0], r2.leadFraction[0]);
+    EXPECT_EQ(r1.mergedStores, r2.mergedStores);
+    // The tie-break hands every edge to core 0 first, so it leads
+    // the overwhelming majority of the trace.
+    EXPECT_GT(r1.leadFraction[0], r1.leadFraction[1]);
+}
+
+} // namespace
+} // namespace contest

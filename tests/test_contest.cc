@@ -132,6 +132,30 @@ TEST(ContestSystem, DeadlockWatchdogIsConfigurable)
     EXPECT_EQ(ContestConfig{}.deadlockStuckTicks, 40'000'000u);
 }
 
+TEST(ContestSystem, WatchdogCountsFastForwardedTicks)
+{
+    // The budget is in simulated ticks *including* fast-forwarded
+    // ones. A memory-bound pair fast-forwards long idle stretches;
+    // a budget far below the pipeline-fill distance must still trip
+    // even though skipping collapses those stretches into a handful
+    // of live tick() calls.
+    auto trace = shortTrace("mcf", 5000);
+    unsetenv("CONTEST_NO_SKIP"); // skipping on: the default mode
+    ContestConfig cfg;
+    cfg.deadlockStuckTicks = 5;
+    ContestSystem sys({coreConfigByName("mcf"),
+                       coreConfigByName("mcf")},
+                      trace, cfg);
+    EXPECT_DEATH(sys.run(), "contest deadlock: no retirement");
+
+    // A healthy run under the default budget completes: elided
+    // ticks between retirements never accumulate past it.
+    ContestSystem ok({coreConfigByName("mcf"),
+                      coreConfigByName("mcf")},
+                     trace);
+    EXPECT_GT(ok.run().ipt, 0.0);
+}
+
 TEST(ContestSystem, StoresMergeExactlyOnceInOrder)
 {
     auto trace = shortTrace("gzip", 20000);

@@ -162,6 +162,52 @@ TEST(LintNakedNew, FlagsRawNewButNotIdentifiers)
                     .empty());
 }
 
+TEST(LintCoreContainer, FlagsDequeAndPriorityQueueInCoreOnly)
+{
+    const char *decl = "std::deque<FetchEntry> fetchQueue;\n"
+                       "std::priority_queue<Ev> completions;\n";
+    const auto rules = rulesIn(lintFile("src/core/ooo_core.cc", decl));
+    EXPECT_EQ(std::count(rules.begin(), rules.end(),
+                         std::string("core-container")),
+              2);
+    // Outside src/core/ the containers are fine (result_fifo.hh
+    // legitimately deques GRB arrival timestamps).
+    EXPECT_FALSE(
+        fired(lintFile("src/contest/result_fifo.cc", decl),
+              "core-container"));
+    // The replacements do not trip the rule.
+    EXPECT_TRUE(lintFile("src/core/ooo_core.cc",
+                         "RingBuffer<RobEntry> rob;\n"
+                         "MinHeap<TimedReady> timedReady;\n")
+                    .empty());
+}
+
+TEST(LintCoreContainer, AllowCommentSuppresses)
+{
+    EXPECT_TRUE(
+        lintFile("src/core/x.cc",
+                 "// contest-lint: allow(core-container)\n"
+                 "std::deque<Snapshot> checkpoints;\n")
+            .empty());
+}
+
+TEST(LintCoreContainer, FixtureContentTripsUnderCorePath)
+{
+    std::ifstream in(std::string(CONTEST_LINT_FIXTURE_DIR)
+                     + "/bad_example.hh");
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_TRUE(fired(lintFile("src/core/bad_example.hh", ss.str()),
+                      "core-container"));
+    // Under its own path the fixture must stay core-container-free
+    // (the CI fixture acceptance check counts on the other rules).
+    EXPECT_FALSE(
+        fired(lintFile("tests/lint_fixtures/bad_example.hh",
+                       ss.str()),
+              "core-container"));
+}
+
 TEST(LintPanicMessage, RequiresInvariantNamingMessage)
 {
     EXPECT_TRUE(fired(

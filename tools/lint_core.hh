@@ -18,6 +18,10 @@
  *                          make_unique/make_shared
  *  - panic-message         panic()/fatal() messages must name the
  *                          violated invariant, not just say "bad"
+ *  - core-container        no std::deque / std::priority_queue in
+ *                          src/core/: the per-tick hot path uses the
+ *                          fixed-capacity RingBuffer and MinHeap
+ *                          from common/
  *
  * Any line (or its predecessor) may carry
  *     // contest-lint: allow(<rule>)
@@ -405,6 +409,29 @@ lintFile(const std::string &path, const std::string &content)
                        "raw 'new' expression; use std::make_unique / "
                        "std::make_shared so ownership is explicit");
             pos += 3;
+        }
+    }
+
+    // ---- core-container ----------------------------------------
+    // The OooCore hot path was rebuilt on the fixed-capacity
+    // RingBuffer and the non-shrinking MinHeap (common/) precisely
+    // because node-based std::deque and std::priority_queue's
+    // allocation churn dominated the per-tick constants. New uses
+    // in src/core/ need an explicit allow-comment with the reason.
+    if (path.rfind("src/core/", 0) == 0
+        || path.rfind("core/", 0) == 0) {
+        for (std::size_t i = 0; i < code.size(); ++i) {
+            const std::string &l = code[i];
+            for (const char *tok :
+                 {"std::deque<", "std::priority_queue<"}) {
+                if (l.find(tok) != std::string::npos)
+                    report(i + 1, "core-container",
+                           std::string(tok)
+                               + "...> on the core hot path; use "
+                                 "RingBuffer / MinHeap from common/ "
+                                 "(fixed capacity, no per-tick "
+                                 "allocation)");
+            }
         }
     }
 
