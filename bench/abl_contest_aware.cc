@@ -42,20 +42,22 @@ runAblation(ExperimentContext &ctx)
                  "annealed partner", "evals"};
 
     for (const auto &bench : benches) {
-        auto trace =
-            makeBenchmarkTrace(bench, runner.workloadSeed(),
-                               explore_len);
+        auto trace = runner.trace(bench, explore_len);
         const auto &own = coreConfigByName(bench);
         double own_ipt = runSingle(own, trace).ipt;
 
-        // Best palette partner for the own core, contested.
+        // Best palette partner for the own core, contested. Routed
+        // through the runner so the short-trace contests memoize and
+        // persist like every other contested run.
         double best_pair = 0.0;
         std::string best_partner;
         for (const auto &cand : appendixAPalette()) {
             if (cand.name == bench)
                 continue;
-            ContestSystem sys({own, cand}, trace);
-            double ipt = sys.run().ipt;
+            double ipt =
+                runner.contested(bench, {own, cand}, ContestConfig{},
+                                 explore_len)
+                    .ipt;
             if (ipt > best_pair) {
                 best_pair = ipt;
                 best_partner = cand.name;
@@ -64,16 +66,19 @@ runAblation(ExperimentContext &ctx)
 
         // Anneal a partner with the contested IPT as objective.
         auto objective = [&](const CoreConfig &partner) {
-            ContestSystem sys({own, partner}, trace);
-            return sys.run().ipt;
+            return runner
+                .contested(bench, {own, partner}, ContestConfig{},
+                           explore_len)
+                .ipt;
         };
         AnnealConfig ac;
         ac.steps = StepCount{steps};
         ac.seed = 13;
-        // Speculative neighbor batches sized to the harness pool
-        // (capped: deep batches waste evaluations when the walk
-        // accepts often).
-        ac.batch = std::min(4u, defaultJobs());
+        // Fixed speculative batch depth: the annealing trajectory
+        // depends on (seed, batch), so sizing it to the pool would
+        // make the walk — and the golden artifact — vary with
+        // --jobs. A serial pool just evaluates the batch in order.
+        ac.batch = 4;
         CoreConfig start = own;
         start.name = bench + "-partner";
         auto annealed = annealCoreConfig(objective, start, ac);

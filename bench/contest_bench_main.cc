@@ -7,20 +7,33 @@
  * one experiment and therefore runs it when invoked with no
  * selection).
  *
+ * With more than one experiment selected and more than one job, the
+ * suite runs under the pipelined SuiteScheduler: every experiment is
+ * posted to the shared pool up front and results are drained in
+ * registry order, so stdout and artifacts are byte-identical to the
+ * sequential loop while experiment bodies overlap. A
+ * single-experiment invocation (every standalone figure binary),
+ * --jobs 1, or --sequential bypasses the scheduler entirely and runs
+ * the plain sequential loop.
+ *
  * Usage:
  *   contest_bench --list
  *   contest_bench fig06 fig08 [--out-dir artifacts]
  *   contest_bench --all [--fast] [--jobs N] [--cache-dir DIR]
+ *                 [--timing] [--sequential]
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "harness/scheduler.hh"
 
 namespace
 {
@@ -42,6 +55,8 @@ printUsage(std::FILE *to)
         "  --trace-len N    instructions per trace\n"
         "  --seed N         workload generation seed\n"
         "  --jobs N         parallel harness concurrency\n"
+        "  --timing         per-simulation timeline report\n"
+        "  --sequential     disable the pipelined scheduler\n"
         "\n"
         "With no selection, a binary with exactly one registered\n"
         "experiment runs it; contest_bench itself lists and exits.\n");
@@ -74,6 +89,8 @@ main(int argc, char **argv)
 
     bool run_all = false;
     bool list_only = false;
+    bool timing = false;
+    bool sequential = false;
     std::string out_dir;
     std::string value;
     std::vector<std::string> selected;
@@ -84,6 +101,10 @@ main(int argc, char **argv)
             run_all = true;
         } else if (std::strcmp(argv[i], "--fast") == 0) {
             setenv("CONTEST_FAST", "1", 1);
+        } else if (std::strcmp(argv[i], "--timing") == 0) {
+            timing = true;
+        } else if (std::strcmp(argv[i], "--sequential") == 0) {
+            sequential = true;
         } else if (valueFlag(argc, argv, i, "--out-dir", value)) {
             out_dir = value;
         } else if (valueFlag(argc, argv, i, "--cache-dir", value)) {
@@ -148,37 +169,69 @@ main(int argc, char **argv)
     }
 
     Runner &runner = benchRunner();
+    SimTimeline timeline;
+    runner.setTimeline(&timeline);
     ArtifactSink sink(out_dir);
+    ThreadPool &pool = ThreadPool::global();
     using Clock = std::chrono::steady_clock;
     auto suite_start = Clock::now();
-    for (const ExperimentInfo *e : to_run) {
-        auto exp_start = Clock::now();
-        ExperimentContext ctx{runner, sink, *e};
-        e->fn(ctx);
-        std::printf(
-            "-- %s finished in %.2f s\n\n", e->name.c_str(),
-            std::chrono::duration<double>(Clock::now() - exp_start)
-                .count());
+    auto report = [](const ExperimentInfo &e, double sec) {
+        std::printf("-- %s finished in %.2f s\n\n", e.name.c_str(),
+                    sec);
         std::fflush(stdout);
+    };
+    if (sequential || pool.jobs() <= 1 || to_run.size() <= 1) {
+        // Scheduler bypass: a single experiment (every standalone
+        // figure binary) or a serial run pays no scheduler setup —
+        // this is exactly the original sequential loop.
+        for (const ExperimentInfo *e : to_run) {
+            auto exp_start = Clock::now();
+            ExperimentContext ctx{runner, sink, *e};
+            e->fn(ctx);
+            report(*e, std::chrono::duration<double>(Clock::now()
+                                                     - exp_start)
+                           .count());
+        }
+    } else {
+        SuiteScheduler scheduler(runner, sink, pool);
+        scheduler.run(to_run, report);
     }
 
     double suite_sec =
         std::chrono::duration<double>(Clock::now() - suite_start)
             .count();
     std::printf("== suite: %zu experiment(s) in %.2f s | %llu "
-                "single-core simulation(s)",
+                "single-core simulation(s) + %llu contested run(s)",
                 to_run.size(), suite_sec,
                 static_cast<unsigned long long>(
-                    runner.simulationsPerformed()));
+                    runner.simulationsPerformed()),
+                static_cast<unsigned long long>(
+                    runner.contestsPerformed()));
     if (runner.resultCache() != nullptr)
-        std::printf(", %llu disk cache hit(s) in %s",
+        std::printf(", %llu + %llu disk cache hit(s) in %s",
                     static_cast<unsigned long long>(
                         runner.diskHits()),
+                    static_cast<unsigned long long>(
+                        runner.contestDiskHits()),
                     runner.resultCache()->directory().c_str());
     std::printf("\n");
-    if (!out_dir.empty())
+    if (timing)
+        std::fputs(timeline.renderReport(pool.jobs()).c_str(),
+                   stdout);
+    if (!out_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(out_dir, ec);
+        std::string timeline_path = out_dir + "/SimTimeline.json";
+        std::ofstream f(timeline_path, std::ios::trunc);
+        fatal_if(!f.good(), "cannot open timeline file '%s'",
+                 timeline_path.c_str());
+        f << timeline.toJson(pool.jobs()).dump(2);
+        f.close();
+        fatal_if(!f.good(), "failed writing timeline file '%s'",
+                 timeline_path.c_str());
         std::printf("== artifacts: %zu JSON file(s) under %s\n",
                     sink.writtenFiles().size(), out_dir.c_str());
+    }
     std::fflush(stdout);
     return 0;
 }

@@ -53,9 +53,11 @@ runThroughput(ExperimentContext &ctx)
     double total_mticks = 0.0;
     std::size_t measured = 0;
     const bool no_skip = simNoSkip();
+    SimTimeline *tl = runner.timeline();
     for (const auto &cfg : appendixAPalette()) {
         OooCore core(cfg, trace);
         const std::uint64_t step = core.periodPs().count();
+        auto span_start = SimTimeline::now();
         auto start = Clock::now();
         TimePs now{};
         while (!core.done()) {
@@ -66,6 +68,10 @@ runThroughput(ExperimentContext &ctx)
             now += TimePs{step * ticks};
         }
         double sec = elapsedSec(start);
+        if (tl != nullptr)
+            tl->record(SimTimeline::Kind::Single,
+                       bench + '@' + cfg.name, span_start, span_start,
+                       SimTimeline::now(), false);
         double ticks = static_cast<double>(core.stats().cycles);
         double mticks_s = sec > 0.0 ? ticks / sec / 1e6 : 0.0;
         double instr_s = sec > 0.0
@@ -87,9 +93,14 @@ runThroughput(ExperimentContext &ctx)
         ContestSystem sys({coreConfigByName("gcc"),
                            coreConfigByName("twolf")},
                           trace);
+        auto span_start = SimTimeline::now();
         auto start = Clock::now();
         ContestResult r = sys.run();
         double sec = elapsedSec(start);
+        if (tl != nullptr)
+            tl->record(SimTimeline::Kind::Contest,
+                       bench + "@gcc+twolf", span_start, span_start,
+                       SimTimeline::now(), false);
         double ticks = 0.0;
         std::uint64_t retired = 0;
         std::uint64_t skipped = 0;
@@ -113,6 +124,15 @@ runThroughput(ExperimentContext &ctx)
 
     art.scalar("mean_mticks_per_s",
                total_mticks / static_cast<double>(measured));
+    if (tl != nullptr) {
+        // Export the per-simulation timeline so the perf-smoke CI
+        // artifact carries scheduling data alongside the rates.
+        SimTimeline::Summary s = tl->summary();
+        art.scalar("timeline_sims", static_cast<double>(s.sims));
+        art.scalar("timeline_busy_sec", s.busySec);
+        art.scalar("timeline_wall_sec", s.wallSec);
+        art.scalar("timeline_concurrency", s.concurrency());
+    }
     art.note("wall-clock rates; not comparable across machines or "
              "against goldens. CONTEST_NO_SKIP=1 disables "
              "idle-cycle fast-forwarding for A/B measurements.");

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared string hashing: the FNV-1a 64-bit digest used to name
+ * result-cache entries on disk, and a precomputed-hash string key
+ * for the Runner's memoization tables (the canonical key strings are
+ * long — hash once at insertion, compare hashes before bytes).
+ */
+
+#ifndef CONTEST_COMMON_HASH_HH
+#define CONTEST_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace contest
+{
+
+/** FNV-1a 64-bit digest of a byte string. */
+inline std::uint64_t
+fnv1a64(std::string_view s)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/**
+ * An unordered_map key wrapping a canonical key string with its
+ * digest computed once at construction. Equality still compares the
+ * full string (a digest match alone must never alias two keys), but
+ * the common miss case is decided on the 64-bit hash.
+ */
+struct HashedKey
+{
+    std::uint64_t hash = 0;
+    std::string key;
+
+    HashedKey() = default;
+    explicit HashedKey(std::string k)
+        : hash(fnv1a64(k)), key(std::move(k))
+    {}
+
+    bool
+    operator==(const HashedKey &other) const
+    {
+        return hash == other.hash && key == other.key;
+    }
+};
+
+/** Hasher forwarding the precomputed digest. */
+struct HashedKeyHash
+{
+    std::size_t
+    operator()(const HashedKey &k) const
+    {
+        return static_cast<std::size_t>(k.hash);
+    }
+};
+
+} // namespace contest
+
+#endif // CONTEST_COMMON_HASH_HH

@@ -19,6 +19,10 @@ struct ThreadPool::Batch
     std::mutex m;
     std::condition_variable doneCv;
     std::size_t done = 0; //!< tasks finished (guarded by m)
+
+    /** Storage behind fn for post()ed tasks, which outlive their
+     *  caller's stack frame. */
+    std::function<void(std::size_t)> owned;
 };
 
 ThreadPool::ThreadPool(unsigned jobs_total)
@@ -116,6 +120,45 @@ ThreadPool::parallelFor(std::size_t n,
     std::unique_lock<std::mutex> lock(batch->m);
     batch->doneCv.wait(lock,
                        [&] { return batch->done == batch->n; });
+}
+
+void
+ThreadPool::post(std::function<void()> fn)
+{
+    auto batch = std::make_shared<Batch>();
+    batch->n = 1;
+    batch->owned = [f = std::move(fn)](std::size_t) { f(); };
+    batch->fn = &batch->owned;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        pending.push_back(batch);
+    }
+    cv.notify_one();
+}
+
+bool
+ThreadPool::tryRunOneTask()
+{
+    std::shared_ptr<Batch> batch;
+    std::size_t i = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        while (!pending.empty()) {
+            batch = pending.front();
+            i = batch->next.fetch_add(1, std::memory_order_relaxed);
+            if (i < batch->n)
+                break;
+            pending.pop_front();
+            batch.reset();
+        }
+    }
+    if (!batch)
+        return false;
+    (*batch->fn)(i);
+    std::lock_guard<std::mutex> lock(batch->m);
+    if (++batch->done == batch->n)
+        batch->doneCv.notify_all();
+    return true;
 }
 
 ThreadPool &

@@ -62,6 +62,24 @@ class ThreadPool
                      const std::function<void(std::size_t)> &fn);
 
     /**
+     * Queue one task and return immediately (fire-and-forget; the
+     * pool owns the function). Completion is the task's own business
+     * — signal it from inside the task if anyone needs to know. With
+     * no worker threads the task simply waits in the queue for a
+     * tryRunOneTask() caller.
+     */
+    void post(std::function<void()> fn);
+
+    /**
+     * Claim and run one queued task on the calling thread, if any is
+     * immediately available. Returns false without blocking when the
+     * queue is idle. This is how a thread that is otherwise waiting
+     * (e.g. the suite driver draining results in order) donates
+     * itself to the pool instead of sleeping.
+     */
+    bool tryRunOneTask();
+
+    /**
      * The process-wide pool, sized from CONTEST_JOBS (default: the
      * hardware concurrency) on first use.
      */

@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include "common/hash.hh"
 #include "common/log.hh"
 
 namespace contest
@@ -15,18 +16,6 @@ namespace contest
 
 namespace
 {
-
-/** FNV-1a 64-bit digest of a string. */
-std::uint64_t
-fnv1a64(const std::string &s)
-{
-    std::uint64_t h = 14695981039346656037ULL;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ULL;
-    }
-    return h;
-}
 
 void
 appendCacheGeom(std::ostringstream &os, const char *tag,
@@ -106,6 +95,9 @@ struct Reader
 };
 
 constexpr char cacheMagic[4] = {'C', 'T', 'R', 'C'};
+/** Contest entries carry a distinct magic so the two entry kinds can
+ *  never deserialize as one another, digest collisions included. */
+constexpr char contestMagic[4] = {'C', 'T', 'C', 'T'};
 
 void
 writeStats(Writer &w, const CoreStats &s)
@@ -169,23 +161,11 @@ readEnergy(Reader &r, EnergyBreakdown &e)
     e.contestNj = r.f64();
 }
 
-} // namespace
-
-ResultCache::ResultCache(std::string cache_dir, int version)
-    : dir(std::move(cache_dir)), formatVersion(version)
+/** Every CoreConfig field that shapes a simulation, in one canonical
+ *  serialization shared by the single-run and contest keys. */
+void
+appendCoreConfig(std::ostringstream &os, const CoreConfig &core)
 {
-    fatal_if(dir.empty(),
-             "ResultCache needs a non-empty cache directory");
-}
-
-std::string
-ResultCache::singleRunKey(const CoreConfig &core,
-                          const std::string &bench,
-                          std::uint64_t seed, std::uint64_t trace_len)
-{
-    std::ostringstream os;
-    os << "bench=" << bench << ";seed=" << seed
-       << ";len=" << trace_len << ';';
     os << "core=" << core.name << ';';
     os << "memlat=" << core.memAccessCycles.count() << ';';
     os << "fed=" << core.frontEndDepth << ';';
@@ -213,6 +193,73 @@ ResultCache::singleRunKey(const CoreConfig &core,
     os << "btb=" << core.btb.sets << '/' << core.btb.assoc << ';';
     os << "icache=" << (core.modelICache ? 1 : 0) << ';';
     appendCacheGeom(os, "l1i", core.l1i);
+}
+
+void
+writeUnitStats(Writer &w, const UnitStats &s)
+{
+    w.u64(s.paired);
+    w.u64(s.discarded);
+    w.u64(s.broadcasts);
+    w.u64(s.saturated ? 1 : 0);
+    w.u64(s.parkedAt.count());
+}
+
+void
+readUnitStats(Reader &r, UnitStats &s)
+{
+    s.paired = r.u64();
+    s.discarded = r.u64();
+    s.broadcasts = r.u64();
+    s.saturated = r.u64() != 0;
+    s.parkedAt = TimePs{r.u64()};
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string cache_dir, int version)
+    : dir(std::move(cache_dir)), formatVersion(version)
+{
+    fatal_if(dir.empty(),
+             "ResultCache needs a non-empty cache directory");
+}
+
+std::string
+ResultCache::singleRunKey(const CoreConfig &core,
+                          const std::string &bench,
+                          std::uint64_t seed, std::uint64_t trace_len)
+{
+    std::ostringstream os;
+    os << "bench=" << bench << ";seed=" << seed
+       << ";len=" << trace_len << ';';
+    appendCoreConfig(os, core);
+    return os.str();
+}
+
+std::string
+ResultCache::contestKey(const std::string &bench,
+                        const std::vector<CoreConfig> &cores,
+                        const ContestConfig &config,
+                        std::uint64_t seed, std::uint64_t trace_len)
+{
+    std::ostringstream os;
+    os << "contest;bench=" << bench << ";seed=" << seed
+       << ";len=" << trace_len << ';';
+    os << "grb=" << config.grbLatencyPs.count() << ';';
+    os << "fifo=" << config.fifoCapacity << ';';
+    os << "sq=" << config.storeQueueCapacity << ';';
+    os << "inj=" << static_cast<int>(config.injectionStyle) << ';';
+    os << "early=" << (config.earlyBranchResolve ? 1 : 0) << ';';
+    os << "park=" << (config.parkSaturatedLaggers ? 1 : 0) << ';';
+    os << "exc=" << config.syscallHandlerPs.count() << ';';
+    os << "intp=" << config.interruptPeriodPs.count() << ';';
+    os << "inth=" << config.interruptHandlerPs.count() << ';';
+    os << "wd=" << config.deadlockStuckTicks << ';';
+    os << "ncores=" << cores.size() << ';';
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        os << '[' << i << ']';
+        appendCoreConfig(os, cores[i]);
+    }
     return os.str();
 }
 
@@ -310,6 +357,137 @@ ResultCache::store(const std::string &key,
 
     // Write-then-rename so a concurrent reader (another process
     // sharing the cache directory) never sees a partial entry.
+    const std::string final_path = entryPath(key);
+    const std::string tmp_path =
+        final_path + ".tmp." + std::to_string(getpid());
+    {
+        std::ofstream out(tmp_path, std::ios::binary);
+        out.write(w.buf.data(),
+                  static_cast<std::streamsize>(w.buf.size()));
+        if (!out) {
+            warn("result cache: write to '%s' failed",
+                 tmp_path.c_str());
+            std::filesystem::remove(tmp_path, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+        warn("result cache: rename to '%s' failed: %s",
+             final_path.c_str(), ec.message().c_str());
+        std::filesystem::remove(tmp_path, ec);
+        return;
+    }
+    ++storeCount;
+}
+
+bool
+ResultCache::loadContest(const std::string &key,
+                         ContestResult &result) const
+{
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in) {
+        ++missCount;
+        return false;
+    }
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    const std::string data = raw.str();
+
+    Reader r(data);
+    std::string magic = r.bytes(sizeof(contestMagic));
+    if (!r.ok
+        || std::memcmp(magic.data(), contestMagic,
+                       sizeof(contestMagic)) != 0
+        || static_cast<int>(r.u64()) != formatVersion) {
+        ++missCount;
+        return false;
+    }
+    std::string stored_key = r.bytes(r.u64());
+    if (!r.ok || stored_key != key) {
+        ++missCount;
+        return false;
+    }
+
+    ContestResult out;
+    out.timePs = TimePs{r.u64()};
+    out.ipt = r.f64();
+    std::uint64_t cores = r.u64();
+    // Any per-core array longer than the file holding it announces a
+    // corrupt count before the resize can reserve absurd memory.
+    if (!r.ok || cores > data.size()) {
+        ++missCount;
+        return false;
+    }
+    out.coreStats.resize(cores);
+    out.unitStats.resize(cores);
+    out.leadFraction.resize(cores);
+    out.energy.resize(cores);
+    for (auto &s : out.coreStats)
+        readStats(r, s);
+    for (auto &s : out.unitStats)
+        readUnitStats(r, s);
+    for (auto &f : out.leadFraction)
+        f = r.f64();
+    out.leadChanges = r.u64();
+    out.mergedStores = StoreSeq{r.u64()};
+    out.exceptionsHandled = r.u64();
+    out.interruptsHandled = r.u64();
+    for (auto &e : out.energy)
+        readEnergy(r, e);
+    if (!r.ok || r.pos != data.size()) {
+        ++missCount;
+        return false;
+    }
+
+    result = std::move(out);
+    ++hitCount;
+    return true;
+}
+
+void
+ResultCache::storeContest(const std::string &key,
+                          const ContestResult &result) const
+{
+    // The entry is only valid if every per-core array agrees on the
+    // core count; a malformed result must not poison the cache.
+    const std::size_t cores = result.coreStats.size();
+    if (result.unitStats.size() != cores
+        || result.leadFraction.size() != cores
+        || result.energy.size() != cores) {
+        warn("result cache: refusing to store a contest entry with "
+             "mismatched per-core array sizes");
+        return;
+    }
+
+    Writer w;
+    w.buf.append(contestMagic, sizeof(contestMagic));
+    w.u64(static_cast<std::uint64_t>(formatVersion));
+    w.u64(key.size());
+    w.buf.append(key);
+    w.u64(result.timePs.count());
+    w.f64(result.ipt);
+    w.u64(cores);
+    for (const auto &s : result.coreStats)
+        writeStats(w, s);
+    for (const auto &s : result.unitStats)
+        writeUnitStats(w, s);
+    for (double f : result.leadFraction)
+        w.f64(f);
+    w.u64(result.leadChanges);
+    w.u64(result.mergedStores.count());
+    w.u64(result.exceptionsHandled);
+    w.u64(result.interruptsHandled);
+    for (const auto &e : result.energy)
+        writeEnergy(w, e);
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("result cache: cannot create '%s': %s", dir.c_str(),
+             ec.message().c_str());
+        return;
+    }
     const std::string final_path = entryPath(key);
     const std::string tmp_path =
         final_path + ".tmp." + std::to_string(getpid());

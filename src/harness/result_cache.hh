@@ -1,11 +1,13 @@
 /**
  * @file
  * Opt-in persistent layer under the Runner's in-memory memoization:
- * completed single-core runs (result + region-log series) are stored
- * on disk, keyed by a digest of everything that determines the run —
- * the full core configuration, the benchmark name, the trace seed
- * and length, and a cache format version. A later process with the
- * same knobs loads the run instead of re-simulating it.
+ * completed single-core runs (result + region-log series) and
+ * contested runs (the full ContestResult) are stored on disk, keyed
+ * by a digest of everything that determines the run — the full core
+ * configuration(s), the contesting configuration, the benchmark
+ * name, the trace seed and length, and a cache format version. A
+ * later process with the same knobs loads the run instead of
+ * re-simulating it.
  *
  * Entries are self-verifying: each file records the format version
  * and the full canonical key string, so a digest collision or a
@@ -58,6 +60,18 @@ class ResultCache
                                     std::uint64_t trace_len);
 
     /**
+     * Canonical key of a contested run: the benchmark/seed/length
+     * workload identity, every ContestConfig knob, and the ordered
+     * list of contesting core configurations (order matters — core 0
+     * is the interrupt-designated core and tie-break winner).
+     */
+    static std::string contestKey(const std::string &bench,
+                                  const std::vector<CoreConfig> &cores,
+                                  const ContestConfig &config,
+                                  std::uint64_t seed,
+                                  std::uint64_t trace_len);
+
+    /**
      * Look up a run. On a hit fills @p result and @p regions and
      * returns true; any mismatch (absent, truncated, version or key
      * mismatch) is a miss.
@@ -68,6 +82,19 @@ class ResultCache
     /** Persist a run under @p key (atomic create-then-rename). */
     void store(const std::string &key, const SingleRunResult &result,
                const std::vector<TimePs> &regions) const;
+
+    /**
+     * Look up a contested run. Same degradation policy as load():
+     * anything but a verified, complete entry is a miss. Contest
+     * entries carry their own magic, so a single-run entry (or any
+     * corruption) can never deserialize as a ContestResult.
+     */
+    bool loadContest(const std::string &key,
+                     ContestResult &result) const;
+
+    /** Persist a contested run under @p key. */
+    void storeContest(const std::string &key,
+                      const ContestResult &result) const;
 
     /** @name Instrumentation */
     /** @{ */

@@ -7,6 +7,33 @@
 namespace contest
 {
 
+namespace
+{
+
+/** In-memory memo key of a single run: bench and core name, with a
+ *  separator no name contains. */
+std::string
+singleMemoKey(const std::string &bench, const std::string &core)
+{
+    return bench + '\x1f' + core;
+}
+
+/** Timeline label of a contested run: bench @ core+core+... */
+std::string
+contestLabel(const std::string &bench,
+             const std::vector<CoreConfig> &cores)
+{
+    std::string label = bench + '@';
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        if (i > 0)
+            label += '+';
+        label += cores[i].name;
+    }
+    return label;
+}
+
+} // namespace
+
 Runner::Runner(std::uint64_t trace_len, std::uint64_t seed,
                ThreadPool *pool)
     : len(trace_len), seed_(seed),
@@ -15,21 +42,24 @@ Runner::Runner(std::uint64_t trace_len, std::uint64_t seed,
     fatal_if(trace_len < RegionLog::regionInsts,
              "Runner: trace length %llu too short",
              static_cast<unsigned long long>(trace_len));
+    // Steady-state sizes of the full suite (11 benches x 11 cores
+    // singles, a few hundred distinct contests); reserving up front
+    // keeps the structure mutex's critical section to a probe that
+    // never rehashes.
+    traces.reserve(32);
+    singles.reserve(256);
+    contests.reserve(512);
 }
 
 TracePtr
-Runner::trace(const std::string &bench)
+Runner::trace(const std::string &bench, std::uint64_t trace_len)
 {
-    TraceEntry *entry;
-    {
-        std::lock_guard<std::mutex> lock(cacheMu);
-        auto &slot = traces[bench];
-        if (!slot)
-            slot = std::make_unique<TraceEntry>();
-        entry = slot.get();
-    }
+    const std::uint64_t use_len = trace_len != 0 ? trace_len : len;
+    TraceEntry *entry = entryFor(
+        traces,
+        HashedKey(bench + '\x1f' + std::to_string(use_len)));
     std::call_once(entry->once, [&] {
-        entry->value = makeBenchmarkTrace(bench, seed_, len);
+        entry->value = makeBenchmarkTrace(bench, seed_, use_len);
     });
     return entry->value;
 }
@@ -37,15 +67,11 @@ Runner::trace(const std::string &bench)
 const LoggedRun &
 Runner::single(const std::string &bench, const std::string &core)
 {
-    SingleEntry *entry;
-    {
-        std::lock_guard<std::mutex> lock(cacheMu);
-        auto &slot = singles[std::make_pair(bench, core)];
-        if (!slot)
-            slot = std::make_unique<SingleEntry>();
-        entry = slot.get();
-    }
+    auto queued = SimTimeline::now();
+    SingleEntry *entry =
+        entryFor(singles, HashedKey(singleMemoKey(bench, core)));
     std::call_once(entry->once, [&] {
+        auto start = SimTimeline::now();
         LoggedRun &run = entry->run;
         const CoreConfig &config = coreConfigByName(core);
 
@@ -61,6 +87,11 @@ Runner::single(const std::string &bench, const std::string &core)
                 run.regions =
                     std::make_shared<RegionLog>(std::move(series));
                 ++diskHitCount;
+                if (timeline_ != nullptr)
+                    timeline_->record(SimTimeline::Kind::Single,
+                                      bench + '@' + core, queued,
+                                      start, SimTimeline::now(),
+                                      true);
                 return;
             }
         }
@@ -87,20 +118,58 @@ Runner::single(const std::string &bench, const std::string &core)
 
         if (disk != nullptr)
             disk->store(key, run.result, run.regions->series());
+        if (timeline_ != nullptr)
+            timeline_->record(SimTimeline::Kind::Single,
+                              bench + '@' + core, queued, start,
+                              SimTimeline::now(), false);
     });
     return entry->run;
 }
 
-ContestResult
+const ContestResult &
 Runner::contested(const std::string &bench,
                   const std::vector<CoreConfig> &cores,
-                  const ContestConfig &config)
+                  const ContestConfig &config,
+                  std::uint64_t trace_len)
 {
-    ContestSystem sys(cores, trace(bench), config);
-    return sys.run();
+    auto queued = SimTimeline::now();
+    const std::uint64_t use_len = trace_len != 0 ? trace_len : len;
+    // One canonical string serves as the in-memory memo key and, on
+    // a miss, the persistent-cache key: two contested() calls agree
+    // on it iff they are the same deterministic simulation.
+    std::string key = ResultCache::contestKey(bench, cores, config,
+                                              seed_, use_len);
+    ContestEntry *entry =
+        entryFor(contests, HashedKey(std::move(key)));
+    std::call_once(entry->once, [&] {
+        auto start = SimTimeline::now();
+        const std::string disk_key = ResultCache::contestKey(
+            bench, cores, config, seed_, use_len);
+        if (disk != nullptr
+            && disk->loadContest(disk_key, entry->result)) {
+            ++contestDiskHitCount;
+            if (timeline_ != nullptr)
+                timeline_->record(SimTimeline::Kind::Contest,
+                                  contestLabel(bench, cores), queued,
+                                  start, SimTimeline::now(), true);
+            return;
+        }
+
+        ContestSystem sys(cores, trace(bench, use_len), config);
+        entry->result = sys.run();
+        ++contestsDone;
+
+        if (disk != nullptr)
+            disk->storeContest(disk_key, entry->result);
+        if (timeline_ != nullptr)
+            timeline_->record(SimTimeline::Kind::Contest,
+                              contestLabel(bench, cores), queued,
+                              start, SimTimeline::now(), false);
+    });
+    return entry->result;
 }
 
-ContestResult
+const ContestResult &
 Runner::contestedPair(const std::string &bench,
                       const std::string &core_a,
                       const std::string &core_b,
@@ -183,25 +252,26 @@ Runner::bestContestingPair(const std::string &bench,
                   return x.fusedIpt > y.fusedIpt;
               });
 
-    // Contest the top candidates concurrently (each run builds its
-    // own ContestSystem), then pick the winner in ranked order so
-    // ties resolve exactly as the serial scan did.
+    // Contest the top candidates concurrently (each run is memoized
+    // under its own once-latch), then pick the winner in ranked
+    // order so ties resolve exactly as the serial scan did.
     std::size_t tried = std::min<std::size_t>(simulate_top,
                                               ranked.size());
-    std::vector<ContestResult> results(tried);
+    std::vector<const ContestResult *> results(tried);
     pool_->parallelFor(tried, [&](std::size_t i) {
-        results[i] = contestedPair(bench, palette[ranked[i].a].name,
-                                   palette[ranked[i].b].name, config);
+        results[i] = &contestedPair(bench, palette[ranked[i].a].name,
+                                    palette[ranked[i].b].name,
+                                    config);
     });
 
     PairChoice best;
     double best_ipt = -1.0;
     for (std::size_t i = 0; i < tried; ++i) {
-        if (results[i].ipt > best_ipt) {
-            best_ipt = results[i].ipt;
+        if (results[i]->ipt > best_ipt) {
+            best_ipt = results[i]->ipt;
             best.coreA = palette[ranked[i].a].name;
             best.coreB = palette[ranked[i].b].name;
-            best.result = results[i];
+            best.result = *results[i];
         }
     }
     panic_if(best_ipt < 0.0, "bestContestingPair tried no pairs");

@@ -1,28 +1,30 @@
 /**
  * @file
  * Experiment runners shared by the bench binaries: cached
- * single-core runs (with optional region logging), contested runs,
- * the full benchmark-by-core IPT matrix, and best-contesting-pair
- * search.
+ * single-core runs (with optional region logging), cached contested
+ * runs, the full benchmark-by-core IPT matrix, and
+ * best-contesting-pair search.
  */
 
 #ifndef CONTEST_HARNESS_RUNNER_HH
 #define CONTEST_HARNESS_RUNNER_HH
 
 #include <atomic>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/hash.hh"
 #include "common/thread_pool.hh"
 #include "contest/system.hh"
 #include "core/palette.hh"
 #include "explore/merit.hh"
 #include "harness/region_log.hh"
 #include "harness/result_cache.hh"
+#include "harness/sim_timeline.hh"
 #include "trace/generator.hh"
 
 namespace contest
@@ -38,15 +40,21 @@ struct LoggedRun
 /**
  * Caching experiment runner. All bench binaries funnel their
  * simulations through a Runner so that a single-core (benchmark,
- * core type) result is simulated exactly once per process.
+ * core type) result — and, since the pipelined scheduler, a
+ * contested (benchmark, ordered cores, contest config) result — is
+ * simulated exactly once per process.
  *
  * The runner is safe to use from the thread pool: the memoization
- * maps are guarded by a mutex, and each cache entry carries a
- * per-key once-latch so two threads never simulate the same
- * (benchmark, core) pair — the second requester blocks until the
- * first finishes. Because every simulation is self-contained and
- * writes only its own cache slot, results are bit-identical for any
- * job count, including 1.
+ * maps are guarded by a mutex held only for the lookup/insert (never
+ * across a simulation), and each entry carries a per-key once-latch
+ * so two threads never simulate the same keyed run — the second
+ * requester blocks until the first finishes. Because every
+ * simulation is self-contained and writes only its own cache slot,
+ * results are bit-identical for any job count, including 1.
+ *
+ * The maps are unordered, keyed by canonical key strings whose
+ * 64-bit digest is computed once per lookup (HashedKey); buckets are
+ * reserved up front so the suite's steady state never rehashes.
  */
 class Runner
 {
@@ -60,23 +68,38 @@ class Runner
     Runner(std::uint64_t trace_len, std::uint64_t seed,
            ThreadPool *pool = nullptr);
 
-    /** The (cached) trace of a benchmark. */
-    TracePtr trace(const std::string &bench);
+    /** The (cached) trace of a benchmark. @p trace_len overrides the
+     *  runner's configured length; 0 means the configured one. */
+    TracePtr trace(const std::string &bench,
+                   std::uint64_t trace_len = 0);
 
     /** Cached single-core run with region logging. */
     const LoggedRun &single(const std::string &bench,
                             const std::string &core);
 
-    /** Contested run (not cached; configs vary per experiment). */
-    ContestResult contested(const std::string &bench,
-                            const std::vector<CoreConfig> &cores,
-                            const ContestConfig &config);
+    /**
+     * Contested run, memoized on (benchmark, ordered core configs,
+     * contest config) and backed by the persistent result cache when
+     * one is attached. Experiments that contest overlapping
+     * (benchmark, pair, config) combinations — fig06 vs the Figure
+     * 10-13 designs, for instance — simulate each contest once per
+     * process, and a warm rerun not at all.
+     *
+     * @p trace_len overrides the runner's configured trace length
+     * (0: use the configured one); the override is part of the cache
+     * key, so experiments that deliberately contest shorter traces
+     * (contest-aware exploration) still memoize and persist.
+     */
+    const ContestResult &contested(const std::string &bench,
+                                   const std::vector<CoreConfig> &cores,
+                                   const ContestConfig &config,
+                                   std::uint64_t trace_len = 0);
 
     /** Contested run between two palette core types. */
-    ContestResult contestedPair(const std::string &bench,
-                                const std::string &core_a,
-                                const std::string &core_b,
-                                const ContestConfig &config = {});
+    const ContestResult &contestedPair(const std::string &bench,
+                                       const std::string &core_a,
+                                       const std::string &core_b,
+                                       const ContestConfig &config = {});
 
     /** The full benchmark x core-type IPT matrix (cached). */
     const IptMatrix &matrix();
@@ -107,15 +130,25 @@ class Runner
 
     /**
      * Attach a persistent result cache (not owned; must outlive the
-     * runner). single() consults it inside the once-latch: a disk
-     * hit skips the simulation entirely, a miss simulates and then
-     * stores. Attach before the first single() call — entries
-     * already latched in memory are not revisited.
+     * runner). single() and contested() consult it inside the
+     * once-latch: a disk hit skips the simulation entirely, a miss
+     * simulates and then stores. Attach before the first run —
+     * entries already latched in memory are not revisited.
      */
     void setResultCache(ResultCache *cache) { disk = cache; }
 
     /** The attached result cache, if any. */
     ResultCache *resultCache() const { return disk; }
+
+    /**
+     * Attach a per-simulation timeline (not owned; must outlive the
+     * runner). Every single and contested run records its
+     * queue/start/end span, cache hits included.
+     */
+    void setTimeline(SimTimeline *t) { timeline_ = t; }
+
+    /** The attached timeline, if any. */
+    SimTimeline *timeline() const { return timeline_; }
 
     /** Single-core simulations actually executed by this runner
      *  (in-memory and disk hits excluded). */
@@ -127,6 +160,21 @@ class Runner
 
     /** single() calls satisfied from the persistent cache. */
     std::uint64_t diskHits() const { return diskHitCount.load(); }
+
+    /** Contested simulations actually executed by this runner
+     *  (in-memory and disk hits excluded). */
+    std::uint64_t
+    contestsPerformed() const
+    {
+        return contestsDone.load();
+    }
+
+    /** contested() calls satisfied from the persistent cache. */
+    std::uint64_t
+    contestDiskHits() const
+    {
+        return contestDiskHitCount.load();
+    }
 
   private:
     /** Memo-map slot: the once-latch serializes the first (and only)
@@ -141,19 +189,45 @@ class Runner
         std::once_flag once;
         LoggedRun run;
     };
+    struct ContestEntry
+    {
+        std::once_flag once;
+        ContestResult result;
+    };
+
+    /** Find-or-create the entry for @p key in @p map, holding the
+     *  structure mutex only for the lookup/insert. */
+    template <typename Entry>
+    Entry *
+    entryFor(std::unordered_map<HashedKey, std::unique_ptr<Entry>,
+                                HashedKeyHash> &map,
+             HashedKey key)
+    {
+        std::lock_guard<std::mutex> lock(cacheMu);
+        auto &slot = map[std::move(key)];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        return slot.get();
+    }
 
     std::uint64_t len;
     std::uint64_t seed_;
     ThreadPool *pool_;
     ResultCache *disk = nullptr;
+    SimTimeline *timeline_ = nullptr;
     std::atomic<std::uint64_t> simsDone{0};
     std::atomic<std::uint64_t> diskHitCount{0};
+    std::atomic<std::uint64_t> contestsDone{0};
+    std::atomic<std::uint64_t> contestDiskHitCount{0};
 
     /** Guards the maps' structure only; entries latch themselves. */
     std::mutex cacheMu;
-    std::map<std::string, std::unique_ptr<TraceEntry>> traces;
-    std::map<std::pair<std::string, std::string>,
-             std::unique_ptr<SingleEntry>> singles;
+    std::unordered_map<HashedKey, std::unique_ptr<TraceEntry>,
+                       HashedKeyHash> traces;
+    std::unordered_map<HashedKey, std::unique_ptr<SingleEntry>,
+                       HashedKeyHash> singles;
+    std::unordered_map<HashedKey, std::unique_ptr<ContestEntry>,
+                       HashedKeyHash> contests;
     std::once_flag matrixOnce;
     std::unique_ptr<IptMatrix> cachedMatrix;
 };

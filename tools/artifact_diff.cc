@@ -159,7 +159,11 @@ main(int argc, char **argv)
     } else {
         std::vector<fs::path> goldens;
         for (const auto &entry : fs::directory_iterator(golden, ec)) {
-            if (entry.path().extension() == ".json")
+            // SimTimeline.json is the suite's wall-clock timeline
+            // export, not a FigureArtifact; skip it when an --out-dir
+            // is compared directly against another run's.
+            if (entry.path().extension() == ".json"
+                && entry.path().filename() != "SimTimeline.json")
                 goldens.push_back(entry.path());
         }
         if (ec) {
