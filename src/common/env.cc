@@ -1,9 +1,13 @@
 #include "common/env.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+
+#include "common/log.hh"
 
 namespace contest
 {
@@ -14,10 +18,34 @@ envU64(const std::string &name, std::uint64_t def)
     const char *raw = std::getenv(name.c_str());
     if (raw == nullptr || *raw == '\0')
         return def;
+
+    // Parse strictly: the whole value must be one non-negative
+    // decimal integer that fits in 64 bits. strtoull alone is too
+    // permissive — it silently accepts trailing garbage ("4abc"),
+    // wraps negative values ("-1" becomes 2^64-1), and saturates on
+    // overflow without telling the caller — so every malformed value
+    // warns and falls back to the default instead of smuggling a
+    // nonsense number into a knob like CONTEST_JOBS.
+    const char *start = raw;
+    while (std::isspace(static_cast<unsigned char>(*start)))
+        ++start;
     char *end = nullptr;
-    unsigned long long v = std::strtoull(raw, &end, 10);
-    if (end == raw)
+    errno = 0;
+    unsigned long long v = std::strtoull(start, &end, 10);
+    const bool negative = *start == '-';
+    const bool no_digits = end == start;
+    const bool trailing = end != nullptr && *end != '\0';
+    const bool overflow = errno == ERANGE;
+    if (negative || no_digits || trailing || overflow) {
+        warn("ignoring malformed %s='%s' (%s); using default %llu",
+             name.c_str(), raw,
+             negative    ? "negative"
+             : no_digits ? "not a number"
+             : trailing  ? "trailing garbage"
+                         : "out of range",
+             static_cast<unsigned long long>(def));
         return def;
+    }
     return static_cast<std::uint64_t>(v);
 }
 
@@ -63,25 +91,52 @@ defaultJobs()
     return static_cast<unsigned>(jobs);
 }
 
-void
-applyJobsFlag(int *argc, char **argv)
+unsigned
+contestJobs()
 {
+    std::uint64_t jobs = envU64("CONTEST_CONTEST_JOBS", 1);
+    if (jobs < 1)
+        jobs = 1;
+    if (jobs > 256)
+        jobs = 256;
+    return static_cast<unsigned>(jobs);
+}
+
+/** Strip `--<flag> V` / `--<flag>=V` from argv into @p env_name. */
+static void
+stripValueFlag(int *argc, char **argv, const char *flag,
+               const char *env_name)
+{
+    const std::size_t n = std::strlen(flag);
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
         const char *arg = argv[i];
         std::string value;
-        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < *argc) {
+        if (std::strcmp(arg, flag) == 0 && i + 1 < *argc) {
             value = argv[++i];
-        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            value = arg + 7;
+        } else if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=') {
+            value = arg + n + 1;
         } else {
             argv[out++] = argv[i];
             continue;
         }
-        setenv("CONTEST_JOBS", value.c_str(), 1);
+        setenv(env_name, value.c_str(), 1);
     }
     argv[out] = nullptr;
     *argc = out;
+}
+
+void
+applyJobsFlag(int *argc, char **argv)
+{
+    stripValueFlag(argc, argv, "--jobs", "CONTEST_JOBS");
+}
+
+void
+applyContestJobsFlag(int *argc, char **argv)
+{
+    stripValueFlag(argc, argv, "--contest-jobs",
+                   "CONTEST_CONTEST_JOBS");
 }
 
 } // namespace contest

@@ -19,6 +19,7 @@
 #ifndef CONTEST_COMMON_THREAD_POOL_HH
 #define CONTEST_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -97,6 +98,89 @@ class ThreadPool
     /** Batches with unclaimed indices, oldest first. */
     std::deque<std::shared_ptr<Batch>> pending;
     bool stopping = false;
+    std::vector<std::thread> threads;
+};
+
+/**
+ * @name Contest worker budget
+ *
+ * Intra-simulation workers (CONTEST_CONTEST_JOBS) and suite-level
+ * sweeps (CONTEST_JOBS) share one machine, so the extra threads a
+ * contested run may spawn are leased from a process-wide budget of
+ * defaultJobs() - 1. With `--jobs J --contest-jobs C` the process
+ * therefore runs at most J + (J - 1) threads, however many contests
+ * are in flight — a run that finds the budget exhausted simply
+ * executes its windows on the calling thread, bit-identically.
+ */
+/** @{ */
+
+/** Lease up to @p want contest worker threads; returns the granted
+ *  count (possibly 0). Pair with releaseContestWorkers(). */
+unsigned acquireContestWorkers(unsigned want);
+
+/** Return @p granted threads to the contest worker budget. */
+void releaseContestWorkers(unsigned granted);
+
+/** @} */
+
+/**
+ * A group of spinning workers for the windowed parallel contest
+ * path. Unlike ThreadPool — whose condition-variable handoff costs
+ * microseconds, fine for whole experiments — a contested run opens
+ * and closes a window every few hundred simulated ticks, so the
+ * handoff must be tens of nanoseconds: workers spin on an epoch
+ * counter (yielding, then sleeping on a condition variable if no
+ * window opens for a while).
+ *
+ * The owner calls run(n, fn): fn(0..n-1) executes across the workers
+ * and the calling thread, and run() returns when all lanes finished.
+ * Lane indices are claimed from an atomic counter, and every lane
+ * writes only its own core's state, so results are independent of
+ * which thread runs which lane.
+ */
+class ContestWorkerGroup
+{
+  public:
+    /** @param workers dedicated threads to spawn (0 is valid: run()
+     *        then executes every lane inline on the caller). */
+    explicit ContestWorkerGroup(unsigned workers);
+    ~ContestWorkerGroup();
+
+    ContestWorkerGroup(const ContestWorkerGroup &) = delete;
+    ContestWorkerGroup &operator=(const ContestWorkerGroup &) = delete;
+
+    /** Dedicated worker threads in the group. */
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads.size());
+    }
+
+    /** Run fn(0) .. fn(n-1) across the group and the calling thread;
+     *  returns when every lane has completed. fn must not throw. */
+    void run(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+  private:
+    /** Lane-claim word layout: epoch in the high bits, next
+     *  unclaimed lane in the low laneBits. Tagging claims with the
+     *  epoch keeps a straggler that noticed a window late from
+     *  claiming (and corrupting) the next window's lanes. */
+    static constexpr unsigned laneBits = 24;
+
+    void workerLoop();
+    void drainLanes(std::uint64_t my_epoch);
+
+    /** Bumped (release) by run() to publish a new window; workers
+     *  acquire it to see taskFn/taskN. */
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint64_t> laneClaim{0};
+    std::atomic<std::size_t> lanesDone{0};
+    std::atomic<bool> stopping{false};
+    /** Set while any worker sleeps on cv (spin timed out). */
+    std::atomic<unsigned> sleepers{0};
+    std::size_t taskN = 0;
+    const std::function<void(std::size_t)> *taskFn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
     std::vector<std::thread> threads;
 };
 

@@ -133,147 +133,433 @@ ContestSystem::serviceInterrupt(TimePs now, TickCalendar &calendar)
            static_cast<unsigned long long>(refork_at));
 }
 
-ContestResult
-ContestSystem::run()
+void
+ContestSystem::rewindPastEdge(RunState &rs, CoreId c, TimePs t,
+                              CoreId pick)
+{
+    // A skipping core's elided ticks happen "eagerly" when they are
+    // scheduled; the ones that would have ordered at or after the
+    // (time, id) edge (t, pick) have not really elapsed: elided tick
+    // i sat at rec.tickedAt + i*period and really elapsed iff its
+    // edge ordered before (t, pick).
+    RunState::SkipRecord &rec = rs.skipRec[c];
+    if (rec.scheduled == Cycles{})
+        return;
+    std::uint64_t step = cores[c]->periodPs().count();
+    std::uint64_t d = (t - rec.tickedAt).count();
+    std::uint64_t num_lt = d > 0 ? (d - 1) / step : 0;
+    std::uint64_t num_eq =
+        (c < pick && d > 0 && d % step == 0) ? 1 : 0;
+    std::uint64_t executed = num_lt + num_eq;
+    if (executed < rec.scheduled.count()) {
+        cores[c]->rewindIdleTicks(rec.scheduled - Cycles{executed});
+        rec.scheduled = Cycles{executed};
+    }
+}
+
+void
+ContestSystem::noteTickForWatchdog(RunState &rs, Cycles skipped)
+{
+    // Deadlock watchdog: simulated ticks (including fast-forwarded
+    // ones) since the retire frontier last advanced, so skipping
+    // can neither mask nor falsely trigger the panic.
+    if (frontier != rs.lastFrontier) {
+        rs.lastFrontier = frontier;
+        // Elided ticks follow the retiring tick, so they open the
+        // next stuck window.
+        rs.stuckTicks = skipped.count();
+    } else {
+        rs.stuckTicks += 1 + skipped.count();
+    }
+    if (!rs.finished && rs.stuckTicks > cfg.deadlockStuckTicks)
+        panic("contest deadlock: no retirement in %llu ticks "
+              "(frontier %llu of %zu)",
+              static_cast<unsigned long long>(cfg.deadlockStuckTicks),
+              static_cast<unsigned long long>(frontier),
+              trace->size());
+}
+
+void
+ContestSystem::seqStep(RunState &rs)
 {
     const auto n = static_cast<CoreId>(cores.size());
-    const bool no_skip = simNoSkip();
+    panic_if(rs.calendar.empty(),
+             "contest deadlock: every core is parked");
+    TimePs t = rs.calendar.minTime();
+    CoreId pick = rs.calendar.minCore();
+
+    if (cfg.interruptPeriodPs > TimePs{} && t >= rs.nextInterrupt) {
+        serviceInterrupt(rs.nextInterrupt, rs.calendar);
+        rs.nextInterrupt += cfg.interruptPeriodPs;
+        return; // re-pick with the updated tick times
+    }
+
+    cores[pick]->tick(t);
+
+    Cycles skipped{};
+    if (!rs.noSkip && !cores[pick]->done()) {
+        Cycles max_skip = Cycles::max();
+        if (cfg.interruptPeriodPs > TimePs{}) {
+            // Every elided tick at t + i*period must precede
+            // the next interrupt edge; the first edge at or
+            // past it must be picked live so the service fires.
+            TimePs gap = rs.nextInterrupt - t;
+            max_skip = Cycles{
+                (gap.count() - 1)
+                / cores[pick]->periodPs().count()};
+        }
+        skipped = cores[pick]->skipIdleCycles(max_skip);
+    }
+    rs.skipRec[pick] = RunState::SkipRecord{t, skipped};
+    rs.calendar.set(pick,
+                    t + TimePs{cores[pick]->periodPs().count()
+                               * (skipped.count() + 1)});
+
+    if (cores[pick]->done()) {
+        rs.finished = true;
+        rs.finisher = pick;
+        rs.finishTime = t + cores[pick]->periodPs();
+    }
+
+    if (parkEvents != rs.parksSeen) {
+        // Someone parked during this tick (a broadcast from
+        // `pick` overflowed their FIFO). Drop them from the
+        // calendar and rewind any elided ticks that would have
+        // ordered after this tick's (t, pick) edge.
+        rs.parksSeen = parkEvents;
+        for (CoreId c = 0; c < n; ++c) {
+            if (!units[c]->parked() || !rs.calendar.contains(c))
+                continue;
+            rs.calendar.remove(c);
+            rewindPastEdge(rs, c, t, pick);
+        }
+    }
+
+    noteTickForWatchdog(rs, skipped);
+
+    if (rs.finished) {
+        // Per-cycle stepping stops every other core at its last
+        // edge before (t, finisher); drop the losers' eagerly
+        // elided ticks that would have ordered after it.
+        for (CoreId c = 0; c < n; ++c)
+            if (c != rs.finisher)
+                rewindPastEdge(rs, c, t, rs.finisher);
+    }
+}
+
+void
+ContestSystem::buildWindowIndexes()
+{
+    if (windowIndexesBuilt)
+        return;
+    for (std::size_t i = 0; i < trace->size(); ++i) {
+        const OpClass op = (*trace)[InstSeq{i}].op;
+        if (op == OpClass::Syscall)
+            syscallSeqs.push_back(InstSeq{i});
+        else if (op == OpClass::Store)
+            storeSeqs.push_back(InstSeq{i});
+    }
+    windowIndexesBuilt = true;
+}
+
+namespace
+{
+
+/** Most ticks a core retiring <= width instructions per tick can
+ *  execute from retirement position @p r0 without its retirement
+ *  (or any hook argument derived from it) reaching position @p s. */
+std::uint64_t
+stepsBelow(std::uint64_t s, std::uint64_t r0, std::uint64_t width)
+{
+    return s > r0 ? (s - r0 - 1) / width : 0;
+}
+
+} // namespace
+
+TimePs
+ContestSystem::windowHorizon(const RunState &rs) const
+{
+    const auto n = static_cast<CoreId>(cores.size());
+    // Cap on any core's in-window ticks: bounds the per-lane tick
+    // and event logs (and the bound arithmetic) regardless of how
+    // inert the timeline is.
+    constexpr std::uint64_t max_ticks = 4096;
+
+    TimePs w1 = TimePs::max();
+    // No in-window edge may reach the next interrupt: servicing
+    // terminates-and-reforks every core, a cross-core effect only
+    // the sequential path performs.
+    if (cfg.interruptPeriodPs > TimePs{})
+        w1 = std::min(w1, rs.nextInterrupt);
+
+    for (CoreId c = 0; c < n; ++c) {
+        if (!rs.calendar.contains(c))
+            continue;
+        const OooCore &core = *cores[c];
+        const std::uint64_t edge = rs.calendar.timeOf(c).count();
+        // Raw counts on purpose: the bound arithmetic mixes ps,
+        // cycles and sequence numbers, guarded by comparisons.
+        // contest-lint: allow(bare-u64-quantity)
+        const std::uint64_t period = core.periodPs().count();
+        const std::uint64_t width = core.config().width;
+        const std::uint64_t r0 = core.retired().count();
+
+        // Self bounds: the core must not finish the trace, reach a
+        // syscall rendezvous, or meet the first store the queue
+        // could refuse (its un-merged backlog measured now; merging
+        // only ever frees more room, so this is conservative).
+        std::uint64_t k = max_ticks;
+        k = std::min(k, stepsBelow(trace->endSeq().count(), r0,
+                                   width));
+        auto sy = std::lower_bound(syscallSeqs.begin(),
+                                   syscallSeqs.end(), InstSeq{r0});
+        if (sy != syscallSeqs.end())
+            k = std::min(k, stepsBelow(sy->count(), r0, width));
+        if (!storeSeqs.empty()) {
+            const auto idx0 = static_cast<std::size_t>(
+                std::lower_bound(storeSeqs.begin(), storeSeqs.end(),
+                                 InstSeq{r0})
+                - storeSeqs.begin());
+            const std::uint64_t backlog =
+                storeQ->performedBy(c).count()
+                - storeQ->mergedCount().count();
+            const std::uint64_t allowance =
+                cfg.storeQueueCapacity - backlog;
+            if (idx0 + allowance < storeSeqs.size())
+                k = std::min(k,
+                             stepsBelow(
+                                 storeSeqs[idx0 + allowance].count(),
+                                 r0, width));
+        }
+        // Sender bound: this core's broadcasts must fit into every
+        // live receiver's free FIFO slack even if the receiver never
+        // pops, so no in-window push can overflow (= park anyone).
+        for (CoreId d = 0; d < n; ++d) {
+            if (d == c || !rs.calendar.contains(d))
+                continue;
+            const std::uint64_t slack =
+                cfg.fifoCapacity - units[d]->fifoDepth(c);
+            k = std::min(k, slack / width);
+        }
+        w1 = std::min(w1, TimePs{edge + period * k});
+
+        // Ordered-pair bound, this core sending to receiver d: the
+        // window is inert if EITHER the receiver's hook arguments
+        // stay strictly below the sender's next retirement ("reach":
+        // new results sit at the FIFO tail, invisible to pairing and
+        // discarding) OR the sender's in-window retirements stay
+        // strictly below the receiver's argument floor ("late":
+        // every new result is a late, discardable one, replayed
+        // exactly by the commit phase). Each candidate constrains
+        // only its own core's ticks and is sound on its own, so the
+        // pair contributes the larger of the two.
+        for (CoreId d = 0; d < n; ++d) {
+            if (d == c || !rs.calendar.contains(d))
+                continue;
+            const OooCore &recv = *cores[d];
+            const std::uint64_t f_b = recv.nextFetchSeq().count();
+            const std::uint64_t wid_b = recv.config().width;
+            const std::uint64_t k_reach = std::min(
+                max_ticks, r0 > f_b ? (r0 - f_b) / wid_b : 0);
+            const std::uint64_t reach_bound =
+                rs.calendar.timeOf(d).count()
+                + recv.periodPs().count() * k_reach;
+            const std::uint64_t floor_b =
+                recv.hookArgFloor().count();
+            const std::uint64_t k_late = std::min(
+                max_ticks, floor_b > r0 ? (floor_b - r0) / width : 0);
+            const std::uint64_t late_bound = edge + period * k_late;
+            w1 = std::min(w1,
+                          TimePs{std::max(reach_bound, late_bound)});
+        }
+    }
+    return w1;
+}
+
+bool
+ContestSystem::executeWindow(RunState &rs, ContestWorkerGroup &group)
+{
+    if (rs.calendar.empty())
+        return false; // let seqStep raise the all-parked panic
+    const TimePs t0 = rs.calendar.minTime();
+    if (cfg.interruptPeriodPs > TimePs{} && t0 >= rs.nextInterrupt)
+        return false; // interrupt service is due: sequential path
+    const TimePs w1 = windowHorizon(rs);
+    if (w1 <= t0)
+        return false; // degenerate span: single sequential step
+
+    const auto n = static_cast<CoreId>(cores.size());
+    std::vector<CoreId> lanes;
+    for (CoreId c = 0; c < n; ++c) {
+        if (!rs.calendar.contains(c))
+            continue;
+        // Every live unit enters deferred mode — cores whose next
+        // edge lies past W1 run no ticks but must still not see live
+        // broadcasts; their logs stay empty.
+        units[c]->beginWindow(w1);
+        if (rs.calendar.timeOf(c) < w1)
+            lanes.push_back(c);
+    }
+
+    // Advance each lane independently to its first edge at or past
+    // W1. Inside the window a core touches only its own state (the
+    // bound proves no cross-core interaction), so lanes may run on
+    // any thread in any order.
+    std::vector<TimePs> lane_edges(lanes.size());
+    group.run(lanes.size(), [&](std::size_t i) {
+        const CoreId c = lanes[i];
+        OooCore &core = *cores[c];
+        CoreContestUnit &u = *units[c];
+        const std::uint64_t step = core.periodPs().count();
+        TimePs edge = rs.calendar.timeOf(c);
+        while (edge < w1) {
+            core.tick(edge);
+            panic_if(core.done(),
+                     "core %u finished inside a window", c);
+            Cycles skipped{};
+            if (!rs.noSkip) {
+                Cycles max_skip = Cycles::max();
+                if (cfg.interruptPeriodPs > TimePs{}) {
+                    TimePs gap = rs.nextInterrupt - edge;
+                    max_skip =
+                        Cycles{(gap.count() - 1) / step};
+                }
+                skipped = core.skipIdleCycles(max_skip);
+            }
+            u.recordTick(edge, skipped);
+            edge += TimePs{step * (skipped.count() + 1)};
+        }
+        lane_edges[i] = edge;
+    });
+
+    commitWindow(rs, lanes, lane_edges);
+    return true;
+}
+
+void
+ContestSystem::commitWindow(RunState &rs,
+                            const std::vector<CoreId> &lanes,
+                            const std::vector<TimePs> &lane_edges)
+{
+    const auto n = static_cast<CoreId>(cores.size());
+    for (CoreId c = 0; c < n; ++c)
+        if (rs.calendar.contains(c))
+            units[c]->endWindow();
+
+    // Merge the lanes' tick logs by (time, core id) — lanes are in
+    // ascending core-id order, so taking the first strictly-smallest
+    // time reproduces the calendar's tie-break — and replay each
+    // tick's deferred events: exactly the order the sequential loop
+    // would have produced them in.
+    struct Cursor
+    {
+        std::size_t tick = 0;
+        std::uint32_t ev = 0;
+    };
+    std::vector<Cursor> cur(lanes.size());
+    for (;;) {
+        std::size_t best = lanes.size();
+        TimePs best_at{};
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            const auto &ticks = units[lanes[i]]->windowTicks();
+            if (cur[i].tick >= ticks.size())
+                continue;
+            const TimePs at = ticks[cur[i].tick].at;
+            if (best == lanes.size() || at < best_at) {
+                best = i;
+                best_at = at;
+            }
+        }
+        if (best == lanes.size())
+            break;
+
+        const CoreId c = lanes[best];
+        CoreContestUnit &u = *units[c];
+        const auto &tk = u.windowTicks()[cur[best].tick];
+        const auto &evs = u.windowEvents();
+        for (std::uint32_t e = cur[best].ev; e < tk.evEnd; ++e) {
+            const WindowEvent &ev = evs[e];
+            if (ev.kind == WindowEvent::Kind::Retire) {
+                noteRetire(c, ev.seq);
+                const TimePs arrival = tk.at + cfg.grbLatencyPs;
+                for (CoreId d = 0; d < n; ++d) {
+                    if (d == c || units[d]->parked())
+                        continue;
+                    units[d]->commitDeferredResult(c, ev.seq,
+                                                   arrival, tk.at);
+                }
+            } else {
+                storeQ->performStore(c, ev.addr);
+            }
+        }
+        cur[best].ev = tk.evEnd;
+        ++cur[best].tick;
+
+        rs.skipRec[c] = RunState::SkipRecord{tk.at, tk.skipped};
+        noteTickForWatchdog(rs, tk.skipped);
+    }
+
+    panic_if(parkEvents != rs.parksSeen,
+             "a core parked inside an execution window (the FIFO "
+             "slack bound must prevent overflow)");
+    for (std::size_t i = 0; i < lanes.size(); ++i)
+        rs.calendar.set(lanes[i], lane_edges[i]);
+}
+
+void
+ContestSystem::runWindowed(RunState &rs, unsigned jobs)
+{
+    buildWindowIndexes();
+    // Worker threads come from the process-wide lease shared with
+    // the suite-level pool; whatever is granted — possibly nothing,
+    // the group then runs every lane inline — the schedule and the
+    // results are identical, only wall-clock changes.
+    const unsigned lanes_wanted = std::min(
+        jobs, static_cast<unsigned>(cores.size()));
+    const unsigned granted = acquireContestWorkers(lanes_wanted - 1);
+    {
+        ContestWorkerGroup group(granted);
+        while (!rs.finished)
+            if (!executeWindow(rs, group))
+                seqStep(rs);
+    }
+    releaseContestWorkers(granted);
+}
+
+ContestResult
+ContestSystem::run(unsigned contest_jobs)
+{
+    const auto n = static_cast<CoreId>(cores.size());
 
     // The event calendar orders clock edges by (time, core id), so
     // ties go to the lower core id — the same deterministic choice
     // the old linear min-scan made (the paper's round-robin
     // handshake order).
-    TickCalendar calendar(n);
+    RunState rs(n);
+    rs.noSkip = simNoSkip();
+    rs.parksSeen = parkEvents;
+    rs.nextInterrupt = cfg.interruptPeriodPs;
     for (CoreId c = 0; c < n; ++c)
-        calendar.set(c, TimePs{});
+        rs.calendar.set(c, TimePs{});
 
-    // A skipping core's elided ticks happen "eagerly" when they are
-    // scheduled. If the core is parked mid-window (another core's
-    // broadcast overflows its FIFO), the elided ticks that would
-    // have ordered after the parking tick must be rewound; remember
-    // each core's latest window for that.
-    struct SkipRecord
-    {
-        TimePs tickedAt{};
-        Cycles scheduled{};
-    };
-    std::vector<SkipRecord> skipRec(n);
-    std::uint64_t parks_seen = parkEvents;
-
-    // Rewind the part of @p c's last skip window that would have
-    // ordered at or after the (time, id) edge (@p t, @p pick):
-    // elided tick i sat at rec.tickedAt + i*period and really
-    // elapsed iff its edge ordered before (t, pick).
-    auto rewindPastEdge = [&](CoreId c, TimePs t, CoreId pick) {
-        SkipRecord &rec = skipRec[c];
-        if (rec.scheduled == Cycles{})
-            return;
-        std::uint64_t step = cores[c]->periodPs().count();
-        std::uint64_t d = (t - rec.tickedAt).count();
-        std::uint64_t num_lt = d > 0 ? (d - 1) / step : 0;
-        std::uint64_t num_eq =
-            (c < pick && d > 0 && d % step == 0) ? 1 : 0;
-        std::uint64_t executed = num_lt + num_eq;
-        if (executed < rec.scheduled.count()) {
-            cores[c]->rewindIdleTicks(rec.scheduled
-                                      - Cycles{executed});
-            rec.scheduled = Cycles{executed};
-        }
-    };
-
-    TimePs finish_time{};
-    CoreId finisher = 0;
-    bool finished = false;
-    TimePs nextInterruptPs = cfg.interruptPeriodPs;
-
-    // Deadlock watchdog: simulated ticks (including fast-forwarded
-    // ones) since the retire frontier last advanced, so skipping
-    // can neither mask nor falsely trigger the panic.
-    InstSeq last_frontier{};
-    std::uint64_t stuck_ticks = 0;
-    const std::uint64_t stuck_limit = cfg.deadlockStuckTicks;
-
-    while (!finished) {
-        panic_if(calendar.empty(),
-                 "contest deadlock: every core is parked");
-        TimePs t = calendar.minTime();
-        CoreId pick = calendar.minCore();
-
-        if (cfg.interruptPeriodPs > TimePs{} && t >= nextInterruptPs) {
-            serviceInterrupt(nextInterruptPs, calendar);
-            nextInterruptPs += cfg.interruptPeriodPs;
-            continue; // re-pick with the updated tick times
-        }
-
-        cores[pick]->tick(t);
-
-        Cycles skipped{};
-        if (!no_skip && !cores[pick]->done()) {
-            Cycles max_skip = Cycles::max();
-            if (cfg.interruptPeriodPs > TimePs{}) {
-                // Every elided tick at t + i*period must precede
-                // the next interrupt edge; the first edge at or
-                // past it must be picked live so the service fires.
-                TimePs gap = nextInterruptPs - t;
-                max_skip = Cycles{
-                    (gap.count() - 1)
-                    / cores[pick]->periodPs().count()};
-            }
-            skipped = cores[pick]->skipIdleCycles(max_skip);
-        }
-        skipRec[pick] = SkipRecord{t, skipped};
-        calendar.set(pick,
-                     t + TimePs{cores[pick]->periodPs().count()
-                                * (skipped.count() + 1)});
-
-        if (cores[pick]->done()) {
-            finished = true;
-            finisher = pick;
-            finish_time = t + cores[pick]->periodPs();
-        }
-
-        if (parkEvents != parks_seen) {
-            // Someone parked during this tick (a broadcast from
-            // `pick` overflowed their FIFO). Drop them from the
-            // calendar and rewind any elided ticks that would have
-            // ordered after this tick's (t, pick) edge.
-            parks_seen = parkEvents;
-            for (CoreId c = 0; c < n; ++c) {
-                if (!units[c]->parked() || !calendar.contains(c))
-                    continue;
-                calendar.remove(c);
-                rewindPastEdge(c, t, pick);
-            }
-        }
-
-        if (frontier != last_frontier) {
-            last_frontier = frontier;
-            // Elided ticks follow the retiring tick, so they open
-            // the next stuck window.
-            stuck_ticks = skipped.count();
-        } else {
-            stuck_ticks += 1 + skipped.count();
-        }
-        if (!finished && stuck_ticks > stuck_limit)
-            panic("contest deadlock: no retirement in %llu ticks "
-                  "(frontier %llu of %zu)",
-                  static_cast<unsigned long long>(stuck_limit),
-                  static_cast<unsigned long long>(frontier),
-                  trace->size());
-
-        if (finished) {
-            // Per-cycle stepping stops every other core at its last
-            // edge before (t, finisher); drop the losers' eagerly
-            // elided ticks that would have ordered after it.
-            for (CoreId c = 0; c < n; ++c)
-                if (c != finisher)
-                    rewindPastEdge(c, t, finisher);
-        }
+    const unsigned jobs =
+        contest_jobs != 0 ? contest_jobs : contestJobs();
+    if (jobs > 1 && n > 1) {
+        runWindowed(rs, jobs);
+    } else {
+        while (!rs.finished)
+            seqStep(rs);
     }
+    return collectResult(rs);
+}
 
+ContestResult
+ContestSystem::collectResult(const RunState &rs)
+{
+    const auto n = static_cast<CoreId>(cores.size());
     ContestResult result;
-    result.timePs = finish_time;
-    result.ipt = instPerNs(trace->endSeq(), finish_time);
+    result.timePs = rs.finishTime;
+    result.ipt = instPerNs(trace->endSeq(), rs.finishTime);
     for (CoreId c = 0; c < n; ++c) {
         result.coreStats.push_back(cores[c]->stats());
         result.unitStats.push_back(units[c]->stats());
@@ -285,7 +571,7 @@ ContestSystem::run()
         // contesting mode.
         TimePs powered = units[c]->stats().saturated
             ? units[c]->stats().parkedAt
-            : finish_time;
+            : rs.finishTime;
         ActivityCounts activity = baseActivity(*cores[c]);
         activity.grbBroadcasts = units[c]->stats().broadcasts;
         activity.injections = cores[c]->stats().injected;
@@ -300,8 +586,8 @@ ContestSystem::run()
 
     inform("contest finished: core %u ('%s') first at %.1f ns, "
            "IPT %.3f, %llu lead changes",
-           finisher, configs[finisher].name.c_str(),
-           static_cast<double>(finish_time) / psPerNs, result.ipt,
+           rs.finisher, configs[rs.finisher].name.c_str(),
+           static_cast<double>(rs.finishTime) / psPerNs, result.ipt,
            static_cast<unsigned long long>(leadChanges));
     return result;
 }

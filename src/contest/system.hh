@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "contest/calendar.hh"
 #include "contest/config.hh"
 #include "contest/exception.hh"
@@ -88,8 +89,15 @@ class ContestSystem
      * core retires the final instruction. Statically mismatched
      * peak rates (Section 4.1.4) are reported through warn(); the
      * dynamic saturation detector parks offenders either way.
+     *
+     * @param contest_jobs worker-thread budget for intra-simulation
+     *        parallelism: 1 runs the classic sequential event loop;
+     *        >1 shards provably-inert windows of the timeline across
+     *        up to that many threads (bit-identical results — the
+     *        sequential loop is the validation oracle); 0 (default)
+     *        reads CONTEST_CONTEST_JOBS.
      */
-    ContestResult run();
+    ContestResult run(unsigned contest_jobs = 0);
 
     /** Access a core (valid after construction). */
     const OooCore &core(CoreId id) const { return *cores.at(id); }
@@ -112,6 +120,86 @@ class ContestSystem
     /** @} */
 
   private:
+    /**
+     * Mutable state of one run(): the event calendar, the eager-skip
+     * records, finish/interrupt/watchdog bookkeeping. Factored out
+     * of run() so the sequential oracle step and the windowed
+     * parallel scheduler advance the same state.
+     */
+    struct RunState
+    {
+        explicit RunState(std::size_t n) : calendar(n), skipRec(n) {}
+
+        TickCalendar calendar;
+
+        /** A skipping core's latest eagerly-elided window (see
+         *  rewindPastEdge). */
+        struct SkipRecord
+        {
+            TimePs tickedAt{};
+            Cycles scheduled{};
+        };
+        std::vector<SkipRecord> skipRec;
+
+        bool noSkip = false;
+        std::uint64_t parksSeen = 0;
+        TimePs nextInterrupt{};
+
+        TimePs finishTime{};
+        CoreId finisher = 0;
+        bool finished = false;
+
+        /** Deadlock watchdog (simulated ticks since the retire
+         *  frontier last advanced). */
+        InstSeq lastFrontier{};
+        std::uint64_t stuckTicks = 0;
+    };
+
+    /** One step of the sequential event loop: service a due
+     *  interrupt or tick the earliest core, then do the park /
+     *  finish / watchdog bookkeeping. The validation oracle for the
+     *  windowed scheduler. */
+    void seqStep(RunState &rs);
+
+    /** Drive @p rs to completion with up to @p jobs-way windowed
+     *  parallelism, falling back to seqStep for degenerate spans. */
+    void runWindowed(RunState &rs, unsigned jobs);
+
+    /**
+     * Upper bound W1 of a provably-inert window starting at the
+     * calendar's minimum: below W1 no core can finish, park, reach
+     * an exception or interrupt edge, stall on the store queue, or
+     * observe another core's in-window retirement other than as a
+     * deferred (late, discardable) result. W1 <= the minimum edge
+     * means no window exists (take a sequential step instead).
+     */
+    TimePs windowHorizon(const RunState &rs) const;
+
+    /** Run one window if windowHorizon allows: advance every core
+     *  with an edge below W1 on the worker group, then commit.
+     *  Returns false (doing nothing) for degenerate spans. */
+    bool executeWindow(RunState &rs, ContestWorkerGroup &group);
+
+    /** Replay the window's deferred events in (time, core-id) order
+     *  — the sequential tick order — and advance the calendar. */
+    void commitWindow(RunState &rs, const std::vector<CoreId> &lanes,
+                      const std::vector<TimePs> &lane_edges);
+
+    /** Rewind the part of @p c's last skip window ordering at or
+     *  after the (time @p t, core @p pick) edge. */
+    void rewindPastEdge(RunState &rs, CoreId c, TimePs t, CoreId pick);
+
+    /** Spend one simulated tick (plus its elided cycles) of deadlock
+     *  watchdog budget, resetting on retire-frontier progress. */
+    void noteTickForWatchdog(RunState &rs, Cycles skipped);
+
+    /** Assemble the ContestResult once rs.finished. */
+    ContestResult collectResult(const RunState &rs);
+
+    /** Build the trace-position indexes the window bound needs
+     *  (first syscall / n-th store at or after a position). */
+    void buildWindowIndexes();
+
     std::vector<CoreConfig> configs;
     TracePtr trace;
     ContestConfig cfg;
@@ -143,6 +231,15 @@ class ContestSystem
      *  to detect a park that happened inside the current tick (the
      *  parked core's in-flight skip window must be rewound). */
     std::uint64_t parkEvents = 0;
+
+    /** @name Windowed-execution trace indexes (lazily built) */
+    /** @{ */
+    /** Stream positions of syscall instructions, ascending. */
+    std::vector<InstSeq> syscallSeqs;
+    /** Stream positions of store instructions, ascending. */
+    std::vector<InstSeq> storeSeqs;
+    bool windowIndexesBuilt = false;
+    /** @} */
 };
 
 /**

@@ -35,6 +35,7 @@ CoreContestUnit::onFetch(InstSeq seq, TimePs now)
     FetchOutcome out;
     if (stats_.saturated)
         return out;
+    noteWindowOp(seq, now);
 
     for (std::size_t c = 0; c < fifos.size(); ++c) {
         if (c == self)
@@ -58,9 +59,9 @@ CoreContestUnit::onFetch(InstSeq seq, TimePs now)
 std::optional<TimePs>
 CoreContestUnit::externalBranchResolve(InstSeq seq, TimePs now)
 {
-    (void)now;
     if (stats_.saturated || !cfg.earlyBranchResolve)
         return std::nullopt;
+    noteWindowOp(seq, now);
 
     std::optional<TimePs> best;
     std::optional<CoreId> best_src;
@@ -114,6 +115,20 @@ CoreContestUnit::onRetire(InstSeq seq, const TraceInst &inst,
                           TimePs now)
 {
     (void)inst;
+    if (inWindow) {
+        // Deferred: the lead-frontier update and the GRB broadcast
+        // are replayed by the commit phase in (time, core-id) order.
+        // A window never parks a core, so the unit is live here.
+        panic_if(stats_.saturated,
+                 "core %u retired while parked inside a window", self);
+        ++stats_.broadcasts;
+        winEvents.push_back(
+            WindowEvent{WindowEvent::Kind::Retire, seq, 0});
+        return;
+    }
+    // Sequential path: the system applies this immediately, in the
+    // very tick order the calendar just decided.
+    // contest-lint: allow(cross-core-mutation)
     sys->noteRetire(self, seq);
     if (stats_.saturated)
         return;
@@ -124,7 +139,10 @@ CoreContestUnit::onRetire(InstSeq seq, const TraceInst &inst,
 bool
 CoreContestUnit::storeCanCommit(TimePs)
 {
-    if (stats_.saturated)
+    // The window bound stops short of the first store the queue
+    // could refuse, so inside a window the answer is always yes —
+    // exactly what the sequential schedule would have answered.
+    if (inWindow || stats_.saturated)
         return true;
     return sys->storeQueue().canAccept(self);
 }
@@ -132,14 +150,25 @@ CoreContestUnit::storeCanCommit(TimePs)
 void
 CoreContestUnit::onStoreCommit(Addr addr, TimePs)
 {
+    if (inWindow) {
+        winEvents.push_back(
+            WindowEvent{WindowEvent::Kind::Store, InstSeq{}, addr});
+        return;
+    }
     if (stats_.saturated)
         return;
+    // Sequential path, ordered by the calendar like noteRetire above.
+    // contest-lint: allow(cross-core-mutation)
     sys->storeQueue().performStore(self, addr);
 }
 
 std::optional<TimePs>
 CoreContestUnit::onSyscall(InstSeq seq, TimePs now)
 {
+    panic_if(inWindow,
+             "core %u reached syscall %llu inside a window (the "
+             "window bound must stop short of exceptions)",
+             self, static_cast<unsigned long long>(seq));
     if (stats_.saturated)
         return now;
     return sys->exceptions().arrive(self, seq, now);
@@ -149,6 +178,10 @@ void
 CoreContestUnit::receiveResult(CoreId src, InstSeq seq,
                                TimePs arrival)
 {
+    panic_if(inWindow,
+             "core %u received a live broadcast inside a window "
+             "(broadcasts must be deferred to the commit phase)",
+             self);
     if (stats_.saturated)
         return;
     panic_if(src == self, "core %u received its own result", self);
@@ -179,6 +212,72 @@ CoreContestUnit::receiveResult(CoreId src, InstSeq seq,
         ++stats_.discarded;
         bool pushed = fifos[src].push(seq, arrival);
         panic_if(!pushed, "ResultFifo refill failed after drop");
+    }
+}
+
+void
+CoreContestUnit::beginWindow(TimePs horizon)
+{
+    (void)horizon;
+    inWindow = true;
+    winEvents.clear();
+    winTicks.clear();
+    lastOpValid = false;
+}
+
+void
+CoreContestUnit::endWindow()
+{
+    inWindow = false;
+}
+
+void
+CoreContestUnit::noteWindowOp(InstSeq seq, TimePs now)
+{
+    if (!inWindow)
+        return;
+    lastOpValid = true;
+    lastOpAt = now;
+    lastOpArg = seq;
+}
+
+void
+CoreContestUnit::recordTick(TimePs at, Cycles skipped)
+{
+    winTicks.push_back(WindowTick{
+        at, skipped, static_cast<std::uint32_t>(winEvents.size())});
+}
+
+void
+CoreContestUnit::commitDeferredResult(CoreId src, InstSeq seq,
+                                      TimePs arrival, TimePs push_at)
+{
+    panic_if(stats_.saturated,
+             "deferred result delivered to parked core %u", self);
+    panic_if(src == self, "core %u received its own result", self);
+
+    bool pushed = fifos[src].push(seq, arrival);
+    panic_if(!pushed,
+             "window commit overflowed FIFO %u->%u (the window "
+             "bound must keep pushes within the free slack)",
+             src, self);
+
+    // Scenario #1 replay: an own FIFO operation that ordered after
+    // the push edge (time, then core id) would have popped and
+    // discarded this entry in the sequential schedule — its argument
+    // is provably above every in-window push (the "late" regime of
+    // the pair bound). Ops that ordered before the push leave it
+    // buffered, exactly as live pushing would have.
+    bool op_after = lastOpValid
+        && (push_at < lastOpAt
+            || (push_at == lastOpAt && src < self));
+    if (op_after && seq < lastOpArg) {
+        panic_if(fifos[src].headSeq() != seq,
+                 "window commit: deferred discard of %llu is not at "
+                 "the FIFO head",
+                 static_cast<unsigned long long>(seq));
+        fifos[src].pop();
+        ++stats_.discarded;
     }
 }
 

@@ -40,7 +40,7 @@ struct UnitStats
 };
 
 /** ContestHooks implementation backing one core. */
-class CoreContestUnit : public ContestHooks
+class CoreContestUnit : public ContestHooks, public WindowPhased
 {
   public:
     /**
@@ -66,6 +66,65 @@ class CoreContestUnit : public ContestHooks
     std::optional<TimePs> onSyscall(InstSeq seq, TimePs now) override;
     bool parked() const override { return stats_.saturated; }
     /** @} */
+
+    /** @name WindowPhased (parallel windowed execution)
+     *
+     * Between beginWindow() and endWindow() the unit defers every
+     * cross-core side effect: onRetire records a WindowEvent instead
+     * of broadcasting, onStoreCommit records instead of performing,
+     * and storeCanCommit answers true outright (the window bound
+     * guarantees the store queue would have accepted). The unit also
+     * remembers the (time, arg) of its latest own FIFO operation so
+     * the commit phase can replay Scenario #1 discards of results
+     * pushed "behind" it. onSyscall, receiveResult and parking are
+     * impossible inside a window by construction and panic.
+     */
+    /** @{ */
+    void beginWindow(TimePs horizon) override;
+    void endWindow() override;
+    /** @} */
+
+    /** One in-window tick of the owning core: its global time, the
+     *  idle cycles elided right after it, and the count of recorded
+     *  WindowEvents up to and including this tick. */
+    struct WindowTick
+    {
+        TimePs at{};
+        Cycles skipped{};
+        std::uint32_t evEnd = 0;
+    };
+
+    /** Record one executed tick (called by the window lane loop). */
+    void recordTick(TimePs at, Cycles skipped);
+
+    /** Cross-core events deferred in the last window, in tick order. */
+    const std::vector<WindowEvent> &windowEvents() const
+    {
+        return winEvents;
+    }
+
+    /** Ticks executed in the last window, in time order. */
+    const std::vector<WindowTick> &windowTicks() const
+    {
+        return winTicks;
+    }
+
+    /**
+     * Commit-phase delivery of one result core @p src retired inside
+     * the window at edge (@p push_at, src). If an own FIFO operation
+     * of this core ordered after that edge with a larger stream
+     * position, the sequential schedule would have popped and
+     * discarded the entry (Scenario #1) — replay that here.
+     */
+    void commitDeferredResult(CoreId src, InstSeq seq, TimePs arrival,
+                              TimePs push_at);
+
+    /** Buffered (including in-flight) entries from @p src; the
+     *  window bound keeps a sender's pushes within this slack. */
+    std::size_t fifoDepth(CoreId src) const
+    {
+        return fifos[src].size();
+    }
 
     /**
      * A result from core @p src arrives on this core's incoming GRB
@@ -93,6 +152,9 @@ class CoreContestUnit : public ContestHooks
   private:
     void park(TimePs now);
 
+    /** Remember an own FIFO operation (in-window only). */
+    void noteWindowOp(InstSeq seq, TimePs now);
+
     CoreId self;
     const ContestConfig &cfg;
     ContestSystem *sys;
@@ -108,6 +170,21 @@ class CoreContestUnit : public ContestHooks
      *  core never saw. */
     std::optional<CoreId> earlyResolveSrc;
     InstSeq earlyResolveSeq{};
+
+    /** @name Window-deferred state (valid while inWindow and, for
+     *  the logs, until the next beginWindow) */
+    /** @{ */
+    bool inWindow = false;
+    std::vector<WindowEvent> winEvents;
+    std::vector<WindowTick> winTicks;
+    /** Latest own FIFO operation (onFetch / externalBranchResolve)
+     *  in the window: its global time and stream position. Hook args
+     *  never sink below their window-entry floor, so one record
+     *  decides every deferred Scenario #1 discard. */
+    bool lastOpValid = false;
+    TimePs lastOpAt{};
+    InstSeq lastOpArg{};
+    /** @} */
 };
 
 } // namespace contest

@@ -29,7 +29,17 @@ struct FetchOutcome
     bool injected = false;
 };
 
-/** Per-core contesting hooks; all methods are called in core order. */
+/**
+ * Per-core contesting hooks; all methods are called in core order.
+ *
+ * Sequencing contract (the windowed parallel scheduler depends on
+ * it): within one tick the core calls hooks with stream positions
+ * that never exceed nextFetchSeq() + width - 1, the fetch counter
+ * advances by at most width per tick, and retirement advances by at
+ * most width per tick. These reach bounds are what lets the
+ * contest system prove a span of ticks free of cross-core
+ * interaction and execute it on concurrent workers.
+ */
 class ContestHooks
 {
   public:
@@ -90,6 +100,53 @@ class ContestHooks
      * synchronizing store queue.
      */
     virtual bool parked() const = 0;
+};
+
+/**
+ * One cross-core side effect deferred inside an execution window:
+ * a retirement (GRB broadcast + lead-frontier update) or a store
+ * commit (synchronizing store queue). Recorded thread-locally while
+ * cores advance concurrently, then replayed in deterministic
+ * (time, core-id) order by the window-commit phase.
+ */
+struct WindowEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Retire, //!< onRetire: broadcast seq on the GRB
+        Store,  //!< onStoreCommit: perform addr on the store queue
+    };
+
+    Kind kind = Kind::Retire;
+    InstSeq seq{}; //!< stream position (Retire)
+    Addr addr = 0; //!< effective address (Store)
+};
+
+/**
+ * The per-window execution phases of the parallel contest scheduler.
+ *
+ * A window is a span of global time [W0, W1) proved free of
+ * cross-core interaction. Between beginWindow() and endWindow() a
+ * hook implementation must touch only state owned by its own core —
+ * cross-core effects (broadcasts, lead-frontier updates, store-queue
+ * traffic) are recorded as WindowEvents instead of applied. The
+ * owner then replays all cores' events in (time, core-id) order —
+ * exactly the sequential event loop's tick order — which makes the
+ * parallel schedule bit-identical to the sequential one.
+ */
+class WindowPhased
+{
+  public:
+    virtual ~WindowPhased() = default;
+
+    /** Enter deferred mode: cross-core effects are recorded, not
+     *  applied, until endWindow(). @p horizon is the window's
+     *  exclusive upper time bound W1 (for assertions/telemetry). */
+    virtual void beginWindow(TimePs horizon) = 0;
+
+    /** Leave deferred mode. The recorded events stay available to
+     *  the owner's commit phase until the next beginWindow(). */
+    virtual void endWindow() = 0;
 };
 
 } // namespace contest

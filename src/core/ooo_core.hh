@@ -147,6 +147,22 @@ class OooCore
      *  paper's (checkpoint-corrected) fetch counter. */
     InstSeq nextFetchSeq() const { return fetchSeq; }
 
+    /**
+     * Lower bound on the stream position of the next contesting-hook
+     * argument this core can produce: the stalled branch being
+     * polled through externalBranchResolve, or the fetch counter.
+     * Hook arguments are nondecreasing over time, so everything the
+     * core asks its FIFOs about from now on is at or above this —
+     * the windowed parallel scheduler uses it to prove that another
+     * core's in-window broadcasts stay strictly late (pure Scenario
+     * #1 discards) for the whole window.
+     */
+    InstSeq
+    hookArgFloor() const
+    {
+        return stalledBranch ? *stalledBranch : fetchSeq;
+    }
+
     /** Core cycles elapsed. */
     Cycles cycle() const { return curCycle; }
 

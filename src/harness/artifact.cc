@@ -342,6 +342,14 @@ FigureArtifact::fromJson(const JsonValue &v, std::string *error)
 bool
 ArtifactTolerance::close(double golden, double candidate) const
 {
+    // Non-finite values never pass the gate. NaN compares unordered,
+    // so `diff <= bound` is false-shaped by accident — but an
+    // *infinite* golden makes rtol * |golden| infinite and the bound
+    // swallows every finite candidate, and +Inf == +Inf passes the
+    // equality fast path. A non-finite measurement is a regression
+    // in itself; fail it hard instead of reasoning about tolerances.
+    if (!std::isfinite(golden) || !std::isfinite(candidate))
+        return false;
     if (golden == candidate)
         return true;
     double diff = std::fabs(golden - candidate);

@@ -130,7 +130,10 @@ struct ArtifactTolerance
     double rtol = 1e-6;
     double atol = 1e-9;
 
-    /** Do two measurements agree under this policy? */
+    /** Do two measurements agree under this policy? Any non-finite
+     *  value (NaN or ±Inf) on either side is a hard failure: an
+     *  infinite golden would otherwise make the rtol bound infinite
+     *  and wave every candidate through. */
     bool close(double golden, double candidate) const;
 };
 

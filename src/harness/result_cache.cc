@@ -1,5 +1,6 @@
 #include "harness/result_cache.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -16,6 +17,48 @@ namespace contest
 
 namespace
 {
+
+/**
+ * Publish @p payload at @p final_path atomically: write to a
+ * uniquely named temp file in the same directory, verify every byte
+ * reached the filesystem (the final flush at close() is where a full
+ * disk surfaces), then rename into place. The temp name includes a
+ * process-wide counter besides the pid so two pool threads storing
+ * the same key never interleave writes into one temp file.
+ */
+bool
+writeEntryAtomic(const std::string &final_path,
+                 const std::string &payload)
+{
+    static std::atomic<std::uint64_t> tmpSerial{0};
+    const std::string tmp_path =
+        final_path + ".tmp." + std::to_string(getpid()) + "."
+        + std::to_string(tmpSerial.fetch_add(1));
+    std::error_code ec;
+    {
+        std::ofstream out(tmp_path, std::ios::binary);
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        out.flush();
+        // close() before checking: the destructor would swallow a
+        // failed final flush, renaming a truncated entry into place.
+        out.close();
+        if (out.fail()) {
+            warn("result cache: write to '%s' failed",
+                 tmp_path.c_str());
+            std::filesystem::remove(tmp_path, ec);
+            return false;
+        }
+    }
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+        warn("result cache: rename to '%s' failed: %s",
+             final_path.c_str(), ec.message().c_str());
+        std::filesystem::remove(tmp_path, ec);
+        return false;
+    }
+    return true;
+}
 
 void
 appendCacheGeom(std::ostringstream &os, const char *tag,
@@ -357,27 +400,8 @@ ResultCache::store(const std::string &key,
 
     // Write-then-rename so a concurrent reader (another process
     // sharing the cache directory) never sees a partial entry.
-    const std::string final_path = entryPath(key);
-    const std::string tmp_path =
-        final_path + ".tmp." + std::to_string(getpid());
-    {
-        std::ofstream out(tmp_path, std::ios::binary);
-        out.write(w.buf.data(),
-                  static_cast<std::streamsize>(w.buf.size()));
-        if (!out) {
-            warn("result cache: write to '%s' failed",
-                 tmp_path.c_str());
-            std::filesystem::remove(tmp_path, ec);
-            return;
-        }
-    }
-    std::filesystem::rename(tmp_path, final_path, ec);
-    if (ec) {
-        warn("result cache: rename to '%s' failed: %s",
-             final_path.c_str(), ec.message().c_str());
-        std::filesystem::remove(tmp_path, ec);
+    if (!writeEntryAtomic(entryPath(key), w.buf))
         return;
-    }
     ++storeCount;
 }
 
@@ -488,27 +512,8 @@ ResultCache::storeContest(const std::string &key,
              ec.message().c_str());
         return;
     }
-    const std::string final_path = entryPath(key);
-    const std::string tmp_path =
-        final_path + ".tmp." + std::to_string(getpid());
-    {
-        std::ofstream out(tmp_path, std::ios::binary);
-        out.write(w.buf.data(),
-                  static_cast<std::streamsize>(w.buf.size()));
-        if (!out) {
-            warn("result cache: write to '%s' failed",
-                 tmp_path.c_str());
-            std::filesystem::remove(tmp_path, ec);
-            return;
-        }
-    }
-    std::filesystem::rename(tmp_path, final_path, ec);
-    if (ec) {
-        warn("result cache: rename to '%s' failed: %s",
-             final_path.c_str(), ec.message().c_str());
-        std::filesystem::remove(tmp_path, ec);
+    if (!writeEntryAtomic(entryPath(key), w.buf))
         return;
-    }
     ++storeCount;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/env.hh"
 #include "common/log.hh"
 
 namespace contest
@@ -36,7 +37,7 @@ contestLabel(const std::string &bench,
 
 Runner::Runner(std::uint64_t trace_len, std::uint64_t seed,
                ThreadPool *pool)
-    : len(trace_len), seed_(seed),
+    : len(trace_len), seed_(seed), contestJobs_(contestJobs()),
       pool_(pool != nullptr ? pool : &ThreadPool::global())
 {
     fatal_if(trace_len < RegionLog::regionInsts,
@@ -156,7 +157,7 @@ Runner::contested(const std::string &bench,
         }
 
         ContestSystem sys(cores, trace(bench, use_len), config);
-        entry->result = sys.run();
+        entry->result = sys.run(contestJobs_);
         ++contestsDone;
 
         if (disk != nullptr)

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "harness/artifact.hh"
@@ -139,6 +140,36 @@ TEST(ArtifactDiff, IgnoresInformationalFields)
     cand.meta.git = "fff999-dirty";
     cand.notes[0] = "different wall clock text";
     EXPECT_TRUE(diffArtifacts(golden, cand).empty());
+}
+
+TEST(ArtifactDiff, NonFiniteValuesFailHard)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    // An infinite golden would otherwise make rtol * |golden|
+    // infinite and accept every finite candidate.
+    FigureArtifact golden = sampleArtifact();
+    FigureArtifact cand = sampleArtifact();
+    golden.scalars[0].second = inf;
+    EXPECT_FALSE(diffArtifacts(golden, cand, {0.05, 0.0}).empty());
+
+    // Inf == Inf passes the naive equality fast path; a non-finite
+    // measurement is a regression in itself, so it still fails.
+    cand.scalars[0].second = inf;
+    EXPECT_FALSE(diffArtifacts(golden, cand).empty());
+
+    // NaN on either side (or both) fails, even though NaN != NaN
+    // would also fail tolerance "by accident" — the point is the
+    // diff must report it, not silently compare unordered.
+    FigureArtifact nan_cand = sampleArtifact();
+    nan_cand.tables[0].rows[0][1].value = nan;
+    EXPECT_FALSE(diffArtifacts(sampleArtifact(), nan_cand).empty());
+    FigureArtifact nan_golden = sampleArtifact();
+    nan_golden.tables[0].rows[0][1].value = nan;
+    EXPECT_FALSE(diffArtifacts(nan_golden, nan_cand).empty());
+    EXPECT_FALSE(
+        diffArtifacts(nan_golden, sampleArtifact()).empty());
 }
 
 TEST(ArtifactDiff, WithinToleranceIsClean)

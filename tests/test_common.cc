@@ -346,5 +346,35 @@ TEST(Env, ReadsAndDefaults)
     ::unsetenv("CONTEST_TEST_ENV_FLAG");
 }
 
+TEST(Env, MalformedValuesWarnAndFallBack)
+{
+    // Every malformed shape strtoull would mis-handle silently must
+    // instead keep the caller's default: trailing garbage, negative
+    // values (which strtoull wraps to 2^64-1), non-numbers, values
+    // past 2^64-1 (which strtoull saturates), and pure whitespace.
+    const char *name = "CONTEST_TEST_ENV_BAD";
+    for (const char *bad :
+         {"4abc", "12 8", "-1", "-0", "abc", "0x10", "3.5",
+          "99999999999999999999", "  ", "+"}) {
+        ::setenv(name, bad, 1);
+        EXPECT_EQ(envU64(name, 7), 7u) << "value '" << bad << "'";
+    }
+
+    // Leading whitespace around a clean number is still accepted.
+    ::setenv(name, "  42", 1);
+    EXPECT_EQ(envU64(name, 7), 42u);
+
+    // The extremes of the valid range parse exactly.
+    ::setenv(name, "18446744073709551615", 1);
+    EXPECT_EQ(envU64(name, 7), 18446744073709551615ull);
+    ::setenv(name, "0", 1);
+    EXPECT_EQ(envU64(name, 7), 0u);
+
+    // envFlag shares the parser: garbage is "unset", not "truthy".
+    ::setenv(name, "yes", 1);
+    EXPECT_FALSE(envFlag(name));
+    ::unsetenv(name);
+}
+
 } // namespace
 } // namespace contest

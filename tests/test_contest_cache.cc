@@ -207,6 +207,42 @@ TEST_F(ContestCacheTest, RejectsTruncatedOrCorruptEntries)
     EXPECT_FALSE(cache.loadContest("key", r));
 }
 
+TEST_F(ContestCacheTest, OneByteTruncationDegradesToMiss)
+{
+    // The nastiest torn write loses only the final byte — the magic,
+    // version, and almost the whole payload still read back clean,
+    // so only end-to-end length/checksum validation catches it.
+    ResultCache cache(dir);
+    cache.storeContest("key", sampleResult());
+
+    std::string path = cache.entryPath("key");
+    auto size = fs::file_size(path);
+    ASSERT_GT(size, 1u);
+    fs::resize_file(path, size - 1);
+
+    ContestResult r;
+    EXPECT_FALSE(cache.loadContest("key", r));
+
+    // A rewrite repairs the entry in place.
+    cache.storeContest("key", sampleResult());
+    EXPECT_TRUE(cache.loadContest("key", r));
+}
+
+TEST_F(ContestCacheTest, StoresLeaveNoTempFilesBehind)
+{
+    // Entries are written to a side file and renamed into place so a
+    // concurrent reader never sees a half-written entry; a completed
+    // store must leave only final entries in the directory.
+    ResultCache cache(dir);
+    cache.store("single-key", SingleRunResult{}, {});
+    cache.storeContest("contest-key", sampleResult());
+
+    for (const auto &ent : fs::directory_iterator(dir)) {
+        const std::string name = ent.path().filename().string();
+        EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+    }
+}
+
 TEST_F(ContestCacheTest, SingleAndContestEntriesCannotCrossLoad)
 {
     // The two entry kinds carry distinct magics: even if a single-run

@@ -208,6 +208,63 @@ TEST(LintCoreContainer, FixtureContentTripsUnderCorePath)
               "core-container"));
 }
 
+TEST(LintCrossCoreMutation, FlagsQualifiedCallsOutsideSystemCc)
+{
+    const char *calls =
+        "units[d]->receiveResult(src, seq, arrival);\n"
+        "storeQ->performStore(c, addr);\n"
+        "sys->noteRetire(self, seq);\n"
+        "units[d]->commitDeferredResult(c, seq, at, pushed);\n";
+    const auto rules =
+        rulesIn(lintFile("src/contest/unit.cc", calls));
+    EXPECT_EQ(std::count(rules.begin(), rules.end(),
+                         std::string("cross-core-mutation")),
+              4);
+    EXPECT_TRUE(fired(lintFile("src/core/ooo_core.cc",
+                               "q.performStore(c, addr);\n"),
+                      "cross-core-mutation"));
+}
+
+TEST(LintCrossCoreMutation, SystemCcAndOtherLayersAreExempt)
+{
+    const char *call = "units[d]->receiveResult(src, seq, at);\n";
+    // system.cc owns the deterministic apply order.
+    EXPECT_TRUE(lintFile("src/contest/system.cc", call).empty());
+    // Outside the contest/core layers the rule does not apply
+    // (tests and the store queue's own implementation, e.g.).
+    EXPECT_TRUE(
+        lintFile("tests/test_contest.cc", call).empty());
+    EXPECT_TRUE(lintFile("src/mem/sync_store_queue.cc",
+                         "SyncStoreQueue::performStore(CoreId core, "
+                         "Addr addr)\n")
+                    .empty());
+}
+
+TEST(LintCrossCoreMutation, DeclarationsAndDefinitionsAreQuiet)
+{
+    // Bare and class-qualified spellings are declarations or
+    // definitions, not member calls.
+    EXPECT_TRUE(lintFile("src/contest/unit.cc",
+                         "void\n"
+                         "CoreContestUnit::receiveResult(CoreId src, "
+                         "InstSeq seq, TimePs arrival)\n"
+                         "{\n}\n")
+                    .empty());
+    EXPECT_TRUE(
+        lintFile("src/contest/unit.cc",
+                 "    void noteRetire(CoreId core, InstSeq seq);\n")
+            .empty());
+}
+
+TEST(LintCrossCoreMutation, AllowCommentSuppresses)
+{
+    EXPECT_TRUE(
+        lintFile("src/contest/unit.cc",
+                 "// contest-lint: allow(cross-core-mutation)\n"
+                 "sys->noteRetire(self, seq);\n")
+            .empty());
+}
+
 TEST(LintPanicMessage, RequiresInvariantNamingMessage)
 {
     EXPECT_TRUE(fired(

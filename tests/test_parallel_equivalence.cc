@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Windowed parallel contesting must be invisible: every run with
+ * CONTEST_CONTEST_JOBS > 1 has to produce results bit-identical to
+ * the sequential event loop (the validation oracle) — timings, every
+ * pipeline counter, pairing/discard/broadcast counts, energy
+ * numbers, lead fractions. A seed sweep over 2-way and 3-way
+ * contests (including a parking pair, an interrupt-driven refork
+ * config, and both skip modes) pins that equivalence down.
+ *
+ * The windowed scheduler activates whenever contest jobs > 1 even if
+ * no worker threads are granted (lanes then run inline), so this
+ * test exercises the full window/commit algorithm on any machine;
+ * the CI thread-sanitizer job additionally runs it with real worker
+ * threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "contest/system.hh"
+#include "core/palette.hh"
+#include "trace/generator.hh"
+
+namespace contest
+{
+namespace
+{
+
+/** Run @p fn with CONTEST_CONTEST_JOBS set to @p jobs. */
+template <typename Fn>
+auto
+withContestJobs(unsigned jobs, Fn fn) -> decltype(fn())
+{
+    setenv("CONTEST_CONTEST_JOBS", std::to_string(jobs).c_str(), 1);
+    auto r = fn();
+    unsetenv("CONTEST_CONTEST_JOBS");
+    return r;
+}
+
+void
+expectSameStats(const CoreStats &a, const CoreStats &b,
+                const char *what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.retired, b.retired) << what;
+    EXPECT_EQ(a.injected, b.injected) << what;
+    EXPECT_EQ(a.condBranches, b.condBranches) << what;
+    EXPECT_EQ(a.mispredicts, b.mispredicts) << what;
+    EXPECT_EQ(a.earlyResolves, b.earlyResolves) << what;
+    EXPECT_EQ(a.btbMissRedirects, b.btbMissRedirects) << what;
+    EXPECT_EQ(a.syscalls, b.syscalls) << what;
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses) << what;
+    EXPECT_EQ(a.fetchStallBranch, b.fetchStallBranch) << what;
+    EXPECT_EQ(a.robFullStalls, b.robFullStalls) << what;
+    EXPECT_EQ(a.iqFullStalls, b.iqFullStalls) << what;
+    EXPECT_EQ(a.lsqFullStalls, b.lsqFullStalls) << what;
+    EXPECT_EQ(a.storeQueueStalls, b.storeQueueStalls) << what;
+    EXPECT_EQ(a.syscallStalls, b.syscallStalls) << what;
+}
+
+void
+expectSameContest(const ContestResult &a, const ContestResult &b,
+                  const char *what)
+{
+    EXPECT_EQ(a.timePs, b.timePs) << what;
+    EXPECT_EQ(a.ipt, b.ipt) << what;
+    EXPECT_EQ(a.leadChanges, b.leadChanges) << what;
+    EXPECT_EQ(a.mergedStores, b.mergedStores) << what;
+    EXPECT_EQ(a.exceptionsHandled, b.exceptionsHandled) << what;
+    EXPECT_EQ(a.interruptsHandled, b.interruptsHandled) << what;
+    ASSERT_EQ(a.coreStats.size(), b.coreStats.size()) << what;
+    for (std::size_t c = 0; c < a.coreStats.size(); ++c) {
+        expectSameStats(a.coreStats[c], b.coreStats[c], what);
+        EXPECT_EQ(a.leadFraction[c], b.leadFraction[c]) << what;
+        EXPECT_EQ(a.unitStats[c].paired, b.unitStats[c].paired)
+            << what;
+        EXPECT_EQ(a.unitStats[c].discarded, b.unitStats[c].discarded)
+            << what;
+        EXPECT_EQ(a.unitStats[c].broadcasts,
+                  b.unitStats[c].broadcasts)
+            << what;
+        EXPECT_EQ(a.unitStats[c].saturated, b.unitStats[c].saturated)
+            << what;
+        EXPECT_EQ(a.unitStats[c].parkedAt, b.unitStats[c].parkedAt)
+            << what;
+        // Bit-identical, not merely close: the energy model consumes
+        // only counters, and every counter must match exactly.
+        EXPECT_EQ(a.energy[c].staticNj, b.energy[c].staticNj) << what;
+        EXPECT_EQ(a.energy[c].pipelineNj, b.energy[c].pipelineNj)
+            << what;
+        EXPECT_EQ(a.energy[c].cacheNj, b.energy[c].cacheNj) << what;
+        EXPECT_EQ(a.energy[c].bpredNj, b.energy[c].bpredNj) << what;
+        EXPECT_EQ(a.energy[c].squashNj, b.energy[c].squashNj) << what;
+        EXPECT_EQ(a.energy[c].contestNj, b.energy[c].contestNj)
+            << what;
+    }
+}
+
+TEST(ParallelEquivalence, ContestSeedSweep)
+{
+    for (std::uint64_t seed : {2009ull, 7ull, 4242ull}) {
+        for (const char *bench : {"gcc", "twolf", "mcf"}) {
+            auto trace = makeBenchmarkTrace(bench, seed, 15000);
+            auto run = [&] {
+                ContestSystem sys({coreConfigByName("twolf"),
+                                   coreConfigByName("gzip")},
+                                  trace);
+                return sys.run();
+            };
+            auto seq = withContestJobs(1, run);
+            auto par = withContestJobs(4, run);
+            std::string what =
+                std::string(bench) + " seed " + std::to_string(seed);
+            expectSameContest(seq, par, what.c_str());
+        }
+    }
+}
+
+TEST(ParallelEquivalence, ExplicitJobsArgumentWins)
+{
+    // run(jobs) must override the environment — the Runner snapshots
+    // the knob once and passes it down explicitly.
+    auto trace = makeBenchmarkTrace("gcc", 2009, 15000);
+    auto run = [&](unsigned jobs) {
+        ContestSystem sys({coreConfigByName("twolf"),
+                           coreConfigByName("gzip")},
+                          trace);
+        return sys.run(jobs);
+    };
+    setenv("CONTEST_CONTEST_JOBS", "1", 1);
+    auto par = run(3);
+    unsetenv("CONTEST_CONTEST_JOBS");
+    auto seq = run(1);
+    expectSameContest(seq, par, "explicit jobs argument");
+}
+
+TEST(ParallelEquivalence, ParkingPair)
+{
+    // vortex+mcf on a tiny FIFO parks the lagger mid-run. Parking
+    // can only happen on the sequential fallback path (the window
+    // bound forbids in-window overflow); the fallback must land on
+    // the identical park point and rewind the same skip windows.
+    auto trace = makeBenchmarkTrace("crafty", 2009, 30000);
+    auto run = [&] {
+        ContestConfig cfg;
+        cfg.fifoCapacity = 64;
+        cfg.parkSaturatedLaggers = true;
+        ContestSystem sys({coreConfigByName("vortex"),
+                           coreConfigByName("mcf")},
+                          trace, cfg);
+        return sys.run();
+    };
+    auto seq = withContestJobs(1, run);
+    auto par = withContestJobs(4, run);
+    EXPECT_TRUE(par.unitStats[1].saturated);
+    expectSameContest(seq, par, "parking pair");
+}
+
+TEST(ParallelEquivalence, DropOldestPair)
+{
+    // With parking disabled, overflow drops the oldest buffered
+    // result inside receiveResult — also sequential-path-only.
+    auto trace = makeBenchmarkTrace("crafty", 7, 20000);
+    auto run = [&] {
+        ContestConfig cfg;
+        cfg.fifoCapacity = 64;
+        cfg.parkSaturatedLaggers = false;
+        ContestSystem sys({coreConfigByName("vortex"),
+                           coreConfigByName("mcf")},
+                          trace, cfg);
+        return sys.run();
+    };
+    auto seq = withContestJobs(1, run);
+    auto par = withContestJobs(4, run);
+    expectSameContest(seq, par, "drop-oldest pair");
+}
+
+TEST(ParallelEquivalence, InterruptRefork)
+{
+    // Windows must stop short of every interrupt edge so the
+    // terminate-and-refork service happens on the sequential path at
+    // the identical refork position.
+    auto trace = makeBenchmarkTrace("gcc", 2009, 20000);
+    auto run = [&] {
+        ContestConfig cfg;
+        cfg.interruptPeriodPs = TimePs{3'000'000};
+        ContestSystem sys({coreConfigByName("twolf"),
+                           coreConfigByName("gzip")},
+                          trace, cfg);
+        return sys.run();
+    };
+    auto seq = withContestJobs(1, run);
+    auto par = withContestJobs(4, run);
+    EXPECT_GT(par.interruptsHandled, 0u);
+    expectSameContest(seq, par, "interrupt refork");
+}
+
+TEST(ParallelEquivalence, ThreeWayContest)
+{
+    auto trace = makeBenchmarkTrace("parser", 7, 15000);
+    auto run = [&] {
+        ContestSystem sys({coreConfigByName("twolf"),
+                           coreConfigByName("gzip"),
+                           coreConfigByName("vpr")},
+                          trace);
+        return sys.run();
+    };
+    auto seq = withContestJobs(1, run);
+    auto par = withContestJobs(3, run);
+    expectSameContest(seq, par, "three-way");
+}
+
+TEST(ParallelEquivalence, NoSkipInteraction)
+{
+    // Windowed execution composes with per-cycle reference stepping
+    // (CONTEST_NO_SKIP=1): lanes then tick every cycle and the
+    // committed schedule must still match the sequential one.
+    auto trace = makeBenchmarkTrace("twolf", 2009, 15000);
+    auto run = [&] {
+        ContestSystem sys({coreConfigByName("twolf"),
+                           coreConfigByName("gzip")},
+                          trace);
+        return sys.run();
+    };
+    setenv("CONTEST_NO_SKIP", "1", 1);
+    auto seq = withContestJobs(1, run);
+    auto par = withContestJobs(4, run);
+    unsetenv("CONTEST_NO_SKIP");
+    expectSameContest(seq, par, "no-skip interaction");
+}
+
+TEST(ParallelEquivalence, WindowsActuallyUsed)
+{
+    // Cover both window regimes explicitly: a homogeneous pair whose
+    // cores stay neck-and-neck (the receiver "reach" bound governs)
+    // and a heterogeneous pair whose laggard trails far behind (the
+    // sender "late" bound and its deferred-discard replay govern).
+    for (const char *pair : {"twolf", "gzip"}) {
+        auto trace = makeBenchmarkTrace("gzip", 11, 15000);
+        auto run = [&] {
+            ContestSystem sys({coreConfigByName("twolf"),
+                               coreConfigByName(pair)},
+                              trace);
+            return sys.run();
+        };
+        auto seq = withContestJobs(1, run);
+        auto par = withContestJobs(2, run);
+        expectSameContest(seq, par, pair);
+    }
+}
+
+} // namespace
+} // namespace contest
