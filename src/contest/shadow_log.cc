@@ -1,0 +1,97 @@
+#include "contest/shadow_log.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+namespace
+{
+
+const char *
+className(ShadowClass cls)
+{
+    switch (cls) {
+      case ShadowClass::FifoState: return "fifo-state";
+      case ShadowClass::StoreQueue: return "store-queue";
+      case ShadowClass::LeadFrontier: return "lead-frontier";
+      case ShadowClass::ExceptionState: return "exception-state";
+    }
+    return "?";
+}
+
+thread_local CoreId tlShadowLane = kShadowGlobalOwner;
+
+} // namespace
+
+void
+shadowSetCurrentLane(CoreId lane)
+{
+    tlShadowLane = lane;
+}
+
+void
+shadowClearCurrentLane()
+{
+    tlShadowLane = kShadowGlobalOwner;
+}
+
+CoreId
+shadowCurrentLane()
+{
+    return tlShadowLane;
+}
+
+void
+ShadowAccessLog::beginWindow(unsigned num_lanes)
+{
+    panic_if(open_, "shadow log window opened while one is open");
+    perLane_.resize(num_lanes);
+    for (auto &v : perLane_)
+        v.clear();
+    open_ = true;
+    ++windows_;
+}
+
+void
+ShadowAccessLog::record(CoreId lane, CoreId owner, ShadowClass cls,
+                        bool write, const char *site)
+{
+    if (!open_ || lane >= perLane_.size())
+        return; // sequential phase, or not a lane thread
+    perLane_[lane].push_back(ShadowAccess{owner, cls, write, site});
+}
+
+void
+ShadowAccessLog::verifyAndClose()
+{
+    if (!open_)
+        return;
+    for (CoreId lane = 0; lane < perLane_.size(); ++lane) {
+        for (const ShadowAccess &a : perLane_[lane]) {
+            ++checked_;
+            if (!a.write)
+                continue;
+            char owner[32];
+            if (a.owner == kShadowGlobalOwner)
+                std::snprintf(owner, sizeof(owner), "all lanes");
+            else
+                std::snprintf(owner, sizeof(owner), "core %u",
+                              static_cast<unsigned>(a.owner));
+            panic_if(a.owner != lane,
+                     "window-phase violation: lane %u wrote %s state "
+                     "owned by %s in window %llu at %s; in-window "
+                     "mutations must be deferred to the commit phase",
+                     static_cast<unsigned>(lane), className(a.cls),
+                     owner,
+                     static_cast<unsigned long long>(windows_),
+                     a.site);
+        }
+    }
+    open_ = false;
+    ++verified_;
+}
+
+} // namespace contest

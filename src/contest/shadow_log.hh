@@ -1,0 +1,133 @@
+/**
+ * @file
+ * ShadowAccessLog — the dynamic half of the window-phase discipline
+ * analyzer (DESIGN.md §12).
+ *
+ * The static call-graph rule in contest_lint proves, up to its
+ * annotations, that nothing on the window tick path mutates shared
+ * contest state. This log re-verifies the annotated boundary at
+ * runtime: under CONTEST_CHECK_WINDOWS every shared contest-state
+ * access in CoreContestUnit / ContestSystem records a (lane, owner,
+ * address-class) tuple, and commitWindow checks — before replaying
+ * any deferred event — that no lane touched state it does not own.
+ *
+ * This is a purpose-built race detector, not a TSan substitute: the
+ * lanes are data-race-free by construction (each writes only its own
+ * vectors), so TSan structurally cannot see the hazard. The hazard
+ * is *semantic* — a mutation applied inside a window instead of the
+ * deterministic (time, core-id) commit order — and only shows up as
+ * a bit-level divergence thousands of windows later. The shadow log
+ * catches it at the exact window, lane, and call site.
+ *
+ * All hooks compile to nothing unless CONTEST_CHECK_WINDOWS is
+ * defined (the CMake option of the same name).
+ */
+
+#ifndef CONTEST_CONTEST_SHADOW_LOG_HH
+#define CONTEST_CONTEST_SHADOW_LOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace contest
+{
+
+/** Which shared contest structure an access touched. */
+enum class ShadowClass : std::uint8_t
+{
+    FifoState,      //!< a core's result-fifo set (GRB endpoint)
+    StoreQueue,     //!< the synchronizing store queue
+    LeadFrontier,   //!< the leader/frontier bookkeeping
+    ExceptionState, //!< the rendezvous exception coordinator
+};
+
+/** Owner sentinel: state shared by every lane (store queue,
+ *  frontier, exceptions) rather than owned by one core. */
+inline constexpr CoreId kShadowGlobalOwner = ~CoreId{0};
+
+/** One recorded access to shared contest state. */
+struct ShadowAccess
+{
+    CoreId owner = 0; //!< whose state (kShadowGlobalOwner = shared)
+    ShadowClass cls = ShadowClass::FifoState;
+    bool write = false;
+    const char *site = ""; //!< static string naming the call site
+};
+
+/**
+ * Per-window access log. Lanes append to disjoint per-lane vectors
+ * (race-free by construction); the coordinator thread opens the
+ * window, and commitWindow verifies and closes it on the same
+ * thread after the lanes have joined.
+ *
+ * The invariant verified per window: a lane may write only state it
+ * owns — owner == lane, never another core's, never the global
+ * classes. Reads of global state are legal (the window horizon
+ * froze it); writes are not.
+ */
+class ShadowAccessLog
+{
+  public:
+    /** Start a window; accesses record until verifyAndClose. */
+    void beginWindow(unsigned num_lanes);
+
+    /**
+     * Record one access on behalf of @p lane. No-op when no window
+     * is open or @p lane is not a lane thread (the coordinator's
+     * own sequential-phase accesses are exempt by construction).
+     */
+    void record(CoreId lane, CoreId owner, ShadowClass cls,
+                bool write, const char *site);
+
+    /**
+     * Panic (naming lane, window, and call site) on the first
+     * cross-lane write recorded in the open window, then close it.
+     * Quiet when no window is open, so sequential runs — which
+     * never open one — verify trivially.
+     */
+    void verifyAndClose();
+
+    /** Windows verified conflict-free so far. */
+    std::uint64_t windowsVerified() const { return verified_; }
+
+    /** Accesses checked across all verified windows. */
+    std::uint64_t accessesChecked() const { return checked_; }
+
+  private:
+    std::vector<std::vector<ShadowAccess>> perLane_;
+    bool open_ = false;
+    std::uint64_t windows_ = 0;
+    std::uint64_t verified_ = 0;
+    std::uint64_t checked_ = 0;
+};
+
+/** Bind the calling thread to @p lane for shadow recording. */
+void shadowSetCurrentLane(CoreId lane);
+
+/** Unbind the calling thread (coordinator / lane join). */
+void shadowClearCurrentLane();
+
+/** Lane bound to the calling thread, or kShadowGlobalOwner. */
+CoreId shadowCurrentLane();
+
+} // namespace contest
+
+/**
+ * Instrumentation hook: record an access to shared contest state on
+ * behalf of whatever lane the calling thread is bound to. Expands
+ * to nothing outside CONTEST_CHECK_WINDOWS builds, so the hot path
+ * pays zero cost in release and in the default debug build.
+ */
+#ifdef CONTEST_CHECK_WINDOWS
+#define CONTEST_SHADOW_RECORD(log, owner, cls, write, site)           \
+    (log).record(::contest::shadowCurrentLane(), (owner),             \
+                 ::contest::ShadowClass::cls, (write), (site))
+#else
+#define CONTEST_SHADOW_RECORD(log, owner, cls, write, site)           \
+    do {                                                              \
+    } while (false)
+#endif
+
+#endif // CONTEST_CONTEST_SHADOW_LOG_HH

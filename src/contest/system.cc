@@ -81,6 +81,8 @@ ContestSystem::broadcast(CoreId from, InstSeq seq, TimePs now)
     for (CoreId c = 0; c < units.size(); ++c) {
         if (c == from || units[c]->parked())
             continue;
+        CONTEST_SHADOW_RECORD(shadowLog_, c, FifoState, true,
+                              "ContestSystem::broadcast");
         units[c]->receiveResult(from, seq, now + cfg.grbLatencyPs);
     }
 }
@@ -99,6 +101,9 @@ ContestSystem::corePark(CoreId core, TimePs now)
 void
 ContestSystem::noteRetire(CoreId core, InstSeq seq)
 {
+    CONTEST_SHADOW_RECORD(shadowLog_, kShadowGlobalOwner,
+                          LeadFrontier, true,
+                          "ContestSystem::noteRetire");
     if (seq != frontier)
         return; // a lagger re-retiring an already-led instruction
     if (frontier > InstSeq{} && core != lastLeader)
@@ -400,6 +405,11 @@ ContestSystem::executeWindow(RunState &rs, ContestWorkerGroup &group)
         if (rs.calendar.timeOf(c) < w1)
             lanes.push_back(c);
     }
+#ifdef CONTEST_CHECK_WINDOWS
+    // Shadow-log lane slots are indexed by CoreId, so size to the
+    // full core count; lanes that run no ticks stay empty.
+    shadowLog_.beginWindow(n);
+#endif
 
     // Advance each lane independently to its first edge at or past
     // W1. Inside the window a core touches only its own state (the
@@ -408,6 +418,11 @@ ContestSystem::executeWindow(RunState &rs, ContestWorkerGroup &group)
     std::vector<TimePs> lane_edges(lanes.size());
     group.run(lanes.size(), [&](std::size_t i) {
         const CoreId c = lanes[i];
+#ifdef CONTEST_CHECK_WINDOWS
+        // Bind this worker thread to the lane for the duration of
+        // the lane's run; one thread may execute several lanes.
+        shadowSetCurrentLane(c);
+#endif
         OooCore &core = *cores[c];
         CoreContestUnit &u = *units[c];
         const std::uint64_t step = core.periodPs().count();
@@ -430,6 +445,9 @@ ContestSystem::executeWindow(RunState &rs, ContestWorkerGroup &group)
             edge += TimePs{step * (skipped.count() + 1)};
         }
         lane_edges[i] = edge;
+#ifdef CONTEST_CHECK_WINDOWS
+        shadowClearCurrentLane();
+#endif
     });
 
     commitWindow(rs, lanes, lane_edges);
@@ -445,6 +463,13 @@ ContestSystem::commitWindow(RunState &rs,
     for (CoreId c = 0; c < n; ++c)
         if (rs.calendar.contains(c))
             units[c]->endWindow();
+
+#ifdef CONTEST_CHECK_WINDOWS
+    // Verify the window before replaying anything: a cross-lane
+    // write recorded during the window is a discipline violation
+    // even if the replay below would happen to mask it.
+    shadowLog_.verifyAndClose();
+#endif
 
     // Merge the lanes' tick logs by (time, core id) — lanes are in
     // ascending core-id order, so taking the first strictly-smallest
@@ -524,6 +549,14 @@ ContestSystem::runWindowed(RunState &rs, unsigned jobs)
                 seqStep(rs);
     }
     releaseContestWorkers(granted);
+#ifdef CONTEST_CHECK_WINDOWS
+    inform("shadow access log: %llu window(s) verified, %llu "
+           "access(es) checked, zero cross-lane write conflicts",
+           static_cast<unsigned long long>(
+               shadowLog_.windowsVerified()),
+           static_cast<unsigned long long>(
+               shadowLog_.accessesChecked()));
+#endif
 }
 
 ContestResult

@@ -18,6 +18,7 @@
 #include "contest/calendar.hh"
 #include "contest/config.hh"
 #include "contest/exception.hh"
+#include "contest/shadow_log.hh"
 #include "contest/unit.hh"
 #include "core/ooo_core.hh"
 #include "core/stats.hh"
@@ -117,6 +118,9 @@ class ContestSystem
     ExceptionCoordinator &exceptions() { return *excCoord; }
     /** First core to retire each instruction (lead tracking). */
     void noteRetire(CoreId core, InstSeq seq);
+    /** The window-phase shadow access log (hooks are no-ops unless
+     *  the build defines CONTEST_CHECK_WINDOWS; DESIGN.md §12). */
+    ShadowAccessLog &shadowLog() { return shadowLog_; }
     /** @} */
 
   private:
@@ -208,6 +212,7 @@ class ContestSystem
     std::vector<std::unique_ptr<CoreContestUnit>> units;
     std::unique_ptr<SyncStoreQueue> storeQ;
     std::unique_ptr<ExceptionCoordinator> excCoord;
+    ShadowAccessLog shadowLog_;
 
     /** @name Lead tracking */
     /** @{ */

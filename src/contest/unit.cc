@@ -1,7 +1,21 @@
+// contest-lint: allow-file(window-phase)
+//
+// This file is the audited boundary between the window phase and the
+// sequential phase. Every cross-core call below (noteRetire,
+// performStore, broadcast, exceptions().arrive) sits behind an
+// `inWindow` guard that defers it into the per-lane winEvents log
+// instead, and the per-lane winEvents/winTicks vectors are own-lane
+// state by construction. The static analyzer therefore does not
+// traverse past this file; two dynamic checks re-verify the waiver
+// on every run: receiveResult/onSyscall panic if reached in-window,
+// and the CONTEST_CHECK_WINDOWS shadow access log proves zero
+// cross-lane writes at each window commit (DESIGN.md §12).
+
 #include "contest/unit.hh"
 
 #include <algorithm>
 
+#include "common/env.hh"
 #include "contest/system.hh"
 
 namespace contest
@@ -17,6 +31,9 @@ CoreContestUnit::CoreContestUnit(CoreId self_id,
     fifos.reserve(num_cores);
     for (unsigned c = 0; c < num_cores; ++c)
         fifos.emplace_back(cfg.fifoCapacity);
+#ifdef CONTEST_CHECK_WINDOWS
+    injectInWindowStores = envFlag("CONTEST_CHECK_WINDOWS_INJECT");
+#endif
 }
 
 InstSeq
@@ -36,6 +53,9 @@ CoreContestUnit::onFetch(InstSeq seq, TimePs now)
     if (stats_.saturated)
         return out;
     noteWindowOp(seq, now);
+    // Pops and discards below touch only this core's own FIFOs.
+    CONTEST_SHADOW_RECORD(sys->shadowLog(), self, FifoState, true,
+                          "CoreContestUnit::onFetch");
 
     for (std::size_t c = 0; c < fifos.size(); ++c) {
         if (c == self)
@@ -62,6 +82,8 @@ CoreContestUnit::externalBranchResolve(InstSeq seq, TimePs now)
     if (stats_.saturated || !cfg.earlyBranchResolve)
         return std::nullopt;
     noteWindowOp(seq, now);
+    CONTEST_SHADOW_RECORD(sys->shadowLog(), self, FifoState, true,
+                          "CoreContestUnit::externalBranchResolve");
 
     std::optional<TimePs> best;
     std::optional<CoreId> best_src;
@@ -105,6 +127,8 @@ CoreContestUnit::confirmEarlyResolve(InstSeq seq, TimePs now)
              "confirmEarlyResolve(%llu): source %u no longer holds "
              "the arrived branch",
              static_cast<unsigned long long>(seq), *earlyResolveSrc);
+    CONTEST_SHADOW_RECORD(sys->shadowLog(), self, FifoState, true,
+                          "CoreContestUnit::confirmEarlyResolve");
     fifo.pop();
     ++stats_.paired;
     earlyResolveSrc.reset();
@@ -128,7 +152,6 @@ CoreContestUnit::onRetire(InstSeq seq, const TraceInst &inst,
     }
     // Sequential path: the system applies this immediately, in the
     // very tick order the calendar just decided.
-    // contest-lint: allow(cross-core-mutation)
     sys->noteRetire(self, seq);
     if (stats_.saturated)
         return;
@@ -142,6 +165,11 @@ CoreContestUnit::storeCanCommit(TimePs)
     // The window bound stops short of the first store the queue
     // could refuse, so inside a window the answer is always yes —
     // exactly what the sequential schedule would have answered.
+    // (Reading frozen shared state in-window is legal; record it so
+    // the shadow log exercises its read path on clean runs.)
+    CONTEST_SHADOW_RECORD(sys->shadowLog(), kShadowGlobalOwner,
+                          StoreQueue, false,
+                          "CoreContestUnit::storeCanCommit");
     if (inWindow || stats_.saturated)
         return true;
     return sys->storeQueue().canAccept(self);
@@ -150,7 +178,7 @@ CoreContestUnit::storeCanCommit(TimePs)
 void
 CoreContestUnit::onStoreCommit(Addr addr, TimePs)
 {
-    if (inWindow) {
+    if (inWindow && !injectInWindowStores) {
         winEvents.push_back(
             WindowEvent{WindowEvent::Kind::Store, InstSeq{}, addr});
         return;
@@ -158,7 +186,9 @@ CoreContestUnit::onStoreCommit(Addr addr, TimePs)
     if (stats_.saturated)
         return;
     // Sequential path, ordered by the calendar like noteRetire above.
-    // contest-lint: allow(cross-core-mutation)
+    CONTEST_SHADOW_RECORD(sys->shadowLog(), kShadowGlobalOwner,
+                          StoreQueue, true,
+                          "CoreContestUnit::onStoreCommit");
     sys->storeQueue().performStore(self, addr);
 }
 
@@ -171,6 +201,9 @@ CoreContestUnit::onSyscall(InstSeq seq, TimePs now)
              self, static_cast<unsigned long long>(seq));
     if (stats_.saturated)
         return now;
+    CONTEST_SHADOW_RECORD(sys->shadowLog(), kShadowGlobalOwner,
+                          ExceptionState, true,
+                          "CoreContestUnit::onSyscall");
     return sys->exceptions().arrive(self, seq, now);
 }
 
@@ -185,6 +218,8 @@ CoreContestUnit::receiveResult(CoreId src, InstSeq seq,
     if (stats_.saturated)
         return;
     panic_if(src == self, "core %u received its own result", self);
+    CONTEST_SHADOW_RECORD(sys->shadowLog(), self, FifoState, true,
+                          "CoreContestUnit::receiveResult");
     if (fifos[src].push(seq, arrival))
         return;
 
@@ -256,6 +291,8 @@ CoreContestUnit::commitDeferredResult(CoreId src, InstSeq seq,
              "deferred result delivered to parked core %u", self);
     panic_if(src == self, "core %u received its own result", self);
 
+    CONTEST_SHADOW_RECORD(sys->shadowLog(), self, FifoState, true,
+                          "CoreContestUnit::commitDeferredResult");
     bool pushed = fifos[src].push(seq, arrival);
     panic_if(!pushed,
              "window commit overflowed FIFO %u->%u (the window "

@@ -158,6 +158,14 @@ class CoreContestUnit : public ContestHooks, public WindowPhased
     CoreId self;
     const ContestConfig &cfg;
     ContestSystem *sys;
+    /** Fault injection for the shadow checker's own death test:
+     *  when set (CONTEST_CHECK_WINDOWS builds reading the
+     *  CONTEST_CHECK_WINDOWS_INJECT env knob in the constructor —
+     *  a member, not a function-local static, so gtest death tests
+     *  see it in the forked child), onStoreCommit skips the
+     *  in-window deferral and performs the store live, which the
+     *  shadow log must report as a cross-lane write. */
+    bool injectInWindowStores = false;
     const OooCore *core = nullptr;
     /** Incoming FIFOs indexed by source core id (self unused). */
     std::vector<ResultFifo> fifos;

@@ -34,6 +34,7 @@ OooCore::OooCore(const CoreConfig &core_config, TracePtr trace_ptr,
     timedReady.reserve(2 * cfg.iqSize);
     issueReady.reserve(2 * cfg.iqSize);
     deferScratch.reserve(cfg.iqSize);
+    staleIq.reserve(cfg.iqSize);
     completions.reserve(cfg.robSize + 4);
     loadReleases.reserve(cfg.lsqSize + 4);
     mshrReleases.reserve(cfg.mshrs + 4);
@@ -141,6 +142,9 @@ void
 OooCore::markIqStale(RobEntry &entry)
 {
     IssueReady rec{entry.seq, entry.iqSlot};
+    // Bounded by live IQ slots and reserve()d to cfg.iqSize at
+    // construction, so the sorted insert never reallocates.
+    // contest-lint: allow(window-phase)
     staleIq.insert(
         std::upper_bound(staleIq.begin(), staleIq.end(), rec),
         rec);
@@ -314,6 +318,9 @@ OooCore::doCommit(TimePs now)
         if (hooks != nullptr)
             hooks->onRetire(seq, inst, now);
         if (retireCb)
+            // Region-log callback; only the single-core harness
+            // attaches one, contested cores leave it empty.
+            // contest-lint: allow(unknown-call)
             retireCb(seq, now);
 
         rob.pop_front();
@@ -382,6 +389,8 @@ OooCore::doIssue(TimePs)
 
         bool is_mem = inst.isMem() && !sl.injected;
         if (is_mem && mem_issued >= cfg.l1dPorts) {
+            // reserve()d to cfg.iqSize; holds at most the ready
+            // records drained this tick. contest-lint: allow(window-phase)
             deferScratch.push_back(rec);
             continue;
         }
@@ -394,6 +403,8 @@ OooCore::doIssue(TimePs)
         } else if (inst.op == OpClass::Load) {
             bool l1_hit = hier.l1().probe(inst.addr);
             if (!l1_hit && mshrReleases.size() >= cfg.mshrs) {
+                // Same reserve()d scratch as above.
+                // contest-lint: allow(window-phase)
                 deferScratch.push_back(rec);
                 continue; // no MSHR for the miss
             }
@@ -544,6 +555,8 @@ OooCore::doDispatch(TimePs)
         if (inst.producesValue())
             renameMap[inst.dst] = RenameRef{fe.seq, true};
 
+        // Fixed-capacity RingBuffer; overflow panics before it
+        // could ever allocate. contest-lint: allow(window-phase)
         rob.push_back(re);
         fetchQueue.pop_front();
         ++dispatched;
@@ -661,6 +674,8 @@ OooCore::doFetch(TimePs now)
             stalledSyscall = true;
         }
 
+        // Fixed-capacity RingBuffer (see rob.push_back above).
+        // contest-lint: allow(window-phase)
         fetchQueue.push_back(
             FetchEntry{fetchSeq, curCycle + cfg.frontEndDepth,
                        out.injected});

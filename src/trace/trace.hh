@@ -60,7 +60,10 @@ class Trace
         phases.reserve(n);
     }
 
-    /** Append one instruction produced by the given phase id. */
+    /** Append one instruction produced by the given phase id.
+     *  Trace construction happens before any simulation; the call
+     *  graph reaches this only through the bare-name collision with
+     *  MinHeap::push. contest-lint: window-safe */
     void
     push(const TraceInst &inst, std::uint8_t phase_id)
     {

@@ -1,0 +1,18 @@
+// Call-graph fixture: file-level waiver.
+// contest-lint: allow-file(window-phase)
+
+struct WaivedSystem
+{
+    void noteRetire(unsigned core, unsigned long seq);
+};
+
+struct WaivedCore
+{
+    WaivedSystem *sys = nullptr;
+
+    void
+    laneTick()
+    {
+        sys->noteRetire(2, 11);
+    }
+};

@@ -1,0 +1,18 @@
+// Call-graph fixture: same shape as allow_file.cc but WITHOUT the
+// waiver — proves a file-level allow does not leak across files.
+
+struct LeakSystem
+{
+    void noteRetire(unsigned core, unsigned long seq);
+};
+
+struct LeakCore
+{
+    LeakSystem *sys = nullptr;
+
+    void
+    laneTick()
+    {
+        sys->noteRetire(3, 13);
+    }
+};

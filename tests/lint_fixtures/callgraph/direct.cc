@@ -1,0 +1,18 @@
+// Call-graph fixture: a window entry point calling a cross-core
+// mutator directly (one hop). Seed: MiniCore::laneTick.
+
+struct StoreQueue
+{
+    void performStore(unsigned core, unsigned long addr);
+};
+
+struct MiniCore
+{
+    StoreQueue *q = nullptr;
+
+    void
+    laneTick()
+    {
+        q->performStore(0, 0x40);
+    }
+};

@@ -1,0 +1,30 @@
+// Call-graph fixture: CONTEST_WINDOW_SAFE marks an audited leaf the
+// analyzer must not enter, while an identical unmarked function is
+// still flagged. Seed: LeafCore::laneTick.
+
+#define CONTEST_WINDOW_SAFE
+
+struct LeafCore
+{
+    int *slot = nullptr;
+
+    void
+    laneTick()
+    {
+        scratch();
+        audited();
+    }
+
+    void
+    scratch()
+    {
+        slot = new int(7);
+    }
+
+    CONTEST_WINDOW_SAFE
+    void
+    audited()
+    {
+        slot = new int(9);
+    }
+};

@@ -1,0 +1,37 @@
+// Call-graph fixture: the mutator hides three frames below the
+// window entry point — exactly what the old one-hop regex missed.
+// Seed: DeepCore::laneTick.
+
+struct MiniSystem
+{
+    void noteRetire(unsigned core, unsigned long seq);
+};
+
+struct DeepCore
+{
+    MiniSystem *sys = nullptr;
+
+    void
+    laneTick()
+    {
+        stepIssue();
+    }
+
+    void
+    stepIssue()
+    {
+        stepCommit();
+    }
+
+    void
+    stepCommit()
+    {
+        stepRetire();
+    }
+
+    void
+    stepRetire()
+    {
+        sys->noteRetire(1, 7);
+    }
+};

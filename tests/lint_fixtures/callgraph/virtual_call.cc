@@ -1,0 +1,21 @@
+// Call-graph fixture: a virtual call through an interface with no
+// in-tree implementation. Name-based resolution finds no definition,
+// so the analyzer must say so (unknown-call) instead of silently
+// blessing the path. Seed: VirtCore::laneTick.
+
+struct ResultSink
+{
+    virtual ~ResultSink() = default;
+    virtual void deliver(unsigned long seq) = 0;
+};
+
+struct VirtCore
+{
+    ResultSink *sink = nullptr;
+
+    void
+    laneTick()
+    {
+        sink->deliver(9);
+    }
+};

@@ -1,10 +1,13 @@
 /**
  * @file
- * Tests for the contest_lint rule engine (tools/lint_core.hh): each
- * rule must fire on the canonical bad shape, stay quiet on the
- * idiomatic fix, and honor the allow-comment escape hatch. The
- * seeded fixture in tests/lint_fixtures/ is linted too, so the
- * binary's non-zero-on-fixture acceptance check can never rot.
+ * Tests for the contest_lint engines: the line rules
+ * (tools/lint_core.hh) and the window-phase call-graph analyzer
+ * (tools/lint_callgraph.hh). Each rule must fire on the canonical
+ * bad shape, stay quiet on the idiomatic fix, and honor the
+ * allow-comment escape hatches (line, file, and CONTEST_WINDOW_SAFE
+ * for the call-graph engine). The seeded fixtures in
+ * tests/lint_fixtures/ are linted too, so the binary's
+ * non-zero-on-fixture acceptance check can never rot.
  */
 
 #include <gtest/gtest.h>
@@ -13,6 +16,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "../tools/lint_callgraph.hh"
 #include "../tools/lint_core.hh"
 
 namespace contest::lint
@@ -208,61 +212,168 @@ TEST(LintCoreContainer, FixtureContentTripsUnderCorePath)
               "core-container"));
 }
 
-TEST(LintCrossCoreMutation, FlagsQualifiedCallsOutsideSystemCc)
+// ---- window-phase call-graph engine ----------------------------
+// (tools/lint_callgraph.hh; the transitive successor of the old
+// one-hop cross-core-mutation rule)
+
+std::string
+readFixture(const std::string &name)
 {
-    const char *calls =
-        "units[d]->receiveResult(src, seq, arrival);\n"
-        "storeQ->performStore(c, addr);\n"
-        "sys->noteRetire(self, seq);\n"
-        "units[d]->commitDeferredResult(c, seq, at, pushed);\n";
-    const auto rules =
-        rulesIn(lintFile("src/contest/unit.cc", calls));
-    EXPECT_EQ(std::count(rules.begin(), rules.end(),
-                         std::string("cross-core-mutation")),
-              4);
-    EXPECT_TRUE(fired(lintFile("src/core/ooo_core.cc",
-                               "q.performStore(c, addr);\n"),
-                      "cross-core-mutation"));
+    std::ifstream in(std::string(CONTEST_LINT_FIXTURE_DIR)
+                     + "/callgraph/" + name);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_FALSE(ss.str().empty())
+        << "missing callgraph fixture " << name;
+    return ss.str();
 }
 
-TEST(LintCrossCoreMutation, SystemCcAndOtherLayersAreExempt)
+std::vector<Violation>
+analyzeFixtures(const std::vector<std::string> &names,
+                const std::vector<std::string> &seeds)
 {
-    const char *call = "units[d]->receiveResult(src, seq, at);\n";
-    // system.cc owns the deterministic apply order.
-    EXPECT_TRUE(lintFile("src/contest/system.cc", call).empty());
-    // Outside the contest/core layers the rule does not apply
-    // (tests and the store queue's own implementation, e.g.).
-    EXPECT_TRUE(
-        lintFile("tests/test_contest.cc", call).empty());
-    EXPECT_TRUE(lintFile("src/mem/sync_store_queue.cc",
-                         "SyncStoreQueue::performStore(CoreId core, "
-                         "Addr addr)\n")
-                    .empty());
+    cg::CallGraphAnalyzer an;
+    for (const auto &n : names)
+        an.addFile("tests/lint_fixtures/callgraph/" + n,
+                   readFixture(n));
+    cg::AnalyzeOptions opts;
+    opts.seeds = seeds;
+    return an.analyze(opts);
 }
 
-TEST(LintCrossCoreMutation, DeclarationsAndDefinitionsAreQuiet)
+TEST(LintCallGraph, FlagsDirectMutatorCall)
 {
-    // Bare and class-qualified spellings are declarations or
-    // definitions, not member calls.
-    EXPECT_TRUE(lintFile("src/contest/unit.cc",
-                         "void\n"
-                         "CoreContestUnit::receiveResult(CoreId src, "
-                         "InstSeq seq, TimePs arrival)\n"
-                         "{\n}\n")
-                    .empty());
-    EXPECT_TRUE(
-        lintFile("src/contest/unit.cc",
-                 "    void noteRetire(CoreId core, InstSeq seq);\n")
-            .empty());
+    auto v = analyzeFixtures({"direct.cc"}, {"MiniCore::laneTick"});
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "window-phase");
+    EXPECT_NE(v[0].message.find("performStore"), std::string::npos);
 }
 
-TEST(LintCrossCoreMutation, AllowCommentSuppresses)
+TEST(LintCallGraph, FlagsTransitiveMutatorWithFullPath)
 {
-    EXPECT_TRUE(
-        lintFile("src/contest/unit.cc",
-                 "// contest-lint: allow(cross-core-mutation)\n"
-                 "sys->noteRetire(self, seq);\n")
-            .empty());
+    // The mutator sits three frames below the entry point — the
+    // shape the old one-hop regex could not see. The finding must
+    // print the full caller chain.
+    auto v =
+        analyzeFixtures({"transitive.cc"}, {"DeepCore::laneTick"});
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "window-phase");
+    EXPECT_NE(v[0].message.find(
+                  "DeepCore::laneTick -> DeepCore::stepIssue -> "
+                  "DeepCore::stepCommit -> DeepCore::stepRetire "
+                  "-> noteRetire"),
+              std::string::npos)
+        << v[0].message;
+}
+
+TEST(LintCallGraph, UnresolvableVirtualCallIsReportedNotIgnored)
+{
+    auto v =
+        analyzeFixtures({"virtual_call.cc"}, {"VirtCore::laneTick"});
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "unknown-call");
+    EXPECT_NE(v[0].message.find("deliver"), std::string::npos);
+}
+
+TEST(LintCallGraph, WindowSafeLeafIsNotEntered)
+{
+    // scratch() allocates and is flagged; the identically-shaped
+    // audited() carries CONTEST_WINDOW_SAFE and must not be.
+    auto v =
+        analyzeFixtures({"safe_leaf.cc"}, {"LeafCore::laneTick"});
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "window-phase");
+    EXPECT_NE(v[0].message.find("LeafCore::scratch"),
+              std::string::npos);
+    EXPECT_EQ(v[0].message.find("audited"), std::string::npos);
+}
+
+TEST(LintCallGraph, AllowFileWaiverDoesNotLeakAcrossFiles)
+{
+    // Both files hold the same violation; only the unwaived one may
+    // be reported.
+    auto v = analyzeFixtures(
+        {"allow_file.cc", "allow_file_leak.cc"},
+        {"WaivedCore::laneTick", "LeakCore::laneTick"});
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].file,
+              "tests/lint_fixtures/callgraph/allow_file_leak.cc");
+    EXPECT_EQ(v[0].rule, "window-phase");
+}
+
+TEST(LintCallGraph, LineAllowPrunesTraversalEntirely)
+{
+    // An allowed call site is an audited boundary: the callee's own
+    // violations must not surface through it.
+    cg::CallGraphAnalyzer an;
+    an.addFile("src/contest/a.cc",
+               "struct Q { void performStore(unsigned, unsigned); };\n"
+               "struct C {\n"
+               "    Q *q;\n"
+               "    void laneTick() {\n"
+               "        // contest-lint: allow(window-phase)\n"
+               "        helper();\n"
+               "    }\n"
+               "    void helper() { q->performStore(0, 1); }\n"
+               "};\n");
+    cg::AnalyzeOptions opts;
+    opts.seeds = {"C::laneTick"};
+    EXPECT_TRUE(an.analyze(opts).empty());
+}
+
+TEST(LintCallGraph, UnmatchedSeedIsItselfAFinding)
+{
+    // Renaming an entry point must not silently disable the
+    // analysis.
+    cg::CallGraphAnalyzer an;
+    an.addFile("src/contest/a.cc", "void tick() {}\n");
+    cg::AnalyzeOptions opts;
+    opts.seeds = {"Gone::laneTick"};
+    auto v = an.analyze(opts);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "unknown-call");
+    EXPECT_NE(v[0].message.find("Gone::laneTick"),
+              std::string::npos);
+}
+
+TEST(LintCallGraph, RngAndGlobalWritesAreFlagged)
+{
+    cg::CallGraphAnalyzer an;
+    an.addFile("src/contest/a.cc",
+               "int sharedCounter;\n"
+               "struct C {\n"
+               "    void laneTick() {\n"
+               "        int r = rand();\n"
+               "        sharedCounter += r;\n"
+               "    }\n"
+               "};\n");
+    cg::AnalyzeOptions opts;
+    opts.seeds = {"C::laneTick"};
+    auto v = an.analyze(opts);
+    EXPECT_TRUE(fired(v, "window-phase"));
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_NE(v[0].message.find("rand"), std::string::npos);
+    EXPECT_NE(v[1].message.find("sharedCounter"),
+              std::string::npos);
+}
+
+TEST(LintCallGraph, RealSeedsResolveInTheRepoSources)
+{
+    // The default seed list must keep matching the real tree: parse
+    // the two seed-bearing sources and analyze with defaults. Any
+    // unmatched seed would surface as an (callgraph) finding.
+    cg::CallGraphAnalyzer an;
+    for (const char *rel :
+         {"/../src/core/ooo_core.cc", "/../src/contest/unit.cc"}) {
+        std::ifstream in(std::string(CONTEST_LINT_FIXTURE_DIR)
+                         + "/.." + rel);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        ASSERT_FALSE(ss.str().empty()) << rel;
+        an.addFile(rel, ss.str());
+    }
+    for (const auto &v : an.analyze())
+        EXPECT_NE(v.file, "(callgraph)") << v.message;
 }
 
 TEST(LintPanicMessage, RequiresInvariantNamingMessage)

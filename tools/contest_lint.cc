@@ -3,22 +3,36 @@
  * contest_lint — the repo's static-analysis gate.
  *
  * Usage:
- *     contest_lint [--root <repo-root>] [paths...]
+ *     contest_lint [--root <repo-root>] [--format=human|json]
+ *                  [--budget-ms <n>] [--seed <fn>]... [--no-callgraph]
+ *                  [paths...]
  *
- * Walks the given paths (default: src bench tests) relative to the
- * repo root, lints every .hh/.cc/.cpp file with the rules in
- * lint_core.hh, prints findings as file:line: rule: message, and
- * exits non-zero if anything fired. tests/lint_fixtures/ is skipped:
- * it holds intentionally-broken inputs for the linter's own tests.
+ * Two engines run:
+ *
+ *  1. the line rules in lint_core.hh over the given paths
+ *     (default: src bench tests);
+ *  2. the window-phase call-graph analysis in lint_callgraph.hh over
+ *     <root>/src, seeded with the in-window entry points (override
+ *     with repeated --seed; disable with --no-callgraph).
+ *
+ * Findings print as `file:line: rule: message` (or a JSON array with
+ * --format=json, matched by .github/contest-lint-matcher.json in
+ * CI), followed by a summary with the wall-clock spent. Exit codes:
+ * 0 clean, 1 findings, 2 bad invocation, 3 --budget-ms exceeded.
+ * tests/lint_fixtures/ is skipped unless requested explicitly: it
+ * holds intentionally-broken inputs for the linter's own tests.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint_callgraph.hh"
 #include "lint_core.hh"
 
 namespace fs = std::filesystem;
@@ -42,25 +56,72 @@ readFile(const fs::path &p)
     return ss.str();
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    const auto t0 = std::chrono::steady_clock::now();
+
     fs::path root = ".";
     std::vector<std::string> paths;
+    std::vector<std::string> seeds;
+    std::string format = "human";
+    long budgetMs = -1;
+    bool callgraph = true;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--root" && i + 1 < argc) {
             root = argv[++i];
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "human" && format != "json") {
+                std::fprintf(stderr,
+                             "contest_lint: unknown format '%s'\n",
+                             format.c_str());
+                return 2;
+            }
+        } else if (arg == "--budget-ms" && i + 1 < argc) {
+            budgetMs = std::atol(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seeds.push_back(argv[++i]);
+        } else if (arg == "--no-callgraph") {
+            callgraph = false;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: contest_lint [--root <dir>] "
-                        "[paths...]\n");
+            std::printf(
+                "usage: contest_lint [--root <dir>] "
+                "[--format=human|json] [--budget-ms <n>]\n"
+                "                    [--seed <fn>]... "
+                "[--no-callgraph] [paths...]\n");
             return 0;
         } else {
             paths.push_back(arg);
         }
     }
+    const bool explicitPaths = !paths.empty();
     if (paths.empty())
         paths = {"src", "bench", "tests"};
 
@@ -102,10 +163,72 @@ main(int argc, char **argv)
         }
     }
 
-    for (const auto &v : all)
-        std::printf("%s:%zu: %s: %s\n", v.file.c_str(), v.line,
-                    v.rule.c_str(), v.message.c_str());
-    std::printf("contest_lint: %zu file(s), %zu finding(s)\n", files,
-                all.size());
+    // ---- window-phase call-graph analysis over src/ -------------
+    // The graph always spans all of src/ (so callees in mem/, bpred/
+    // and common/ resolve) regardless of which paths the line rules
+    // covered; with explicit paths pointing at fixtures, analyze
+    // those instead so the engine's own tests can drive it.
+    if (callgraph) {
+        contest::lint::cg::CallGraphAnalyzer an;
+        fs::path cgBase = root / "src";
+        const bool fixtureRun = explicitPaths
+            && paths.size() == 1
+            && paths[0].find("lint_fixtures") != std::string::npos;
+        if (fixtureRun)
+            cgBase = root / paths[0];
+        if (fs::exists(cgBase)) {
+            for (const auto &e :
+                 fs::recursive_directory_iterator(cgBase)) {
+                if (!e.is_regular_file() || !lintableFile(e.path()))
+                    continue;
+                if (!fixtureRun
+                    && e.path().string().find("lint_fixtures")
+                           != std::string::npos)
+                    continue;
+                an.addFile(
+                    fs::relative(e.path(), root).generic_string(),
+                    readFile(e.path()));
+            }
+            contest::lint::cg::AnalyzeOptions opts;
+            opts.seeds = seeds;
+            auto v = an.analyze(opts);
+            all.insert(all.end(), v.begin(), v.end());
+        }
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const long ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(t1
+                                                              - t0)
+            .count();
+
+    if (format == "json") {
+        std::printf("[");
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            const auto &v = all[i];
+            std::printf(
+                "%s\n  {\"file\": \"%s\", \"line\": %zu, "
+                "\"rule\": \"%s\", \"message\": \"%s\"}",
+                i ? "," : "", jsonEscape(v.file).c_str(), v.line,
+                jsonEscape(v.rule).c_str(),
+                jsonEscape(v.message).c_str());
+        }
+        std::printf("%s]\n", all.empty() ? "" : "\n");
+    } else {
+        for (const auto &v : all)
+            std::printf("%s:%zu: %s: %s\n", v.file.c_str(), v.line,
+                        v.rule.c_str(), v.message.c_str());
+        std::printf("contest_lint: %zu file(s), %zu finding(s), "
+                    "%ld ms\n",
+                    files, all.size(), ms);
+    }
+
+    if (budgetMs >= 0 && ms > budgetMs) {
+        std::fprintf(stderr,
+                     "contest_lint: runtime %ld ms exceeded the "
+                     "--budget-ms %ld budget\n",
+                     ms, budgetMs);
+        return 3;
+    }
     return all.empty() ? 0 : 1;
 }

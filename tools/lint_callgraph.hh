@@ -1,0 +1,1166 @@
+/**
+ * @file
+ * Call-graph layer for contest_lint: the window-phase discipline
+ * analyzer.
+ *
+ * PR 6 made single contested runs parallel by alternating sequential
+ * steps with provably-inert windows in which every core ticks
+ * concurrently against frozen shared state. The correctness claim —
+ * bit-identity with the sequential oracle — holds only if nothing on
+ * the in-window tick path mutates another core's contest state,
+ * allocates, draws randomness, or writes a namespace-scope variable.
+ * The old `cross-core-mutation` rule checked exactly one hop of that
+ * property; this engine checks all of them *transitively*:
+ *
+ *   1. a lightweight tokenizer (built on the same comment/string
+ *      stripper the line rules use) turns each file into tokens,
+ *      skipping preprocessor lines;
+ *   2. a scope-tracking extractor records every function definition
+ *      with its call sites, `new`/`delete` expressions, and writes,
+ *      plus namespace-scope variables and type names repo-wide;
+ *   3. a BFS from the window-phase entry points (`OooCore::tick`,
+ *      `skipIdleCycles`, the `CoreContestUnit` window hooks) walks
+ *      the call graph and reports, with the full caller path, any
+ *      reachable cross-core mutator, allocation, RNG use, or global
+ *      write — and an `unknown-call` diagnostic for any call it
+ *      cannot resolve, so soundness gaps are visible, never silent.
+ *
+ * Resolution is name-based (no type analysis): a member or bare call
+ * resolves to *all* in-graph definitions of that name, which is
+ * deliberately conservative for virtual calls and overloads. The
+ * audited escape hatches are:
+ *
+ *   - `// contest-lint: allow(window-phase)` on (or above) a call
+ *     site: the site is an audited boundary — neither classified nor
+ *     traversed;
+ *   - `// contest-lint: allow-file(window-phase)` at file scope: the
+ *     whole file is an audited boundary (the shadow access checker,
+ *     DESIGN.md §12, re-verifies such files at runtime);
+ *   - `CONTEST_WINDOW_SAFE` (or `// contest-lint: window-safe`) on a
+ *     function definition: an audited safe leaf, never analyzed;
+ *   - `// contest-lint: allow(unknown-call)` suppresses only the
+ *     unresolved-call diagnostic at that site.
+ */
+
+#ifndef CONTEST_TOOLS_LINT_CALLGRAPH_HH
+#define CONTEST_TOOLS_LINT_CALLGRAPH_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_core.hh"
+
+namespace contest::lint
+{
+namespace cg
+{
+
+// ---------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------
+
+struct Token
+{
+    std::string text;
+    std::size_t line = 0; //!< 1-based
+};
+
+/**
+ * Tokenize @p code (already comment/string-stripped). Preprocessor
+ * lines — including backslash continuations — are dropped entirely:
+ * the analyzer reads unpreprocessed source, so macro definitions
+ * must not contribute call sites.
+ */
+inline std::vector<Token>
+tokenize(const std::string &code)
+{
+    static const char *kTwoCharOps[] = {
+        "::", "->", "++", "--", "+=", "-=", "*=", "/=", "%=",
+        "&=", "|=", "^=", "==", "!=", "<=", ">=", "&&", "||",
+        "<<", ">>",
+    };
+    std::vector<Token> toks;
+    std::size_t line = 1;
+    bool bol = true; // only whitespace seen on this line so far
+    const std::size_t n = code.size();
+    std::size_t i = 0;
+    while (i < n) {
+        char c = code[i];
+        if (c == '\n') {
+            ++line;
+            bol = true;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (bol && c == '#') {
+            // Consume the logical directive line (honor \-newline).
+            while (i < n && code[i] != '\n') {
+                if (code[i] == '\\' && i + 1 < n
+                    && code[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                } else {
+                    ++i;
+                }
+            }
+            continue;
+        }
+        bol = false;
+        if (detail::isIdentChar(c)) {
+            std::size_t b = i;
+            while (i < n && detail::isIdentChar(code[i]))
+                ++i;
+            toks.push_back(Token{code.substr(b, i - b), line});
+            continue;
+        }
+        if (i + 1 < n) {
+            const char pair[3] = {c, code[i + 1], '\0'};
+            bool isTwo = false;
+            for (const char *op : kTwoCharOps)
+                if (pair[0] == op[0] && pair[1] == op[1])
+                    isTwo = true;
+            if (isTwo) {
+                toks.push_back(Token{std::string(pair), line});
+                i += 2;
+                continue;
+            }
+        }
+        toks.push_back(Token{std::string(1, c), line});
+        ++i;
+    }
+    return toks;
+}
+
+// ---------------------------------------------------------------
+// Extracted program model
+// ---------------------------------------------------------------
+
+struct CallSite
+{
+    std::string name;
+    std::string qualifier; //!< "X" when spelled X::name(...)
+    std::size_t line = 0;
+    bool member = false; //!< obj.name(...) / ptr->name(...)
+};
+
+struct AllocSite
+{
+    std::string what; //!< "new" or "delete"
+    std::size_t line = 0;
+};
+
+struct WriteSite
+{
+    std::string name;
+    std::size_t line = 0;
+};
+
+struct FunctionDef
+{
+    std::string qualified; //!< Class::name, or bare for free fns
+    std::string bare;
+    std::string file;
+    std::size_t line = 0;
+    bool windowSafe = false;
+    std::vector<CallSite> calls;
+    std::vector<AllocSite> allocs;
+    std::vector<WriteSite> writes;
+    std::set<std::string> localLambdas;
+};
+
+// ---------------------------------------------------------------
+// Per-file extractor
+// ---------------------------------------------------------------
+
+namespace parse_detail
+{
+
+inline bool
+isKeyword(const std::string &t)
+{
+    static const std::set<std::string> kw = {
+        "if", "while", "for", "switch", "return", "sizeof",
+        "alignof", "catch", "throw", "static_assert", "do",
+        "else", "goto", "case", "default", "break", "continue",
+        "decltype", "alignas", "noexcept",
+    };
+    return kw.count(t) != 0;
+}
+
+/** Identifiers that may legally precede a call expression without
+ *  making the call look like a variable declaration. */
+inline bool
+callPrecedingKeyword(const std::string &t)
+{
+    static const std::set<std::string> kw = {
+        "return", "else", "do", "goto", "throw", "case",
+        "new", "delete", "co_return", "co_await", "co_yield",
+    };
+    return kw.count(t) != 0;
+}
+
+} // namespace parse_detail
+
+/**
+ * Single-pass extractor for one translation unit. Tracks a scope
+ * stack (namespace / class / function / block) and records function
+ * definitions, namespace-scope variables, and type names. It is a
+ * heuristic parser: good enough for this repo's house style, and the
+ * analyzer's `unknown-call` diagnostic surfaces whatever it misses.
+ */
+class FileParser
+{
+  public:
+    FileParser(std::string file, const std::string &content)
+        : file_(std::move(file)),
+          raw_(detail::splitLines(content)),
+          toks_(tokenize(detail::stripCommentsAndStrings(content)))
+    {
+    }
+
+    void
+    run(std::deque<FunctionDef> &defs, std::set<std::string> &globals,
+        std::set<std::string> &typeNames)
+    {
+        defs_ = &defs;
+        globals_ = &globals;
+        typeNames_ = &typeNames;
+        const std::size_t n = toks_.size();
+        while (i_ < n) {
+            if (inFunction()) {
+                bodyToken();
+                continue;
+            }
+            const std::string &t = toks_[i_].text;
+            if (t == "template") {
+                ++i_;
+                if (i_ < n && toks_[i_].text == "<")
+                    skipAngles();
+                continue;
+            }
+            if (t == "using" || t == "typedef") {
+                handleUsing();
+                continue;
+            }
+            if (t == "namespace") {
+                handleNamespace();
+                continue;
+            }
+            if (t == "enum") {
+                handleEnum();
+                continue;
+            }
+            if (t == "class" || t == "struct" || t == "union") {
+                handleClass();
+                continue;
+            }
+            if (t == "CONTEST_WINDOW_SAFE") {
+                pendingWindowSafe_ = true;
+                ++i_;
+                continue;
+            }
+            if (t == "{") {
+                scopes_.push_back(Scope{Kind::Block, ""});
+                ++i_;
+                continue;
+            }
+            if (t == "}") {
+                popScope();
+                ++i_;
+                continue;
+            }
+            if (t == ";") {
+                evalGlobalStmt();
+                stmt_.clear();
+                pendingWindowSafe_ = false;
+                ++i_;
+                continue;
+            }
+            if (t == "(" && i_ > 0
+                && detail::identifierLike(toks_[i_ - 1].text)
+                && !parse_detail::isKeyword(toks_[i_ - 1].text)) {
+                if (tryFunctionDef())
+                    continue;
+                // Fall through: a declaration / initializer — the
+                // "(" poisons any global-variable candidate.
+            }
+            stmt_.push_back(toks_[i_]);
+            ++i_;
+        }
+    }
+
+  private:
+    enum class Kind { Namespace, Class, Function, Block };
+    struct Scope
+    {
+        Kind kind;
+        std::string name;
+    };
+
+    bool
+    inFunction() const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+            if (it->kind != Kind::Block)
+                return it->kind == Kind::Function;
+        return false;
+    }
+
+    /** Innermost non-block scope (Namespace when at file scope). */
+    const Scope *
+    context() const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+            if (it->kind != Kind::Block)
+                return &*it;
+        return nullptr;
+    }
+
+    void
+    popScope()
+    {
+        if (scopes_.empty())
+            return; // unbalanced input; keep going
+        if (scopes_.back().kind == Kind::Function && curActive_) {
+            defs_->push_back(cur_);
+            curActive_ = false;
+        }
+        scopes_.pop_back();
+    }
+
+    /** toks_[at] == "(" — index of the matching ")". npos if none. */
+    std::size_t
+    matchParen(std::size_t at) const
+    {
+        int depth = 0;
+        for (std::size_t j = at; j < toks_.size(); ++j) {
+            if (toks_[j].text == "(")
+                ++depth;
+            else if (toks_[j].text == ")" && --depth == 0)
+                return j;
+        }
+        return std::string::npos;
+    }
+
+    /** toks_[i_] == "<": advance past the balanced angle list. */
+    void
+    skipAngles()
+    {
+        int depth = 0;
+        while (i_ < toks_.size()) {
+            const std::string &t = toks_[i_].text;
+            if (t == "<")
+                ++depth;
+            else if (t == ">")
+                --depth;
+            else if (t == ">>")
+                depth -= 2;
+            ++i_;
+            if (depth <= 0)
+                return;
+        }
+    }
+
+    void
+    skipBraces()
+    {
+        int depth = 0;
+        while (i_ < toks_.size()) {
+            const std::string &t = toks_[i_].text;
+            if (t == "{")
+                ++depth;
+            else if (t == "}")
+                --depth;
+            ++i_;
+            if (depth == 0)
+                return;
+        }
+    }
+
+    void
+    skipToSemicolon()
+    {
+        while (i_ < toks_.size() && toks_[i_].text != ";")
+            ++i_;
+        if (i_ < toks_.size())
+            ++i_;
+    }
+
+    void
+    handleUsing()
+    {
+        ++i_; // past using/typedef
+        if (i_ < toks_.size() && toks_[i_].text == "namespace") {
+            skipToSemicolon();
+            return;
+        }
+        if (i_ + 1 < toks_.size()
+            && detail::identifierLike(toks_[i_].text)
+            && toks_[i_ + 1].text == "=")
+            typeNames_->insert(toks_[i_].text);
+        skipToSemicolon();
+    }
+
+    void
+    handleNamespace()
+    {
+        ++i_;
+        std::string name;
+        while (i_ < toks_.size()
+               && (detail::identifierLike(toks_[i_].text)
+                   || toks_[i_].text == "::")) {
+            name += toks_[i_].text;
+            ++i_;
+        }
+        if (i_ < toks_.size() && toks_[i_].text == "=") {
+            skipToSemicolon(); // namespace alias
+            return;
+        }
+        if (i_ < toks_.size() && toks_[i_].text == "{") {
+            scopes_.push_back(Scope{Kind::Namespace, name});
+            ++i_;
+        }
+    }
+
+    void
+    handleEnum()
+    {
+        ++i_;
+        if (i_ < toks_.size()
+            && (toks_[i_].text == "class"
+                || toks_[i_].text == "struct"))
+            ++i_;
+        if (i_ < toks_.size()
+            && detail::identifierLike(toks_[i_].text)) {
+            typeNames_->insert(toks_[i_].text);
+            ++i_;
+        }
+        // Skip optional ": underlying-type", then the enumerator
+        // list (enumerators are not program entities we model).
+        while (i_ < toks_.size() && toks_[i_].text != "{"
+               && toks_[i_].text != ";")
+            ++i_;
+        if (i_ < toks_.size() && toks_[i_].text == "{")
+            skipBraces();
+    }
+
+    void
+    handleClass()
+    {
+        ++i_;
+        std::string name;
+        if (i_ < toks_.size()
+            && detail::identifierLike(toks_[i_].text)
+            && !parse_detail::isKeyword(toks_[i_].text)) {
+            name = toks_[i_].text;
+            typeNames_->insert(name);
+            ++i_;
+        }
+        if (i_ < toks_.size() && toks_[i_].text == "final")
+            ++i_;
+        if (i_ < toks_.size() && toks_[i_].text == "<")
+            skipAngles(); // explicit specialization
+        // Scan the (possible) base-clause for the body/fwd-decl.
+        while (i_ < toks_.size()) {
+            const std::string &t = toks_[i_].text;
+            if (t == "{") {
+                scopes_.push_back(Scope{Kind::Class, name});
+                ++i_;
+                return;
+            }
+            if (t == ";" || t == "(" || t == "=")
+                return; // fwd decl / elaborated type in a decl
+            if (t == "<") {
+                skipAngles();
+                continue;
+            }
+            ++i_;
+        }
+    }
+
+    bool
+    rawWindowSafeComment(std::size_t line) const
+    {
+        // A definition's name line, or up to three lines above it
+        // (the comment typically sits above the return type).
+        for (std::size_t l : {line, line - 1, line - 2, line - 3}) {
+            if (l >= 1 && l <= raw_.size()
+                && raw_[l - 1].find("contest-lint: window-safe")
+                       != std::string::npos)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * toks_[i_] == "(" with an identifier before it, at class or
+     * namespace scope. Decide declaration vs definition; on a
+     * definition, open the function scope. Returns true if i_ was
+     * advanced past a definition header or a declaration.
+     */
+    bool
+    tryFunctionDef()
+    {
+        const std::size_t nameIdx = i_ - 1;
+        // Collect a trailing A::B::name qualifier chain.
+        std::vector<std::string> chain = {toks_[nameIdx].text};
+        std::size_t j = nameIdx;
+        while (j >= 2 && toks_[j - 1].text == "::") {
+            std::size_t q = j - 2;
+            if (toks_[q].text == ">") {
+                // Templated qualifier: RingBuffer<T>::push_back.
+                int depth = 0;
+                while (q > 0) {
+                    const std::string &t = toks_[q].text;
+                    if (t == ">")
+                        ++depth;
+                    else if (t == ">>")
+                        depth += 2;
+                    else if (t == "<" && --depth == 0) {
+                        --q;
+                        break;
+                    }
+                    --q;
+                }
+            }
+            if (!detail::identifierLike(toks_[q].text))
+                break;
+            chain.insert(chain.begin(), toks_[q].text);
+            if (q == 0)
+                break;
+            j = q;
+        }
+
+        const std::size_t close = matchParen(i_);
+        if (close == std::string::npos)
+            return false;
+
+        std::size_t m = close + 1;
+        bool isDef = false;
+        std::size_t bodyIdx = 0;
+        while (m < toks_.size()) {
+            const std::string &t = toks_[m].text;
+            if (t == "const" || t == "override" || t == "final"
+                || t == "mutable" || t == "&" || t == "&&") {
+                ++m;
+            } else if (t == "noexcept") {
+                ++m;
+                if (m < toks_.size() && toks_[m].text == "(") {
+                    std::size_t e = matchParen(m);
+                    if (e == std::string::npos)
+                        break;
+                    m = e + 1;
+                }
+            } else if (t == "->") {
+                // Trailing return type: scan to the body or ";".
+                ++m;
+                while (m < toks_.size() && toks_[m].text != "{"
+                       && toks_[m].text != ";") {
+                    if (toks_[m].text == "(") {
+                        std::size_t e = matchParen(m);
+                        if (e == std::string::npos)
+                            return false;
+                        m = e;
+                    }
+                    ++m;
+                }
+            } else if (t == ":") {
+                // Ctor init list: skip member(...)/member{...} up
+                // to the body brace.
+                ++m;
+                while (m < toks_.size()) {
+                    const std::string &u = toks_[m].text;
+                    if (u == "(") {
+                        std::size_t e = matchParen(m);
+                        if (e == std::string::npos)
+                            return false;
+                        m = e + 1;
+                    } else if (u == "{") {
+                        const std::string &p = toks_[m - 1].text;
+                        if (detail::identifierLike(p)
+                            || p == ">") {
+                            // member{...} brace-init
+                            std::size_t save = i_;
+                            i_ = m;
+                            skipBraces();
+                            m = i_;
+                            i_ = save;
+                        } else {
+                            isDef = true;
+                            bodyIdx = m;
+                            break;
+                        }
+                    } else if (u == ";") {
+                        return false;
+                    } else {
+                        ++m;
+                    }
+                }
+                break;
+            } else if (t == "{") {
+                isDef = true;
+                bodyIdx = m;
+                break;
+            } else {
+                break; // ";", "=", "," ... — a declaration
+            }
+        }
+
+        if (!isDef) {
+            // Poison any pending global-variable candidate and step
+            // past the parameter list so its contents are not
+            // re-scanned as statements.
+            stmt_.push_back(Token{"(", toks_[i_].line});
+            pendingWindowSafe_ = false;
+            i_ = close + 1;
+            return true;
+        }
+
+        cur_ = FunctionDef{};
+        cur_.bare = chain.back();
+        if (chain.size() >= 2) {
+            cur_.qualified =
+                chain[chain.size() - 2] + "::" + cur_.bare;
+        } else if (const Scope *ctx = context();
+                   ctx && ctx->kind == Kind::Class) {
+            cur_.qualified = ctx->name + "::" + cur_.bare;
+        } else {
+            cur_.qualified = cur_.bare;
+        }
+        cur_.file = file_;
+        cur_.line = toks_[nameIdx].line;
+        cur_.windowSafe = pendingWindowSafe_
+            || rawWindowSafeComment(cur_.line);
+        pendingWindowSafe_ = false;
+        curActive_ = true;
+        stmt_.clear();
+        scopes_.push_back(Scope{Kind::Function, cur_.qualified});
+        i_ = bodyIdx + 1;
+        return true;
+    }
+
+    /** Process one token inside a function body. */
+    void
+    bodyToken()
+    {
+        const Token &tok = toks_[i_];
+        const std::string &t = tok.text;
+        if (t == "{") {
+            scopes_.push_back(Scope{Kind::Block, ""});
+            ++i_;
+            return;
+        }
+        if (t == "}") {
+            popScope();
+            ++i_;
+            return;
+        }
+        if (t == "new" || t == "delete") {
+            cur_.allocs.push_back(AllocSite{t, tok.line});
+            ++i_;
+            return;
+        }
+        if (t == "auto" && i_ + 3 < toks_.size()
+            && detail::identifierLike(toks_[i_ + 1].text)
+            && toks_[i_ + 2].text == "="
+            && toks_[i_ + 3].text == "[") {
+            cur_.localLambdas.insert(toks_[i_ + 1].text);
+            i_ += 4;
+            return;
+        }
+        if (t == "static") {
+            collectFunctionStatic();
+            ++i_;
+            return;
+        }
+        if ((t == "++" || t == "--") && i_ + 1 < toks_.size()
+            && detail::identifierLike(toks_[i_ + 1].text)) {
+            cur_.writes.push_back(
+                WriteSite{toks_[i_ + 1].text, tok.line});
+            i_ += 2;
+            return;
+        }
+        if (detail::identifierLike(t)
+            && !std::isdigit(static_cast<unsigned char>(t[0]))) {
+            const std::string next =
+                i_ + 1 < toks_.size() ? toks_[i_ + 1].text : "";
+            const std::string prev =
+                i_ > 0 ? toks_[i_ - 1].text : "";
+            if (next == "(") {
+                maybeCallSite(tok, prev);
+                ++i_;
+                return;
+            }
+            static const std::set<std::string> assignOps = {
+                "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                "^=", "++", "--",
+            };
+            if (assignOps.count(next) && prev != "."
+                && prev != "->")
+                cur_.writes.push_back(WriteSite{t, tok.line});
+        }
+        ++i_;
+    }
+
+    /** toks_[i_] names a call candidate; toks_[i_ + 1] == "(". */
+    void
+    maybeCallSite(const Token &tok, const std::string &prev)
+    {
+        if (parse_detail::isKeyword(tok.text))
+            return;
+        CallSite cs;
+        cs.name = tok.text;
+        cs.line = tok.line;
+        cs.member = prev == "." || prev == "->";
+        if (prev == "::" && i_ >= 2
+            && detail::identifierLike(toks_[i_ - 2].text))
+            cs.qualifier = toks_[i_ - 2].text;
+        if (!cs.member && cs.qualifier.empty()) {
+            // `Foo bar(args)` declares a variable: skip when the
+            // name is preceded by a type-ish token.
+            if ((detail::identifierLike(prev)
+                 && !parse_detail::callPrecedingKeyword(prev)
+                 && !parse_detail::isKeyword(prev))
+                || prev == ">" || prev == "*" || prev == "&")
+                return;
+        }
+        cur_.calls.push_back(cs);
+    }
+
+    /**
+     * `static` seen inside a function body. A mutable function-
+     * local static is shared across lanes exactly like a namespace-
+     * scope variable, so collect its name; skip const/constexpr and
+     * anything with a ctor call (which the repo's only instances —
+     * e.g. the global thread pool — are, and which the window path
+     * must not reach anyway via its own call site).
+     */
+    void
+    collectFunctionStatic()
+    {
+        std::string lastIdent;
+        for (std::size_t j = i_ + 1;
+             j < toks_.size() && j < i_ + 13; ++j) {
+            const std::string &t = toks_[j].text;
+            if (t == "(" || t == "const" || t == "constexpr"
+                || t == "constinit" || t == "thread_local")
+                return;
+            if (t == "=" || t == ";" || t == "{") {
+                if (!lastIdent.empty())
+                    globals_->insert(lastIdent);
+                return;
+            }
+            if (detail::identifierLike(t))
+                lastIdent = t;
+        }
+    }
+
+    /** A namespace-scope statement ended at ";": if it declares a
+     *  mutable variable, record it as a global. */
+    void
+    evalGlobalStmt()
+    {
+        const Scope *ctx = context();
+        if (ctx && ctx->kind != Kind::Namespace)
+            return;
+        static const std::set<std::string> skip = {
+            "using", "typedef", "namespace", "class", "struct",
+            "union", "enum", "template", "friend", "operator",
+            "extern", "const", "constexpr", "consteval",
+            "constinit", "thread_local", "(", "[", "return",
+        };
+        std::vector<const Token *> prefix;
+        for (const Token &t : stmt_) {
+            if (t.text == "=")
+                break;
+            if (skip.count(t.text))
+                return;
+            prefix.push_back(&t);
+        }
+        if (prefix.size() < 2)
+            return;
+        std::string name;
+        for (const Token *t : prefix)
+            if (detail::identifierLike(t->text)
+                && !std::isdigit(
+                    static_cast<unsigned char>(t->text[0])))
+                name = t->text;
+        if (!name.empty())
+            globals_->insert(name);
+    }
+
+    std::string file_;
+    std::vector<std::string> raw_;
+    std::vector<Token> toks_;
+    std::size_t i_ = 0;
+    std::vector<Scope> scopes_;
+    std::vector<Token> stmt_;
+    FunctionDef cur_;
+    bool curActive_ = false;
+    bool pendingWindowSafe_ = false;
+    std::deque<FunctionDef> *defs_ = nullptr;
+    std::set<std::string> *globals_ = nullptr;
+    std::set<std::string> *typeNames_ = nullptr;
+};
+
+// ---------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------
+
+struct AnalyzeOptions
+{
+    /** Window-phase entry points: qualified (Class::name) or bare
+     *  function names. Every seed must resolve — an unmatched seed
+     *  is itself reported, so renames cannot silently disable the
+     *  analysis. */
+    std::vector<std::string> seeds;
+};
+
+/** The in-window entry points of the real simulator: the lane loop
+ *  in ContestSystem::executeWindow calls exactly these (tick /
+ *  skipIdleCycles / recordTick per lane, begin/endWindow around the
+ *  window). executeWindow itself and commitWindow stay OUTSIDE the
+ *  seeded region: the commit phase is where cross-core mutation is
+ *  legal. DESIGN.md §12 documents this boundary. */
+inline std::vector<std::string>
+defaultSeeds()
+{
+    return {
+        "OooCore::tick",
+        "OooCore::skipIdleCycles",
+        "CoreContestUnit::beginWindow",
+        "CoreContestUnit::recordTick",
+        "CoreContestUnit::endWindow",
+    };
+}
+
+namespace analyze_detail
+{
+
+inline bool
+crossCoreMutator(const std::string &n)
+{
+    return n == "receiveResult" || n == "performStore"
+        || n == "noteRetire" || n == "commitDeferredResult";
+}
+
+/** Container-growth / allocation names flagged syntactically at the
+ *  call site, independent of resolution: name collisions between
+ *  std containers and repo containers make resolution unreliable
+ *  exactly here, so the rule errs toward flagging (a fixed-capacity
+ *  use carries a one-line allow with its justification). */
+inline bool
+allocName(const std::string &n)
+{
+    static const std::set<std::string> names = {
+        "make_unique", "make_shared", "push_back", "emplace_back",
+        "emplace", "push_front", "insert", "resize", "reserve",
+        "assign", "append", "try_emplace",
+    };
+    return names.count(n) != 0;
+}
+
+inline bool
+rngName(const std::string &n)
+{
+    static const std::set<std::string> names = {
+        "rand", "srand", "random", "drand48", "rand_r",
+        "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+        "default_random_engine", "random_device",
+        "uniform_int_distribution", "uniform_real_distribution",
+    };
+    if (names.count(n))
+        return true;
+    static const std::string suffix = "_engine";
+    return n.size() > suffix.size()
+        && n.compare(n.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** Known-inert names with no in-graph definition: std members that
+ *  neither allocate nor mutate foreign state, plus the logging
+ *  macros (panic and friends are #defines, so their bodies never
+ *  enter the graph). */
+inline bool
+whitelisted(const std::string &n)
+{
+    static const std::set<std::string> names = {
+        "min",   "max",    "size",     "empty",    "count",
+        "clear", "front",  "back",     "top",      "begin",
+        "end",   "rbegin", "rend",     "find",     "pop",
+        "pop_front", "pop_back", "erase", "reset", "has_value",
+        "value", "value_or", "swap",   "move",     "get",
+        "data",  "c_str",  "abs",      "at",       "contains",
+        "first", "second", "tie",      "forward",  "exchange",
+        "panic", "panic_if", "fatal",  "fatal_if", "warn",
+        "inform", "assert", "to_string", "memcpy", "memcmp",
+        "upper_bound", "lower_bound", "distance", "clamp",
+        "load", "store", "fetch_add", "fetch_sub", "compare",
+        "substr", "length", "test", "set", "any", "none",
+        "items", "less", "greater", "infinity", "lowest",
+        "quiet_NaN", "epsilon",
+    };
+    return names.count(n) != 0;
+}
+
+inline bool
+builtinType(const std::string &n)
+{
+    static const std::set<std::string> names = {
+        "bool",     "char",     "short",    "int",      "long",
+        "float",    "double",   "unsigned", "signed",   "void",
+        "auto",     "size_t",   "ptrdiff_t", "uintptr_t",
+        "intptr_t", "uint8_t",  "uint16_t", "uint32_t",
+        "uint64_t", "int8_t",   "int16_t",  "int32_t",
+        "int64_t",  "wchar_t",  "char8_t",  "char16_t",
+        "char32_t",
+    };
+    return names.count(n) != 0;
+}
+
+inline bool
+allCapsMacro(const std::string &n)
+{
+    bool hasUpper = false;
+    for (char c : n) {
+        if (std::isupper(static_cast<unsigned char>(c)))
+            hasUpper = true;
+        else if (c != '_'
+                 && !std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return hasUpper;
+}
+
+} // namespace analyze_detail
+
+class CallGraphAnalyzer
+{
+  public:
+    /** Parse @p content (as repo-relative @p path) into the graph. */
+    void
+    addFile(const std::string &path, const std::string &content)
+    {
+        rawByFile_[path] = detail::splitLines(content);
+        FileParser(path, content).run(defs_, globals_, typeNames_);
+    }
+
+    std::size_t functionCount() const { return defs_.size(); }
+
+    /** Run the window-phase reachability analysis. */
+    std::vector<Violation>
+    analyze(const AnalyzeOptions &opts = {}) const
+    {
+        using namespace analyze_detail;
+
+        std::map<std::string, std::vector<const FunctionDef *>>
+            byBare, byQualified;
+        for (const FunctionDef &d : defs_) {
+            byBare[d.bare].push_back(&d);
+            byQualified[d.qualified].push_back(&d);
+        }
+
+        std::vector<Violation> out;
+        std::set<std::string> dedup;
+        auto report = [&](const std::string &file, std::size_t line,
+                          const char *rule, const std::string &key,
+                          std::string msg) {
+            std::string k = file + ":" + std::to_string(line) + ":"
+                + rule + ":" + key;
+            if (dedup.insert(k).second)
+                out.push_back(
+                    Violation{file, line, rule, std::move(msg)});
+        };
+
+        std::vector<std::string> seeds =
+            opts.seeds.empty() ? defaultSeeds() : opts.seeds;
+
+        std::map<const FunctionDef *,
+                 std::pair<const FunctionDef *, std::string>>
+            parent;
+        std::deque<const FunctionDef *> queue;
+        auto enqueue = [&](const FunctionDef *d,
+                           const FunctionDef *from,
+                           const std::string &via) {
+            if (parent.count(d))
+                return;
+            parent[d] = {from, via};
+            queue.push_back(d);
+        };
+
+        for (const std::string &s : seeds) {
+            const auto &idx =
+                s.find("::") != std::string::npos ? byQualified
+                                                  : byBare;
+            auto it = idx.find(s);
+            if (it == idx.end() || it->second.empty()) {
+                report("(callgraph)", 1, "unknown-call", s,
+                       "window-phase seed '" + s
+                           + "' matches no function definition; "
+                             "update the seed list (tools/"
+                             "contest_lint.cc --seed) after renames "
+                             "so the analysis cannot rot silently");
+                continue;
+            }
+            for (const FunctionDef *d : it->second)
+                enqueue(d, nullptr, s);
+        }
+
+        auto pathTo = [&](const FunctionDef *d) {
+            std::vector<std::string> names;
+            for (const FunctionDef *p = d; p;) {
+                names.push_back(p->qualified);
+                p = parent.at(p).first;
+            }
+            std::string s;
+            for (auto it = names.rbegin(); it != names.rend(); ++it)
+                s += (s.empty() ? "" : " -> ") + *it;
+            return s;
+        };
+
+        auto allowedAt = [&](const std::string &file,
+                             std::size_t line, const char *rule) {
+            auto it = rawByFile_.find(file);
+            return it != rawByFile_.end()
+                && detail::allowed(it->second, line, rule);
+        };
+
+        while (!queue.empty()) {
+            const FunctionDef *d = queue.front();
+            queue.pop_front();
+            const std::string path = pathTo(d);
+
+            for (const AllocSite &a : d->allocs) {
+                if (allowedAt(d->file, a.line, "window-phase"))
+                    continue;
+                report(d->file, a.line, "window-phase", a.what,
+                       "'" + a.what
+                           + "' expression reachable in the window "
+                             "phase (call path: "
+                           + path
+                           + "); lanes must not allocate while "
+                             "windows run concurrently");
+            }
+            for (const WriteSite &w : d->writes) {
+                if (!globals_.count(w.name))
+                    continue;
+                if (allowedAt(d->file, w.line, "window-phase"))
+                    continue;
+                report(d->file, w.line, "window-phase", w.name,
+                       "write to static/namespace-scope '" + w.name
+                           + "' reachable in the window phase (call "
+                             "path: "
+                           + path
+                           + "); shared mutable state breaks lane "
+                             "isolation");
+            }
+
+            for (const CallSite &c : d->calls) {
+                if (d->localLambdas.count(c.name))
+                    continue;
+                if (allowedAt(d->file, c.line, "window-phase"))
+                    continue; // audited boundary: not traversed
+                if (crossCoreMutator(c.name)) {
+                    report(d->file, c.line, "window-phase", c.name,
+                           c.name
+                               + "(...) mutates another core's "
+                                 "contest state but is reachable "
+                                 "from the window tick path (call "
+                                 "path: "
+                               + path + " -> " + c.name
+                               + "); route it through "
+                                 "ContestSystem's ordered commit");
+                    continue;
+                }
+                if (allocName(c.name)) {
+                    report(d->file, c.line, "window-phase", c.name,
+                           c.name
+                               + "(...) may grow a container / "
+                                 "allocate in the window phase "
+                                 "(call path: "
+                               + path + " -> " + c.name
+                               + "); use a fixed-capacity container "
+                                 "or justify with an allow comment");
+                    continue;
+                }
+                if (rngName(c.name)) {
+                    report(d->file, c.line, "window-phase", c.name,
+                           c.name
+                               + " draws randomness in the window "
+                                 "phase (call path: "
+                               + path + " -> " + c.name
+                               + "); nondeterminism breaks "
+                                 "bit-identity with the sequential "
+                                 "oracle");
+                    continue;
+                }
+                if (c.qualifier == "std")
+                    continue;
+
+                std::vector<const FunctionDef *> cands;
+                if (!c.qualifier.empty()) {
+                    auto it = byQualified.find(c.qualifier
+                                              + "::" + c.name);
+                    if (it != byQualified.end())
+                        cands = it->second;
+                }
+                if (cands.empty()) {
+                    auto it = byBare.find(c.name);
+                    if (it != byBare.end())
+                        cands = it->second;
+                }
+                if (!cands.empty()) {
+                    for (const FunctionDef *cand : cands)
+                        if (!cand->windowSafe)
+                            enqueue(cand, d, c.name);
+                    continue;
+                }
+                if (typeNames_.count(c.name)
+                    || builtinType(c.name))
+                    continue; // constructor / function-style cast
+                if (whitelisted(c.name) || allCapsMacro(c.name))
+                    continue;
+                if (allowedAt(d->file, c.line, "unknown-call"))
+                    continue;
+                report(d->file, c.line, "unknown-call", c.name,
+                       "cannot resolve call to '" + c.name
+                           + "(...)' reachable from the window tick "
+                             "path (call path: "
+                           + path + " -> " + c.name
+                           + "); define it in-tree, add it to the "
+                             "analyzer's known-inert list, or "
+                             "annotate the call site");
+            }
+        }
+
+        std::sort(out.begin(), out.end(),
+                  [](const Violation &a, const Violation &b) {
+                      if (a.file != b.file)
+                          return a.file < b.file;
+                      if (a.line != b.line)
+                          return a.line < b.line;
+                      return a.message < b.message;
+                  });
+        return out;
+    }
+
+  private:
+    std::deque<FunctionDef> defs_;
+    std::map<std::string, std::vector<std::string>> rawByFile_;
+    std::set<std::string> globals_;
+    std::set<std::string> typeNames_;
+};
+
+} // namespace cg
+} // namespace contest::lint
+
+#endif // CONTEST_TOOLS_LINT_CALLGRAPH_HH

@@ -22,18 +22,20 @@
  *                          src/core/: the per-tick hot path uses the
  *                          fixed-capacity RingBuffer and MinHeap
  *                          from common/
- *  - cross-core-mutation   calls to the cross-core mutators
- *                          (receiveResult, performStore, noteRetire,
- *                          commitDeferredResult) belong in
- *                          src/contest/system.cc, whose sequential
- *                          loop and window-commit phase apply them
- *                          in deterministic (time, core-id) order;
- *                          anywhere else in src/contest/ or
- *                          src/core/ they bypass that ordering
+ *
+ * The window-phase discipline rules (window-phase, unknown-call) —
+ * the transitive successor of the old one-hop cross-core-mutation
+ * regex — live in lint_callgraph.hh; the contest_lint binary runs
+ * both engines.
  *
  * Any line (or its predecessor) may carry
  *     // contest-lint: allow(<rule>)
- * to suppress a single finding where the pattern is intentional.
+ * to suppress a single finding where the pattern is intentional, and
+ * a file may opt out of one rule wholesale with
+ *     // contest-lint: allow-file(<rule>)
+ * anywhere in the file (by convention: in the header comment, with
+ * the justification alongside). File-level waivers never leak into
+ * other files.
  */
 
 #ifndef CONTEST_TOOLS_LINT_CORE_HH
@@ -142,7 +144,8 @@ splitLines(const std::string &s)
 }
 
 /** Is the finding on (1-based) @p line suppressed by an allow
- *  comment on the same or the preceding raw source line? */
+ *  comment on the same or the preceding raw source line, or by a
+ *  file-level allow-file waiver anywhere in the file? */
 inline bool
 allowed(const std::vector<std::string> &raw_lines, std::size_t line,
         const std::string &rule)
@@ -153,6 +156,11 @@ allowed(const std::vector<std::string> &raw_lines, std::size_t line,
             && raw_lines[l - 1].find(needle) != std::string::npos)
             return true;
     }
+    const std::string file_needle =
+        "contest-lint: allow-file(" + rule + ")";
+    for (const std::string &l : raw_lines)
+        if (l.find(file_needle) != std::string::npos)
+            return true;
     return false;
 }
 
@@ -439,57 +447,6 @@ lintFile(const std::string &path, const std::string &content)
                                  "RingBuffer / MinHeap from common/ "
                                  "(fixed capacity, no per-tick "
                                  "allocation)");
-            }
-        }
-    }
-
-    // ---- cross-core-mutation -----------------------------------
-    // Windowed contest execution is bit-identical to the sequential
-    // oracle only because every cross-core mutation — GRB delivery,
-    // synchronized store merging, frontier updates — is applied by
-    // ContestSystem in deterministic (time, core-id) order, either
-    // in its sequential event loop or in the window-commit phase. A
-    // qualified call to one of the mutators anywhere else in the
-    // contest/core layers bypasses that ordering (and, under worker
-    // threads, is an unsynchronized write to another core's state).
-    // The few legitimate sequential-path call sites carry an
-    // explicit allow-comment.
-    {
-        const bool contestOrCore =
-            path.rfind("src/contest/", 0) == 0
-            || path.rfind("contest/", 0) == 0
-            || path.rfind("src/core/", 0) == 0
-            || path.rfind("core/", 0) == 0;
-        const bool isSystemCc = path == "src/contest/system.cc"
-            || path == "contest/system.cc";
-        if (contestOrCore && !isSystemCc) {
-            for (std::size_t i = 0; i < code.size(); ++i) {
-                const std::string &l = code[i];
-                for (const char *tok :
-                     {"receiveResult(", "performStore(",
-                      "noteRetire(", "commitDeferredResult("}) {
-                    std::size_t pos = 0;
-                    while ((pos = l.find(tok, pos))
-                           != std::string::npos) {
-                        // Only qualified calls (obj.f / ptr->f):
-                        // declarations and definitions spell the
-                        // bare or class-qualified name.
-                        const bool member_call = pos >= 1
-                            && (l[pos - 1] == '.'
-                                || (pos >= 2 && l[pos - 1] == '>'
-                                    && l[pos - 2] == '-'));
-                        if (member_call)
-                            report(i + 1, "cross-core-mutation",
-                                   std::string(tok)
-                                       + "...) mutates another "
-                                         "core's contest state; "
-                                         "route it through "
-                                         "ContestSystem's ordered "
-                                         "commit in "
-                                         "src/contest/system.cc");
-                        pos += std::string(tok).size();
-                    }
-                }
             }
         }
     }
