@@ -25,25 +25,24 @@ BranchPredictor::BranchPredictor(const BPredConfig &config)
         (std::uint32_t{1} << cfg.localHistBits) - 1;
 
     auto make_local = [&]() {
-        local.assign(std::size_t{1} << cfg.localHistBits,
-                     SatCounter2(1));
+        local.assign(std::size_t{1} << cfg.localHistBits, 1);
         localHist.assign(std::size_t{1} << cfg.localTableBits, 0);
     };
 
     switch (cfg.kind) {
       case BPredConfig::Kind::Bimodal:
-        bimodal.assign(entries, SatCounter2(1));
+        bimodal.assign(entries, 1);
         break;
       case BPredConfig::Kind::GShare:
-        gshare.assign(entries, SatCounter2(1));
+        gshare.assign(entries, 1);
         break;
       case BPredConfig::Kind::Local:
         make_local();
         break;
       case BPredConfig::Kind::Tournament:
-        gshare.assign(entries, SatCounter2(1));
+        gshare.assign(entries, 1);
         make_local();
-        choice.assign(entries, SatCounter2(1));
+        choice.assign(entries, 1);
         break;
     }
 }
@@ -78,45 +77,47 @@ BranchPredictor::predictAndTrain(Addr pc, bool actual_taken,
     switch (cfg.kind) {
       case BPredConfig::Kind::Bimodal:
         {
-            auto &ctr = bimodal[bimodalIndex(pc)];
-            prediction = ctr.taken();
-            ctr.train(actual_taken);
+            const std::size_t i = bimodalIndex(pc);
+            prediction = bimodal.taken(i);
+            bimodal.train(i, actual_taken);
         }
         break;
       case BPredConfig::Kind::GShare:
         {
-            auto &ctr = gshare[gshareIndex(pc)];
-            prediction = ctr.taken();
-            ctr.train(actual_taken);
+            const std::size_t i = gshareIndex(pc);
+            prediction = gshare.taken(i);
+            gshare.train(i, actual_taken);
         }
         break;
       case BPredConfig::Kind::Local:
         {
-            std::uint32_t &hist = localHist[localHistIndex(pc)];
-            auto &ctr = local[hist & localHistMask];
-            prediction = ctr.taken();
-            ctr.train(actual_taken);
-            hist = ((hist << 1) | (actual_taken ? 1 : 0))
-                & localHistMask;
+            std::uint16_t &hist = localHist[localHistIndex(pc)];
+            const std::size_t i = hist & localHistMask;
+            prediction = local.taken(i);
+            local.train(i, actual_taken);
+            hist = static_cast<std::uint16_t>(
+                ((hist << 1) | (actual_taken ? 1 : 0))
+                & localHistMask);
         }
         break;
       case BPredConfig::Kind::Tournament:
         {
             // Alpha-21264-style: a per-branch local-history
             // component competes with a global gshare component.
-            std::uint32_t &hist = localHist[localHistIndex(pc)];
-            auto &loc = local[hist & localHistMask];
-            auto &gsh = gshare[gshareIndex(pc)];
-            auto &sel = choice[bimodalIndex(pc)];
-            bool loc_pred = loc.taken();
-            bool gsh_pred = gsh.taken();
-            prediction = sel.taken() ? gsh_pred : loc_pred;
+            std::uint16_t &hist = localHist[localHistIndex(pc)];
+            const std::size_t li = hist & localHistMask;
+            const std::size_t gi = gshareIndex(pc);
+            const std::size_t ci = bimodalIndex(pc);
+            bool loc_pred = local.taken(li);
+            bool gsh_pred = gshare.taken(gi);
+            prediction = choice.taken(ci) ? gsh_pred : loc_pred;
             if (loc_pred != gsh_pred)
-                sel.train(gsh_pred == actual_taken);
-            loc.train(actual_taken);
-            gsh.train(actual_taken);
-            hist = ((hist << 1) | (actual_taken ? 1 : 0))
-                & localHistMask;
+                choice.train(ci, gsh_pred == actual_taken);
+            local.train(li, actual_taken);
+            gshare.train(gi, actual_taken);
+            hist = static_cast<std::uint16_t>(
+                ((hist << 1) | (actual_taken ? 1 : 0))
+                & localHistMask);
         }
         break;
     }
@@ -135,7 +136,11 @@ Btb::Btb(const BtbConfig &config)
              "BTB sets must be a non-zero power of two (got %u)",
              cfg.sets);
     fatal_if(cfg.assoc == 0, "BTB associativity must be non-zero");
-    entries.assign(std::size_t{cfg.sets} * cfg.assoc, Entry{});
+    const std::size_t n = std::size_t{cfg.sets} * cfg.assoc;
+    tags.assign(n, 0);
+    targets.assign(n, 0);
+    lastUse.assign(n, 0);
+    validW.assign(maskWords(n), 0);
 }
 
 bool
@@ -145,33 +150,38 @@ Btb::lookupAndTrain(Addr pc, Addr actual_target)
     ++useClock;
 
     std::size_t set = (pc >> 2) & (cfg.sets - 1);
-    Entry *base = &entries[set * cfg.assoc];
+    const std::size_t base = set * cfg.assoc;
 
-    Entry *found = nullptr;
-    Entry *victim = &base[0];
+    // Same walk the old array-of-structs code did: hit on a valid
+    // matching tag, else victimize the last invalid way, else the
+    // LRU (min lastUse) valid way.
+    std::size_t found = base + cfg.assoc; // sentinel: one past set
+    std::size_t victim = base;
     for (unsigned w = 0; w < cfg.assoc; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.tag == pc) {
-            found = &e;
+        const std::size_t e = base + w;
+        const bool valid = bitTest(validW, e);
+        if (valid && tags[e] == pc) {
+            found = e;
             break;
         }
-        if (!e.valid) {
-            victim = &e;
-        } else if (victim->valid && e.lastUse < victim->lastUse) {
-            victim = &e;
+        if (!valid) {
+            victim = e;
+        } else if (bitTest(validW, victim)
+                   && lastUse[e] < lastUse[victim]) {
+            victim = e;
         }
     }
 
     bool correct = false;
-    if (found != nullptr) {
-        correct = found->target == actual_target;
-        found->target = actual_target;
-        found->lastUse = useClock;
+    if (found != base + cfg.assoc) {
+        correct = targets[found] == actual_target;
+        targets[found] = actual_target;
+        lastUse[found] = useClock;
     } else {
-        victim->valid = true;
-        victim->tag = pc;
-        victim->target = actual_target;
-        victim->lastUse = useClock;
+        bitSet(validW, victim);
+        tags[victim] = pc;
+        targets[victim] = actual_target;
+        lastUse[victim] = useClock;
     }
 
     if (correct)

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/soa.hh"
 #include "common/types.hh"
 
 namespace contest
@@ -66,6 +67,57 @@ class SatCounter2
 
   private:
     std::uint8_t val;
+};
+
+/**
+ * A table of 2-bit saturating counters packed 32 per uint64 word
+ * (DESIGN.md §13): a default 8K-entry PHT is 2 KiB instead of 8 KiB,
+ * so the tournament predictor's three tables and the choice table
+ * stay L1-resident per lane. Semantically identical to a
+ * vector<SatCounter2> indexed the same way.
+ */
+class PackedSatCounters
+{
+  public:
+    /** Size to @p n counters, each initialized to @p init in [0,3]. */
+    void
+    assign(std::size_t n, std::uint8_t init)
+    {
+        // Replicate the 2-bit init pattern across the word.
+        words.assign((n + 31) / 32,
+                     std::uint64_t{0x5555555555555555ull} * init);
+    }
+
+    /** Raw value of counter @p i. */
+    std::uint8_t
+    raw(std::size_t i) const
+    {
+        return (words[i >> 5] >> ((i & 31) * 2)) & 3;
+    }
+
+    /** Predicted direction of counter @p i. */
+    bool taken(std::size_t i) const { return raw(i) >= 2; }
+
+    /** Train counter @p i toward the given outcome, saturating. */
+    void
+    train(std::size_t i, bool taken_outcome)
+    {
+        std::uint64_t &w = words[i >> 5];
+        const unsigned sh = (i & 31) * 2;
+        std::uint8_t v = (w >> sh) & 3;
+        if (taken_outcome) {
+            if (v < 3)
+                ++v;
+        } else {
+            if (v > 0)
+                --v;
+        }
+        w = (w & ~(std::uint64_t{3} << sh))
+            | (std::uint64_t{v} << sh);
+    }
+
+  private:
+    SoaVec<std::uint64_t> words;
 };
 
 /** Geometry and flavor of a direction predictor. */
@@ -130,11 +182,14 @@ class BranchPredictor
     std::size_t localHistIndex(Addr pc) const;
 
     BPredConfig cfg;
-    std::vector<SatCounter2> bimodal;
-    std::vector<SatCounter2> gshare;
-    std::vector<SatCounter2> local;
-    std::vector<std::uint32_t> localHist;
-    std::vector<SatCounter2> choice;
+    /** Bit-packed pattern-history tables (2 bits per counter). */
+    PackedSatCounters bimodal;
+    PackedSatCounters gshare;
+    PackedSatCounters local;
+    /** Per-branch histories: localHistBits <= 16, so one uint16
+     *  per branch keeps the whole table in a few cachelines. */
+    SoaVec<std::uint16_t> localHist;
+    PackedSatCounters choice;
     std::uint64_t history = 0;
     std::uint64_t historyMask;
     std::uint32_t localHistMask = 0;
@@ -173,16 +228,14 @@ class Btb
     std::uint64_t hits() const { return numHits; }
 
   private:
-    struct Entry
-    {
-        Addr tag = 0;
-        Addr target = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-    };
-
     BtbConfig cfg;
-    std::vector<Entry> entries;
+    /** Structure-of-arrays entry storage indexed set * assoc + way;
+     *  the valid flags are one bit each, so a whole set's validity
+     *  and the tag run needed by the way loop stay in L1. */
+    SoaVec<Addr> tags;
+    SoaVec<Addr> targets;
+    SoaVec<std::uint64_t> lastUse;
+    SoaVec<std::uint64_t> validW;
     std::uint64_t useClock = 0;
     LookupCount numLookups{};
     std::uint64_t numHits = 0;

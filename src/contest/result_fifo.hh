@@ -15,21 +15,32 @@
 #ifndef CONTEST_CONTEST_RESULT_FIFO_HH
 #define CONTEST_CONTEST_RESULT_FIFO_HH
 
-#include <deque>
+#include <algorithm>
 #include <optional>
+#include <vector>
 
 #include "common/log.hh"
+#include "common/soa.hh"
 #include "common/types.hh"
 
 namespace contest
 {
 
-/** One incoming result FIFO (one per source core). */
+/**
+ * One incoming result FIFO (one per source core).
+ *
+ * The buffer is a flat power-of-two ring of arrival times rather
+ * than a node-based deque: the core polls the head every cycle it
+ * is stalled on a branch, so the head read must be one contiguous
+ * load, and pushes/pops are index arithmetic.
+ */
 class ResultFifo
 {
   public:
     /** @param capacity maximum buffered entries (lagging window) */
-    explicit ResultFifo(std::size_t capacity) : cap(capacity)
+    explicit ResultFifo(std::size_t capacity)
+        : cap(capacity), ringMask(nextPow2(capacity) - 1),
+          arrivals(nextPow2(capacity))
     {
         fatal_if(capacity == 0, "ResultFifo capacity must be non-zero");
     }
@@ -49,14 +60,14 @@ class ResultFifo
     CONTEST_WINDOW_SAFE
     push(InstSeq seq, TimePs arrival)
     {
-        panic_if(seq != headSeq_ + arrivals.size(),
+        panic_if(seq != headSeq_ + count,
                  "ResultFifo: out-of-order push (%llu, expected %llu)",
                  static_cast<unsigned long long>(seq),
-                 static_cast<unsigned long long>(
-                     headSeq_ + arrivals.size()));
-        if (arrivals.size() >= cap)
+                 static_cast<unsigned long long>(headSeq_ + count));
+        if (count >= cap)
             return false;
-        arrivals.push_back(arrival);
+        arrivals[(head + count) & ringMask] = arrival;
+        ++count;
         return true;
     }
 
@@ -64,10 +75,10 @@ class ResultFifo
     InstSeq headSeq() const { return headSeq_; }
 
     /** Number of buffered (including in-flight) entries. */
-    std::size_t size() const { return arrivals.size(); }
+    std::size_t size() const { return count; }
 
     /** Is the FIFO empty of pushed entries? */
-    bool empty() const { return arrivals.empty(); }
+    bool empty() const { return count == 0; }
 
     /**
      * Has the head entry physically arrived by time @p now? An
@@ -76,24 +87,25 @@ class ResultFifo
     bool
     headArrived(TimePs now) const
     {
-        return !arrivals.empty() && arrivals.front() <= now;
+        return count != 0 && arrivals[head] <= now;
     }
 
     /** Arrival time of the head entry, if one was pushed. */
     std::optional<TimePs>
     headArrival() const
     {
-        if (arrivals.empty())
+        if (count == 0)
             return std::nullopt;
-        return arrivals.front();
+        return arrivals[head];
     }
 
     /** Pop the head entry, advancing the pop counter. */
     void
     pop()
     {
-        panic_if(arrivals.empty(), "ResultFifo: pop from empty FIFO");
-        arrivals.pop_front();
+        panic_if(count == 0, "ResultFifo: pop from empty FIFO");
+        head = (head + 1) & ringMask;
+        --count;
         ++headSeq_;
     }
 
@@ -106,12 +118,16 @@ class ResultFifo
     std::size_t
     discardBelow(InstSeq seq)
     {
-        std::size_t n = 0;
-        while (!arrivals.empty() && headSeq_ < seq) {
-            arrivals.pop_front();
-            ++headSeq_;
-            ++n;
-        }
+        // Buffered entries carry the contiguous stream positions
+        // headSeq_ .. headSeq_ + count - 1, so the discard count is
+        // arithmetic, no per-entry walk.
+        if (seq <= headSeq_)
+            return 0;
+        const std::size_t n = std::min<std::size_t>(
+            count, (seq - headSeq_).count());
+        head = (head + n) & ringMask;
+        count -= n;
+        headSeq_ += n;
         return n;
     }
 
@@ -125,7 +141,7 @@ class ResultFifo
     void
     clear()
     {
-        seekTo(headSeq_ + arrivals.size());
+        seekTo(headSeq_ + count);
     }
 
     /**
@@ -137,13 +153,17 @@ class ResultFifo
     void
     seekTo(InstSeq seq)
     {
-        arrivals.clear();
+        head = 0;
+        count = 0;
         headSeq_ = seq;
     }
 
   private:
     std::size_t cap;
-    std::deque<TimePs> arrivals;
+    std::size_t ringMask;
+    std::vector<TimePs> arrivals;
+    std::size_t head = 0;
+    std::size_t count = 0;
     InstSeq headSeq_{};
 };
 

@@ -486,10 +486,12 @@ ContestSystem::commitWindow(RunState &rs,
         std::size_t best = lanes.size();
         TimePs best_at{};
         for (std::size_t i = 0; i < lanes.size(); ++i) {
-            const auto &ticks = units[lanes[i]]->windowTicks();
-            if (cur[i].tick >= ticks.size())
+            const CoreContestUnit &lu = *units[lanes[i]];
+            if (cur[i].tick >= lu.windowTickCount())
                 continue;
-            const TimePs at = ticks[cur[i].tick].at;
+            // SoA tick log: the merge's inner loop reads only the
+            // packed time array until a lane actually wins.
+            const TimePs at = lu.windowTickAt(cur[i].tick);
             if (best == lanes.size() || at < best_at) {
                 best = i;
                 best_at = at;
@@ -500,28 +502,29 @@ ContestSystem::commitWindow(RunState &rs,
 
         const CoreId c = lanes[best];
         CoreContestUnit &u = *units[c];
-        const auto &tk = u.windowTicks()[cur[best].tick];
-        const auto &evs = u.windowEvents();
-        for (std::uint32_t e = cur[best].ev; e < tk.evEnd; ++e) {
-            const WindowEvent &ev = evs[e];
-            if (ev.kind == WindowEvent::Kind::Retire) {
-                noteRetire(c, ev.seq);
-                const TimePs arrival = tk.at + cfg.grbLatencyPs;
+        const TimePs tk_at = u.windowTickAt(cur[best].tick);
+        const Cycles tk_skipped = u.windowTickSkipped(cur[best].tick);
+        const std::uint32_t ev_end = u.windowTickEvEnd(cur[best].tick);
+        for (std::uint32_t e = cur[best].ev; e < ev_end; ++e) {
+            if (!u.windowEventIsStore(e)) {
+                const InstSeq seq{u.windowEventArg(e)};
+                noteRetire(c, seq);
+                const TimePs arrival = tk_at + cfg.grbLatencyPs;
                 for (CoreId d = 0; d < n; ++d) {
                     if (d == c || units[d]->parked())
                         continue;
-                    units[d]->commitDeferredResult(c, ev.seq,
-                                                   arrival, tk.at);
+                    units[d]->commitDeferredResult(c, seq,
+                                                   arrival, tk_at);
                 }
             } else {
-                storeQ->performStore(c, ev.addr);
+                storeQ->performStore(c, u.windowEventArg(e));
             }
         }
-        cur[best].ev = tk.evEnd;
+        cur[best].ev = ev_end;
         ++cur[best].tick;
 
-        rs.skipRec[c] = RunState::SkipRecord{tk.at, tk.skipped};
-        noteTickForWatchdog(rs, tk.skipped);
+        rs.skipRec[c] = RunState::SkipRecord{tk_at, tk_skipped};
+        noteTickForWatchdog(rs, tk_skipped);
     }
 
     panic_if(parkEvents != rs.parksSeen,

@@ -3,8 +3,8 @@
 // This file is the audited boundary between the window phase and the
 // sequential phase. Every cross-core call below (noteRetire,
 // performStore, broadcast, exceptions().arrive) sits behind an
-// `inWindow` guard that defers it into the per-lane winEvents log
-// instead, and the per-lane winEvents/winTicks vectors are own-lane
+// `inWindow` guard that defers it into the per-lane deferred-event
+// log instead, and the per-lane SoA tick/event arrays are own-lane
 // state by construction. The static analyzer therefore does not
 // traverse past this file; two dynamic checks re-verify the waiver
 // on every run: receiveResult/onSyscall panic if reached in-window,
@@ -53,6 +53,7 @@ CoreContestUnit::onFetch(InstSeq seq, TimePs now)
     if (stats_.saturated)
         return out;
     noteWindowOp(seq, now);
+    ++fifoGen;
     // Pops and discards below touch only this core's own FIFOs.
     CONTEST_SHADOW_RECORD(sys->shadowLog(), self, FifoState, true,
                           "CoreContestUnit::onFetch");
@@ -85,6 +86,15 @@ CoreContestUnit::externalBranchResolve(InstSeq seq, TimePs now)
     CONTEST_SHADOW_RECORD(sys->shadowLog(), self, FifoState, true,
                           "CoreContestUnit::externalBranchResolve");
 
+    // Re-polled with no FIFO change since the last answer: the first
+    // poll already performed every discard and arrival times are
+    // fixed at push, so the remembered answer is exact.
+    if (pollGen == fifoGen && pollSeq == seq) {
+        earlyResolveSrc = pollBestSrc;
+        earlyResolveSeq = seq;
+        return pollBest;
+    }
+
     std::optional<TimePs> best;
     std::optional<CoreId> best_src;
     for (std::size_t c = 0; c < fifos.size(); ++c) {
@@ -106,6 +116,10 @@ CoreContestUnit::externalBranchResolve(InstSeq seq, TimePs now)
     // a result that arrives later (or not at all).
     earlyResolveSrc = best_src;
     earlyResolveSeq = seq;
+    pollGen = fifoGen;
+    pollSeq = seq;
+    pollBest = best;
+    pollBestSrc = best_src;
     return best;
 }
 
@@ -129,6 +143,7 @@ CoreContestUnit::confirmEarlyResolve(InstSeq seq, TimePs now)
              static_cast<unsigned long long>(seq), *earlyResolveSrc);
     CONTEST_SHADOW_RECORD(sys->shadowLog(), self, FifoState, true,
                           "CoreContestUnit::confirmEarlyResolve");
+    ++fifoGen;
     fifo.pop();
     ++stats_.paired;
     earlyResolveSrc.reset();
@@ -146,8 +161,7 @@ CoreContestUnit::onRetire(InstSeq seq, const TraceInst &inst,
         panic_if(stats_.saturated,
                  "core %u retired while parked inside a window", self);
         ++stats_.broadcasts;
-        winEvents.push_back(
-            WindowEvent{WindowEvent::Kind::Retire, seq, 0});
+        appendWindowEvent(false, seq.count());
         return;
     }
     // Sequential path: the system applies this immediately, in the
@@ -179,8 +193,7 @@ void
 CoreContestUnit::onStoreCommit(Addr addr, TimePs)
 {
     if (inWindow && !injectInWindowStores) {
-        winEvents.push_back(
-            WindowEvent{WindowEvent::Kind::Store, InstSeq{}, addr});
+        appendWindowEvent(true, addr);
         return;
     }
     if (stats_.saturated)
@@ -220,8 +233,14 @@ CoreContestUnit::receiveResult(CoreId src, InstSeq seq,
     panic_if(src == self, "core %u received its own result", self);
     CONTEST_SHADOW_RECORD(sys->shadowLog(), self, FifoState, true,
                           "CoreContestUnit::receiveResult");
+    // Only a push that lands at the head (empty FIFO) can change a
+    // branch-resolve poll's answer; a deeper entry is invisible
+    // until the head moves (every head move bumps fifoGen itself).
+    if (fifos[src].empty())
+        ++fifoGen;
     if (fifos[src].push(seq, arrival))
         return;
+    ++fifoGen; // overflow handling below pops and discards
 
     // The FIFO is full. If the buffered entries are already behind
     // this core's fetch counter they are late results that would be
@@ -255,8 +274,11 @@ CoreContestUnit::beginWindow(TimePs horizon)
 {
     (void)horizon;
     inWindow = true;
-    winEvents.clear();
-    winTicks.clear();
+    winTickAt.clear();
+    winTickSkipped.clear();
+    winTickEvEnd.clear();
+    winEvArg.clear();
+    winEvStoreW.clear();
     lastOpValid = false;
 }
 
@@ -277,10 +299,22 @@ CoreContestUnit::noteWindowOp(InstSeq seq, TimePs now)
 }
 
 void
+CoreContestUnit::appendWindowEvent(bool is_store, std::uint64_t arg)
+{
+    const std::size_t i = winEvArg.size();
+    if ((i & 63) == 0)
+        winEvStoreW.push_back(0);
+    if (is_store)
+        bitSet(winEvStoreW, i);
+    winEvArg.push_back(arg);
+}
+
+void
 CoreContestUnit::recordTick(TimePs at, Cycles skipped)
 {
-    winTicks.push_back(WindowTick{
-        at, skipped, static_cast<std::uint32_t>(winEvents.size())});
+    winTickAt.push_back(at);
+    winTickSkipped.push_back(skipped);
+    winTickEvEnd.push_back(static_cast<std::uint32_t>(winEvArg.size()));
 }
 
 void
@@ -293,6 +327,7 @@ CoreContestUnit::commitDeferredResult(CoreId src, InstSeq seq,
 
     CONTEST_SHADOW_RECORD(sys->shadowLog(), self, FifoState, true,
                           "CoreContestUnit::commitDeferredResult");
+    ++fifoGen;
     bool pushed = fifos[src].push(seq, arrival);
     panic_if(!pushed,
              "window commit overflowed FIFO %u->%u (the window "
@@ -321,6 +356,7 @@ CoreContestUnit::commitDeferredResult(CoreId src, InstSeq seq,
 void
 CoreContestUnit::reforkTo(InstSeq seq)
 {
+    ++fifoGen;
     earlyResolveSrc.reset();
     for (auto &fifo : fifos)
         fifo.seekTo(seq);
@@ -333,6 +369,7 @@ CoreContestUnit::park(TimePs now)
         return;
     stats_.saturated = true;
     stats_.parkedAt = now;
+    ++fifoGen;
     earlyResolveSrc.reset();
     for (auto &fifo : fifos)
         fifo.clear();

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/soa.hh"
 #include "contest/config.hh"
 #include "contest/result_fifo.hh"
 #include "core/contest_iface.hh"
@@ -70,9 +71,9 @@ class CoreContestUnit : public ContestHooks, public WindowPhased
     /** @name WindowPhased (parallel windowed execution)
      *
      * Between beginWindow() and endWindow() the unit defers every
-     * cross-core side effect: onRetire records a WindowEvent instead
-     * of broadcasting, onStoreCommit records instead of performing,
-     * and storeCanCommit answers true outright (the window bound
+     * cross-core side effect: onRetire and onStoreCommit append to
+     * the deferred-event log instead of broadcasting/performing, and
+     * storeCanCommit answers true outright (the window bound
      * guarantees the store queue would have accepted). The unit also
      * remembers the (time, arg) of its latest own FIFO operation so
      * the commit phase can replay Scenario #1 discards of results
@@ -84,30 +85,44 @@ class CoreContestUnit : public ContestHooks, public WindowPhased
     void endWindow() override;
     /** @} */
 
-    /** One in-window tick of the owning core: its global time, the
-     *  idle cycles elided right after it, and the count of recorded
-     *  WindowEvents up to and including this tick. */
-    struct WindowTick
-    {
-        TimePs at{};
-        Cycles skipped{};
-        std::uint32_t evEnd = 0;
-    };
-
     /** Record one executed tick (called by the window lane loop). */
     void recordTick(TimePs at, Cycles skipped);
 
-    /** Cross-core events deferred in the last window, in tick order. */
-    const std::vector<WindowEvent> &windowEvents() const
+    /** @name Last window's logs (structure-of-arrays)
+     *
+     * The tick log is three parallel arrays (global time, idle
+     * cycles elided right after the tick, and the exclusive end of
+     * this tick's slice of the event log); the deferred-event log is
+     * an argument array (stream position for retires, effective
+     * address for stores) plus an is-store mask word per 64 events.
+     * The commit phase's k-way merge touches only the time array
+     * until a tick actually wins, so a lane's whole log scan stays
+     * within a few cachelines.
+     */
+    /** @{ */
+    std::size_t windowTickCount() const { return winTickAt.size(); }
+    TimePs windowTickAt(std::size_t i) const { return winTickAt[i]; }
+    Cycles
+    windowTickSkipped(std::size_t i) const
     {
-        return winEvents;
+        return winTickSkipped[i];
     }
-
-    /** Ticks executed in the last window, in time order. */
-    const std::vector<WindowTick> &windowTicks() const
+    std::uint32_t
+    windowTickEvEnd(std::size_t i) const
     {
-        return winTicks;
+        return winTickEvEnd[i];
     }
+    bool
+    windowEventIsStore(std::uint32_t e) const
+    {
+        return bitTest(winEvStoreW, e);
+    }
+    std::uint64_t
+    windowEventArg(std::uint32_t e) const
+    {
+        return winEvArg[e];
+    }
+    /** @} */
 
     /**
      * Commit-phase delivery of one result core @p src retired inside
@@ -178,13 +193,36 @@ class CoreContestUnit : public ContestHooks, public WindowPhased
      *  core never saw. */
     std::optional<CoreId> earlyResolveSrc;
     InstSeq earlyResolveSeq{};
+    /** @name Branch-resolve poll memo
+     *
+     * The core polls externalBranchResolve every cycle it is stalled
+     * on a branch, but the answer only changes when some FIFO
+     * changes: between polls the scan is idempotent (the first poll
+     * performed every discard, and arrival times are fixed at push).
+     * fifoGen counts FIFO mutations; a poll for the same seq at the
+     * same generation replays the remembered answer without
+     * rescanning.
+     */
+    /** @{ */
+    std::uint64_t fifoGen = 0;
+    std::uint64_t pollGen = ~std::uint64_t{0};
+    InstSeq pollSeq{};
+    std::optional<TimePs> pollBest;
+    std::optional<CoreId> pollBestSrc;
+    /** @} */
+
+    /** Append one deferred cross-core event (in-window only). */
+    void appendWindowEvent(bool is_store, std::uint64_t arg);
 
     /** @name Window-deferred state (valid while inWindow and, for
      *  the logs, until the next beginWindow) */
     /** @{ */
     bool inWindow = false;
-    std::vector<WindowEvent> winEvents;
-    std::vector<WindowTick> winTicks;
+    SoaVec<TimePs> winTickAt;
+    SoaVec<Cycles> winTickSkipped;
+    SoaVec<std::uint32_t> winTickEvEnd;
+    SoaVec<std::uint64_t> winEvArg;
+    SoaVec<std::uint64_t> winEvStoreW;
     /** Latest own FIFO operation (onFetch / externalBranchResolve)
      *  in the window: its global time and stream position. Hook args
      *  never sink below their window-entry floor, so one record

@@ -103,36 +103,18 @@ class ContestHooks
 };
 
 /**
- * One cross-core side effect deferred inside an execution window:
- * a retirement (GRB broadcast + lead-frontier update) or a store
- * commit (synchronizing store queue). Recorded thread-locally while
- * cores advance concurrently, then replayed in deterministic
- * (time, core-id) order by the window-commit phase.
- */
-struct WindowEvent
-{
-    enum class Kind : std::uint8_t
-    {
-        Retire, //!< onRetire: broadcast seq on the GRB
-        Store,  //!< onStoreCommit: perform addr on the store queue
-    };
-
-    Kind kind = Kind::Retire;
-    InstSeq seq{}; //!< stream position (Retire)
-    Addr addr = 0; //!< effective address (Store)
-};
-
-/**
  * The per-window execution phases of the parallel contest scheduler.
  *
  * A window is a span of global time [W0, W1) proved free of
  * cross-core interaction. Between beginWindow() and endWindow() a
  * hook implementation must touch only state owned by its own core —
  * cross-core effects (broadcasts, lead-frontier updates, store-queue
- * traffic) are recorded as WindowEvents instead of applied. The
- * owner then replays all cores' events in (time, core-id) order —
- * exactly the sequential event loop's tick order — which makes the
- * parallel schedule bit-identical to the sequential one.
+ * traffic) are recorded in a per-lane deferred-event log (a
+ * structure-of-arrays of (is-store bit, seq-or-addr argument) —
+ * DESIGN.md §13) instead of applied. The owner then replays all
+ * cores' events in (time, core-id) order — exactly the sequential
+ * event loop's tick order — which makes the parallel schedule
+ * bit-identical to the sequential one.
  */
 class WindowPhased
 {

@@ -3,9 +3,29 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "trace/decode.hh"
 
 namespace contest
 {
+
+// The SoA field arrays are indexed by raw ring position; any padding
+// or size drift would silently change the cache footprint the layout
+// was sized for (DESIGN.md §13).
+static_assert(sizeof(Cycles) == sizeof(std::uint64_t)
+              && alignof(Cycles) == alignof(std::uint64_t),
+              "Cycles must stay a bare uint64 wrapper: the ROB/IQ "
+              "ready-time arrays are sized as one word per entry");
+static_assert(sizeof(InstSeq) == sizeof(std::uint64_t)
+              && alignof(InstSeq) == alignof(std::uint64_t),
+              "InstSeq must stay a bare uint64 wrapper: the IQ "
+              "producer arrays are sized as one word per entry");
+static_assert(static_cast<std::size_t>(
+                  CachelineAllocator<std::uint64_t>::alignment) == 64,
+              "SoA field arrays must start cacheline-aligned so two "
+              "hot arrays never share a line");
+static_assert(numArchRegs == 64,
+              "the rename in-flight flags are a single uint64 mask "
+              "word — one bit per architectural register");
 
 OooCore::OooCore(const CoreConfig &core_config, TracePtr trace_ptr,
                  CoreId core_id)
@@ -23,22 +43,57 @@ OooCore::OooCore(const CoreConfig &core_config, TracePtr trace_ptr,
              cfg.name.c_str(),
              static_cast<unsigned long long>(cfg.wakeupLatency),
              static_cast<unsigned long long>(cfg.schedDepth));
+    trInsts = trace->data();
+    trFlags = trace->decodedFlags();
+
     fetchQueueCap = std::size_t{cfg.width} * (cfg.frontEndDepth + 2);
-    fetchQueue.reset(fetchQueueCap);
-    rob.reset(cfg.robSize);
-    iqPool.resize(cfg.iqSize);
+    fqCap = nextPow2(fetchQueueCap);
+    fqMask = fqCap - 1;
+    fqRenameReadyAt.assign(fqCap, Cycles{});
+    fqInjectedW.assign(maskWords(fqCap), 0);
+
+    // Slack past robSize: see the ring-geometry comment in the header.
+    ringCap = nextPow2(cfg.robSize + 2 * std::size_t{cfg.width} + 2);
+    ringMask = ringCap - 1;
+    robValueReadyAt.assign(ringCap, Cycles{});
+    robIqSlot.assign(ringCap, -1);
+    robFirstWaiter.assign(ringCap, -1);
+    robIssuedW.assign(maskWords(ringCap), 0);
+    robCompletedW.assign(maskWords(ringCap), 0);
+    robInjectedW.assign(maskWords(ringCap), 0);
+    readyW.assign(maskWords(ringCap), 0);
+
+    iqSeq.assign(cfg.iqSize, InstSeq{});
+    iqSrcProd0.assign(cfg.iqSize, InstSeq{});
+    iqSrcProd1.assign(cfg.iqSize, InstSeq{});
+    iqSrcReady0.assign(cfg.iqSize, Cycles{});
+    iqSrcReady1.assign(cfg.iqSize, Cycles{});
+    iqNextWaiter0.assign(cfg.iqSize, -1);
+    iqNextWaiter1.assign(cfg.iqSize, -1);
+    iqFreeNext.assign(cfg.iqSize, -1);
+    iqPend0W.assign(maskWords(cfg.iqSize), 0);
+    iqPend1W.assign(maskWords(cfg.iqSize), 0);
+    iqInjectedW.assign(maskWords(cfg.iqSize), 0);
+    iqInUseW.assign(maskWords(cfg.iqSize), 0);
     for (int i = 0; i < static_cast<int>(cfg.iqSize); ++i)
-        iqPool[i].freeNext = i + 1 < static_cast<int>(cfg.iqSize)
+        iqFreeNext[i] = i + 1 < static_cast<int>(cfg.iqSize)
             ? i + 1 : -1;
     iqFreeHead = 0;
-    timedReady.reserve(2 * cfg.iqSize);
-    issueReady.reserve(2 * cfg.iqSize);
-    deferScratch.reserve(cfg.iqSize);
-    staleIq.reserve(cfg.iqSize);
-    completions.reserve(cfg.robSize + 4);
-    loadReleases.reserve(cfg.lsqSize + 4);
-    mshrReleases.reserve(cfg.mshrs + 4);
-    renameMap.assign(numArchRegs, RenameRef{});
+
+    // Event rings cover the longest ordinary event horizon — a full
+    // memory round trip past the scheduler — with headroom for bus
+    // queuing; rarer, longer delays spill to each ring's overflow
+    // heap without loss.
+    const std::size_t event_span = static_cast<std::size_t>(
+        cfg.schedDepth.count() + cfg.wakeupLatency.count()
+        + cfg.l1d.latency.count() + cfg.l2.latency.count()
+        + cfg.memAccessCycles.count()) + 256;
+    timedReady.init(event_span);
+    completions.init(event_span);
+    mshrReleases.init(event_span);
+    staleSeqs.reserve(cfg.iqSize);
+    staleSlots.reserve(cfg.iqSize);
+    renameProducer.assign(numArchRegs, InstSeq{});
     if (cfg.modelICache)
         icache = std::make_unique<Cache>(cfg.l1i);
 }
@@ -51,42 +106,34 @@ OooCore::attachContest(ContestHooks *contest_hooks,
     style = injection_style;
 }
 
-OooCore::RobEntry &
-OooCore::robFor(InstSeq seq)
+std::size_t
+OooCore::robPosChecked(InstSeq seq) const
 {
-    panic_if(rob.empty(), "robFor(%llu) on empty ROB",
+    panic_if(robOcc == 0, "robFor(%llu) on empty ROB",
              static_cast<unsigned long long>(seq));
-    InstSeq head = rob.front().seq;
-    panic_if(seq < head || seq >= head + rob.size(),
+    panic_if(seq < robHeadSeq || seq >= robHeadSeq + robOcc,
              "robFor(%llu) outside window [%llu, %llu)",
              static_cast<unsigned long long>(seq),
-             static_cast<unsigned long long>(head),
-             static_cast<unsigned long long>(head + rob.size()));
-    return rob[static_cast<std::size_t>(seq - head)];
-}
-
-const OooCore::RobEntry &
-OooCore::robFor(InstSeq seq) const
-{
-    return const_cast<OooCore *>(this)->robFor(seq);
+             static_cast<unsigned long long>(robHeadSeq),
+             static_cast<unsigned long long>(robHeadSeq + robOcc));
+    return ringPos(seq);
 }
 
 bool
 OooCore::srcStatus(InstSeq producer, Cycles &ready_at) const
 {
-    if (rob.empty() || producer < rob.front().seq) {
+    if (robOcc == 0 || producer < robHeadSeq) {
         // The producer has committed; its value is architectural.
         ready_at = Cycles{};
         return true;
     }
-    InstSeq head = rob.front().seq;
-    panic_if(producer >= head + rob.size(),
+    panic_if(producer >= robHeadSeq + robOcc,
              "source producer %llu not yet dispatched",
              static_cast<unsigned long long>(producer));
-    const RobEntry &e = rob[static_cast<std::size_t>(producer - head)];
-    if (!e.issued)
+    const std::size_t pos = ringPos(producer);
+    if (!bitTest(robIssuedW, pos))
         return false;
-    ready_at = e.valueReadyAt;
+    ready_at = robValueReadyAt[pos];
     return true;
 }
 
@@ -94,11 +141,17 @@ int
 OooCore::allocIqSlot()
 {
     panic_if(iqFreeHead == -1, "IQ slot pool exhausted past iqSize");
-    int slot = iqFreeHead;
-    IqSlot &sl = iqPool[slot];
-    iqFreeHead = sl.freeNext;
-    sl = IqSlot{};
-    sl.inUse = true;
+    const int slot = iqFreeHead;
+    iqFreeHead = iqFreeNext[slot];
+    iqSeq[slot] = InstSeq{};
+    iqSrcProd0[slot] = iqSrcProd1[slot] = InstSeq{};
+    iqSrcReady0[slot] = iqSrcReady1[slot] = Cycles{};
+    iqNextWaiter0[slot] = iqNextWaiter1[slot] = -1;
+    iqFreeNext[slot] = -1;
+    bitClear(iqPend0W, slot);
+    bitClear(iqPend1W, slot);
+    bitClear(iqInjectedW, slot);
+    bitSet(iqInUseW, slot);
     ++iqCount;
     return slot;
 }
@@ -106,72 +159,100 @@ OooCore::allocIqSlot()
 void
 OooCore::freeIqSlot(int slot)
 {
-    IqSlot &sl = iqPool[slot];
-    panic_if(!sl.inUse, "double free of IQ slot %d", slot);
-    sl.inUse = false;
-    sl.pendingMask = 0;
-    sl.nextWaiter[0] = sl.nextWaiter[1] = -1;
-    sl.freeNext = iqFreeHead;
+    panic_if(!bitTest(iqInUseW, slot),
+             "double free of IQ slot %d", slot);
+    bitClear(iqInUseW, slot);
+    bitClear(iqPend0W, slot);
+    bitClear(iqPend1W, slot);
+    iqNextWaiter0[slot] = iqNextWaiter1[slot] = -1;
+    iqFreeNext[slot] = iqFreeHead;
     iqFreeHead = slot;
     panic_if(iqCount == 0, "IQ occupancy underflow");
     --iqCount;
 }
 
 void
-OooCore::wakeWaiters(RobEntry &producer)
+OooCore::wakeWaiters(std::size_t prod_pos)
 {
-    int w = producer.firstWaiter;
-    producer.firstWaiter = -1;
+    std::int32_t w = robFirstWaiter[prod_pos];
+    robFirstWaiter[prod_pos] = -1;
+    const Cycles ready = robValueReadyAt[prod_pos];
     while (w != -1) {
-        int slot = w >> 1;
-        int s = w & 1;
-        IqSlot &sl = iqPool[slot];
-        int next = sl.nextWaiter[s];
-        sl.nextWaiter[s] = -1;
-        sl.srcReadyAt[s] = producer.valueReadyAt;
-        sl.pendingMask &= static_cast<std::uint8_t>(~(1u << s));
-        if (sl.pendingMask == 0)
-            timedReady.push({std::max(sl.srcReadyAt[0],
-                                      sl.srcReadyAt[1]),
-                             sl.seq, slot});
+        const int slot = w >> 1;
+        std::int32_t next;
+        if ((w & 1) == 0) {
+            next = iqNextWaiter0[slot];
+            iqNextWaiter0[slot] = -1;
+            iqSrcReady0[slot] = ready;
+            bitClear(iqPend0W, slot);
+        } else {
+            next = iqNextWaiter1[slot];
+            iqNextWaiter1[slot] = -1;
+            iqSrcReady1[slot] = ready;
+            bitClear(iqPend1W, slot);
+        }
+        if (!bitTest(iqPend0W, slot) && !bitTest(iqPend1W, slot)) {
+            const Cycles at =
+                std::max(iqSrcReady0[slot], iqSrcReady1[slot]);
+            timedReady.push(curCycle, at, {iqSeq[slot], slot});
+        }
         w = next;
     }
 }
 
 void
-OooCore::markIqStale(RobEntry &entry)
+OooCore::markIqStale(InstSeq seq, int slot)
 {
-    IssueReady rec{entry.seq, entry.iqSlot};
     // Bounded by live IQ slots and reserve()d to cfg.iqSize at
-    // construction, so the sorted insert never reallocates.
+    // construction, so the sorted inserts never reallocate.
+    const auto it =
+        std::upper_bound(staleSeqs.begin(), staleSeqs.end(), seq);
+    const auto at = it - staleSeqs.begin();
     // contest-lint: allow(window-phase)
-    staleIq.insert(
-        std::upper_bound(staleIq.begin(), staleIq.end(), rec),
-        rec);
+    staleSeqs.insert(it, seq);
+    // contest-lint: allow(window-phase)
+    staleSlots.insert(staleSlots.begin() + at, slot);
 }
 
 void
 OooCore::dropStaleSlot(int slot)
 {
-    IqSlot &sl = iqPool[slot];
-    panic_if(!sl.inUse, "reaping a freed IQ slot %d", slot);
+    panic_if(!bitTest(iqInUseW, slot),
+             "reaping a freed IQ slot %d", slot);
     for (int s = 0; s < 2; ++s) {
-        if (!(sl.pendingMask & (1u << s)))
+        const bool pending = s == 0 ? bitTest(iqPend0W, slot)
+                                    : bitTest(iqPend1W, slot);
+        if (!pending)
             continue;
         // A pending operand's producer cannot have issued (the wakeup
         // would have cleared the bit) and therefore cannot have
         // committed; unlink this slot from its waiter chain.
-        panic_if(rob.empty() || sl.srcProd[s] < rob.front().seq,
+        const InstSeq prod =
+            s == 0 ? iqSrcProd0[slot] : iqSrcProd1[slot];
+        panic_if(robOcc == 0 || prod < robHeadSeq,
                  "stale IQ slot waits on a committed producer");
-        RobEntry &pe = robFor(sl.srcProd[s]);
-        int want = slot * 2 + s;
-        int *link = &pe.firstWaiter;
+        const std::size_t prod_pos = robPosChecked(prod);
+        const std::int32_t want = slot * 2 + s;
+        std::int32_t *link = &robFirstWaiter[prod_pos];
         while (*link != -1 && *link != want)
-            link = &iqPool[*link >> 1].nextWaiter[*link & 1];
+            link = (*link & 1) == 0 ? &iqNextWaiter0[*link >> 1]
+                                    : &iqNextWaiter1[*link >> 1];
         panic_if(*link == -1,
                  "stale IQ slot missing from its waiter chain");
-        *link = sl.nextWaiter[s];
-        sl.nextWaiter[s] = -1;
+        if (s == 0) {
+            *link = iqNextWaiter0[slot];
+            iqNextWaiter0[slot] = -1;
+        } else {
+            *link = iqNextWaiter1[slot];
+            iqNextWaiter1[slot] = -1;
+        }
+    }
+    // The entry may have become issuable before it went stale; its
+    // ready bit is the select-scan record and must die with the slot.
+    const std::size_t rp = ringPos(iqSeq[slot]);
+    if (bitTest(readyW, rp)) {
+        bitClear(readyW, rp);
+        --readyCount;
     }
     freeIqSlot(slot);
 }
@@ -179,9 +260,10 @@ OooCore::dropStaleSlot(int slot)
 void
 OooCore::reapStaleBefore(InstSeq before)
 {
-    while (!staleIq.empty() && staleIq.front().seq < before) {
-        dropStaleSlot(staleIq.front().slot);
-        staleIq.erase(staleIq.begin());
+    while (!staleSeqs.empty() && staleSeqs.front() < before) {
+        dropStaleSlot(staleSlots.front());
+        staleSeqs.erase(staleSeqs.begin());
+        staleSlots.erase(staleSlots.begin());
     }
 }
 
@@ -191,29 +273,40 @@ OooCore::reforkTo(InstSeq seq)
     fatal_if(seq > trace->endSeq(),
              "reforkTo(%llu) beyond trace end",
              static_cast<unsigned long long>(seq));
-    fetchQueue.clear();
-    rob.clear();
-    for (int i = 0; i < static_cast<int>(cfg.iqSize); ++i) {
-        iqPool[i] = IqSlot{};
-        iqPool[i].freeNext = i + 1 < static_cast<int>(cfg.iqSize)
+    fqOcc = 0;
+    std::fill(fqInjectedW.begin(), fqInjectedW.end(), 0);
+    robOcc = 0;
+    robHeadSeq = seq;
+    std::fill(robIssuedW.begin(), robIssuedW.end(), 0);
+    std::fill(robCompletedW.begin(), robCompletedW.end(), 0);
+    std::fill(robInjectedW.begin(), robInjectedW.end(), 0);
+    std::fill(readyW.begin(), readyW.end(), 0);
+    std::fill(robIqSlot.begin(), robIqSlot.end(), -1);
+    std::fill(robFirstWaiter.begin(), robFirstWaiter.end(), -1);
+    for (int i = 0; i < static_cast<int>(cfg.iqSize); ++i)
+        iqFreeNext[i] = i + 1 < static_cast<int>(cfg.iqSize)
             ? i + 1 : -1;
-    }
+    std::fill(iqNextWaiter0.begin(), iqNextWaiter0.end(), -1);
+    std::fill(iqNextWaiter1.begin(), iqNextWaiter1.end(), -1);
+    std::fill(iqPend0W.begin(), iqPend0W.end(), 0);
+    std::fill(iqPend1W.begin(), iqPend1W.end(), 0);
+    std::fill(iqInjectedW.begin(), iqInjectedW.end(), 0);
+    std::fill(iqInUseW.begin(), iqInUseW.end(), 0);
     iqFreeHead = 0;
     iqCount = 0;
-    timedReady.clear();
-    issueReady.clear();
-    staleIq.clear();
-    completions.clear();
-    loadReleases.clear();
-    mshrReleases.clear();
+    timedReady.clear(curCycle);
+    staleSeqs.clear();
+    staleSlots.clear();
+    completions.clear(curCycle);
+    mshrReleases.clear(curCycle);
+    readyCount = 0;
     lsqOcc = 0;
     stalledBranch.reset();
     earlyResolved.reset();
     stalledSyscall = false;
     syscallResumePs.reset();
     lastSkip = SkipWindow{};
-    for (auto &ref : renameMap)
-        ref.inFlight = false;
+    renameInFlightW = 0;
     fetchSeq = seq;
     numRetired = seq;
     // The refilled pipeline starts fetching next cycle.
@@ -228,10 +321,18 @@ OooCore::tick(TimePs now)
     if (hooks != nullptr && hooks->parked())
         return;
 
-    doComplete(now);
-    doCommit(now);
+    // Each stage call is gated by the exact condition under which its
+    // body would do nothing (not even touch a counter), so a stage
+    // with no work this cycle costs one or two loads instead of a
+    // call and a queue inspection.
+    if (completions.due(curCycle))
+        doComplete(now);
+    if (robOcc != 0 && bitTest(robCompletedW, ringPos(robHeadSeq)))
+        doCommit(now);
     doIssue(now);
-    doDispatch(now);
+    if (fqOcc != 0
+        && fqRenameReadyAt[fqPos(fetchSeq - fqOcc)] <= curCycle)
+        doDispatch(now);
     doFetch(now);
 
     ++curCycle;
@@ -241,36 +342,43 @@ OooCore::tick(TimePs now)
 void
 OooCore::doComplete(TimePs)
 {
-    while (!completions.empty() && completions.top().first <= curCycle) {
-        InstSeq seq = completions.top().second;
-        completions.pop();
-        if (rob.empty() || seq < rob.front().seq)
-            continue; // early-resolved and already committed
-        RobEntry &e = robFor(seq);
-        if (e.completed)
-            continue; // early resolution beat own execution
-        e.completed = true;
+    completions.drainUpTo(curCycle, [&](std::uint64_t packed) {
+        if (packed & 1) {
+            // The load's data returned this cycle: its LSQ slot
+            // frees here whether or not the entry still lives in
+            // the ROB (an early-resolved load may have committed).
+            panic_if(lsqOcc == 0, "LSQ underflow at load return");
+            --lsqOcc;
+        }
+        const InstSeq seq{packed >> 1};
+        if (robOcc == 0 || seq < robHeadSeq)
+            return; // early-resolved and already committed
+        const std::size_t pos = robPosChecked(seq);
+        if (bitTest(robCompletedW, pos))
+            return; // early resolution beat own execution
+        bitSet(robCompletedW, pos);
         if (stalledBranch && *stalledBranch == seq) {
             stalledBranch.reset();
             fetchResumeAt = std::max(fetchResumeAt, curCycle + 1);
         }
-    }
+    });
 }
 
 void
 OooCore::doCommit(TimePs now)
 {
     unsigned committed = 0;
-    while (committed < cfg.width && !rob.empty()) {
-        RobEntry &head = rob.front();
-        if (!head.completed)
+    while (committed < cfg.width && robOcc != 0) {
+        const std::size_t pos = ringPos(robHeadSeq);
+        if (!bitTest(robCompletedW, pos))
             break;
 
-        InstSeq seq = head.seq;
-        bool injected = head.injected;
-        const TraceInst &inst = (*trace)[seq];
+        const InstSeq seq = robHeadSeq;
+        const bool injected = bitTest(robInjectedW, pos);
+        const TraceInst &inst = trInsts[seq.count()];
+        const std::uint8_t fl = trFlags[seq.count()];
 
-        if (inst.op == OpClass::Store) {
+        if (fl & kDecStore) {
             if (hooks != nullptr && !hooks->storeCanCommit(now)) {
                 ++st.storeQueueStalls;
                 break;
@@ -284,7 +392,7 @@ OooCore::doCommit(TimePs now)
                 panic_if(lsqOcc == 0, "LSQ underflow at store commit");
                 --lsqOcc;
             }
-        } else if (inst.op == OpClass::Syscall) {
+        } else if (fl & kDecSyscall) {
             if (!syscallResumePs) {
                 if (hooks != nullptr) {
                     auto resume = hooks->onSyscall(seq, now);
@@ -309,10 +417,10 @@ OooCore::doCommit(TimePs now)
             ++st.syscalls;
         }
 
-        if (inst.producesValue()) {
-            RenameRef &ref = renameMap[inst.dst];
-            if (ref.inFlight && ref.producer == seq)
-                ref.inFlight = false;
+        if (fl & kDecWritesReg) {
+            if ((renameInFlightW >> inst.dst & 1)
+                && renameProducer[inst.dst] == seq)
+                renameInFlightW &= ~(std::uint64_t{1} << inst.dst);
         }
 
         if (hooks != nullptr)
@@ -323,7 +431,8 @@ OooCore::doCommit(TimePs now)
             // contest-lint: allow(unknown-call)
             retireCb(seq, now);
 
-        rob.pop_front();
+        ++robHeadSeq;
+        --robOcc;
         ++numRetired;
         ++st.retired;
         ++committed;
@@ -333,135 +442,143 @@ OooCore::doCommit(TimePs now)
 void
 OooCore::doIssue(TimePs)
 {
-    // Release LSQ slots of returned loads and MSHRs of returned
-    // misses before selecting.
-    while (!loadReleases.empty() && loadReleases.top() <= curCycle) {
-        loadReleases.pop();
-        panic_if(lsqOcc == 0, "LSQ underflow at load return");
-        --lsqOcc;
-    }
-    while (!mshrReleases.empty() && mshrReleases.top() <= curCycle)
-        mshrReleases.pop();
+    // Nothing due, nothing ready, nothing stale: the whole stage
+    // would fall through without touching state.
+    if (readyCount == 0 && staleSeqs.empty()
+        && !mshrReleases.due(curCycle) && !timedReady.due(curCycle))
+        return;
 
-    // Wakeups whose operand time has arrived become issuable; the
-    // issue heap then replays the old linear select's oldest-first
-    // order over exactly the issuable entries.
-    while (!timedReady.empty() && timedReady.top().readyAt <= curCycle) {
-        TimedReady tr = timedReady.top();
-        timedReady.pop();
-        const IqSlot &sl = iqPool[tr.slot];
-        if (sl.inUse && sl.seq == tr.seq)
-            issueReady.push({tr.seq, tr.slot});
-    }
+    // Release MSHRs of returned misses before selecting. (Returned
+    // loads released their LSQ slots in doComplete this tick —
+    // their release cycle is their completion cycle.)
+    mshrReleases.drainUpTo(curCycle, [](std::uint8_t) {});
+
+    // Wakeups whose operand time has arrived set their ready bit;
+    // the find-first-set scan over the ready words then replays the
+    // old linear select's oldest-first order over exactly the
+    // issuable entries.
+    timedReady.drainUpTo(curCycle, [&](const TimedReady &tr) {
+        if (bitTest(iqInUseW, tr.slot) && iqSeq[tr.slot] == tr.seq) {
+            const std::size_t rp = ringPos(tr.seq);
+            if (!bitTest(readyW, rp)) {
+                bitSet(readyW, rp);
+                ++readyCount;
+            }
+        }
+    });
 
     unsigned issued = 0;
     unsigned mem_issued = 0;
-    while (issued < cfg.width && !issueReady.empty()) {
-        IssueReady rec = issueReady.top();
-        issueReady.pop();
-        IqSlot &sl = iqPool[rec.slot];
-        if (!sl.inUse || sl.seq != rec.seq)
-            continue; // the slot was reaped; stale heap record
+    // A stale (externally completed, already committed) entry's bit
+    // sits below the head; start the age scan at the oldest of the
+    // two so its reap point is still visited in order.
+    InstSeq scan_from = robHeadSeq;
+    if (!staleSeqs.empty() && staleSeqs.front() < scan_from)
+        scan_from = staleSeqs.front();
+    forEachReady(scan_from, robHeadSeq + robOcc, [&](InstSeq seq) {
+        if (issued >= cfg.width)
+            return false;
 
         // The old linear select erased externally completed entries
-        // as its age-ordered scan passed them; reaching rec.seq with
+        // as its age-ordered scan passed them; reaching seq with
         // issue slots to spare means the scan passed everything
         // older first.
-        reapStaleBefore(rec.seq);
+        reapStaleBefore(seq);
 
-        if (rob.empty() || rec.seq < rob.front().seq
-            || robFor(rec.seq).completed) {
+        if (robOcc == 0 || seq < robHeadSeq
+            || bitTest(robCompletedW, ringPos(seq))) {
             // This entry is itself externally completed (early
             // branch resolution): the scan reached it, drop it.
-            auto it = std::find_if(staleIq.begin(), staleIq.end(),
-                                   [&](const IssueReady &r) {
-                                       return r.slot == rec.slot;
-                                   });
-            panic_if(it == staleIq.end(),
+            const auto it = std::find(staleSeqs.begin(),
+                                      staleSeqs.end(), seq);
+            panic_if(it == staleSeqs.end(),
                      "completed IQ entry missing from the stale list");
-            staleIq.erase(it);
-            dropStaleSlot(rec.slot);
-            continue;
+            const auto at = it - staleSeqs.begin();
+            const int slot = staleSlots[at];
+            staleSeqs.erase(it);
+            staleSlots.erase(staleSlots.begin() + at);
+            dropStaleSlot(slot);
+            return true;
         }
 
-        RobEntry &re = robFor(rec.seq);
-        const TraceInst &inst = (*trace)[rec.seq];
+        const std::size_t pos = ringPos(seq);
+        const int slot = robIqSlot[pos];
+        const TraceInst &inst = trInsts[seq.count()];
+        const std::uint8_t fl = trFlags[seq.count()];
+        const bool injected = bitTest(iqInjectedW, slot);
 
-        bool is_mem = inst.isMem() && !sl.injected;
+        const bool is_mem = (fl & kDecMem) && !injected;
         if (is_mem && mem_issued >= cfg.l1dPorts) {
-            // reserve()d to cfg.iqSize; holds at most the ready
-            // records drained this tick. contest-lint: allow(window-phase)
-            deferScratch.push_back(rec);
-            continue;
+            // Port-blocked: the bit stays set, and the monotonic
+            // scan will not revisit it until the next tick — the
+            // same deferral the old select's scratch re-push gave.
+            return true;
         }
 
         Cycles lat_total{};
-        if (sl.injected) {
+        if (injected) {
             // MarkReady injection: the value travels with the
             // instruction; issuing just writes it back.
             lat_total = Cycles{1};
-        } else if (inst.op == OpClass::Load) {
-            bool l1_hit = hier.l1().probe(inst.addr);
-            if (!l1_hit && mshrReleases.size() >= cfg.mshrs) {
-                // Same reserve()d scratch as above.
-                // contest-lint: allow(window-phase)
-                deferScratch.push_back(rec);
-                continue; // no MSHR for the miss
-            }
+        } else if (fl & kDecLoad) {
+            const bool l1_hit = hier.l1().probe(inst.addr);
+            if (!l1_hit && mshrReleases.size() >= cfg.mshrs)
+                return true; // no MSHR for the miss; bit stays set
             auto res = hier.access(inst.addr, false, curCycle);
             lat_total = res.latency;
             if (res.level != MemLevel::L1)
-                mshrReleases.push(curCycle + lat_total);
-        } else if (inst.op == OpClass::Store) {
+                mshrReleases.push(curCycle, curCycle + lat_total, 0);
+        } else if (fl & kDecStore) {
             lat_total = Cycles{1}; // address generation; data at commit
         } else {
             lat_total = inst.execLatency();
         }
 
-        re.issued = true;
-        re.valueReadyAt = curCycle + lat_total + cfg.wakeupLatency;
-        re.completeAt = curCycle + cfg.schedDepth + lat_total;
-        completions.push({re.completeAt, re.seq});
-        if (inst.op == OpClass::Load && !sl.injected)
-            loadReleases.push(re.completeAt);
-        wakeWaiters(re);
-        re.iqSlot = -1;
-        freeIqSlot(rec.slot);
+        bitClear(readyW, pos);
+        --readyCount;
+        bitSet(robIssuedW, pos);
+        robValueReadyAt[pos] = curCycle + lat_total + cfg.wakeupLatency;
+        const Cycles complete_at = curCycle + cfg.schedDepth + lat_total;
+        completions.push(
+            curCycle, complete_at,
+            packCompletion(seq, (fl & kDecLoad) != 0 && !injected));
+        wakeWaiters(pos);
+        robIqSlot[pos] = -1;
+        freeIqSlot(slot);
 
         if (is_mem)
             ++mem_issued;
         ++issued;
-    }
+        return true;
+    });
     if (issued < cfg.width) {
         // The old scan would have walked to the end of the queue.
         reapStaleBefore(InstSeq::max());
     }
-    for (const IssueReady &rec : deferScratch)
-        issueReady.push(rec);
-    deferScratch.clear();
 }
 
 OooCore::DispatchBlock
 OooCore::dispatchBlock() const
 {
-    if (fetchQueue.empty())
+    if (fqOcc == 0)
         return DispatchBlock::Empty;
-    const FetchEntry &fe = fetchQueue.front();
-    if (fe.renameReadyAt > curCycle)
+    const InstSeq fseq = fetchSeq - fqOcc;
+    if (fqRenameReadyAt[fqPos(fseq)] > curCycle)
         return DispatchBlock::Empty;
-    if (earlyResolved && *earlyResolved == fe.seq)
+    if (earlyResolved && *earlyResolved == fseq)
         return DispatchBlock::ConsumesEarly;
-    const TraceInst &inst = (*trace)[fe.seq];
-    bool is_syscall = inst.op == OpClass::Syscall;
-    if (is_syscall && !rob.empty())
+    const std::uint8_t fl = trFlags[fseq.count()];
+    const bool is_syscall = fl & kDecSyscall;
+    if (is_syscall && robOcc != 0)
         return DispatchBlock::SyscallDrain;
-    if (rob.size() >= cfg.robSize)
+    if (robOcc >= cfg.robSize)
         return DispatchBlock::RobFull;
-    bool port_steal = fe.injected && style == InjectionStyle::PortSteal;
-    bool needs_iq = !is_syscall && !port_steal;
+    const bool injected = bitTest(fqInjectedW, fqPos(fseq));
+    const bool port_steal = injected && style == InjectionStyle::PortSteal;
+    const bool needs_iq = !is_syscall && !port_steal;
     if (needs_iq && iqCount >= cfg.iqSize)
         return DispatchBlock::IqFull;
-    bool needs_lsq = inst.isMem() && !fe.injected;
+    const bool needs_lsq = (fl & kDecMem) && !injected;
     if (needs_lsq && lsqOcc >= cfg.lsqSize)
         return DispatchBlock::LsqFull;
     return DispatchBlock::None;
@@ -471,94 +588,130 @@ void
 OooCore::doDispatch(TimePs)
 {
     unsigned dispatched = 0;
-    while (dispatched < cfg.width && !fetchQueue.empty()) {
-        const FetchEntry &fe = fetchQueue.front();
-        if (fe.renameReadyAt > curCycle)
+    while (dispatched < cfg.width && fqOcc != 0) {
+        const InstSeq fseq = fetchSeq - fqOcc;
+        const std::size_t fpos = fqPos(fseq);
+        if (fqRenameReadyAt[fpos] > curCycle)
             break;
 
-        const TraceInst &inst = (*trace)[fe.seq];
-        bool injected = fe.injected;
-        if (earlyResolved && *earlyResolved == fe.seq) {
+        const TraceInst &inst = trInsts[fseq.count()];
+        const std::uint8_t fl = trFlags[fseq.count()];
+        bool injected = bitTest(fqInjectedW, fpos);
+        if (earlyResolved && *earlyResolved == fseq) {
             injected = true;
             earlyResolved.reset();
             ++st.injected;
         }
 
-        bool is_syscall = inst.op == OpClass::Syscall;
-        if (is_syscall && !rob.empty())
+        const bool is_syscall = fl & kDecSyscall;
+        if (is_syscall && robOcc != 0)
             break; // serialize: drain before dispatching
 
-        if (rob.size() >= cfg.robSize) {
+        if (robOcc >= cfg.robSize) {
             ++st.robFullStalls;
             break;
         }
-        bool port_steal =
+        const bool port_steal =
             injected && style == InjectionStyle::PortSteal;
-        bool needs_iq = !is_syscall && !port_steal;
+        const bool needs_iq = !is_syscall && !port_steal;
         if (needs_iq && iqCount >= cfg.iqSize) {
             ++st.iqFullStalls;
             break;
         }
-        bool needs_lsq = inst.isMem() && !injected;
+        const bool needs_lsq = (fl & kDecMem) && !injected;
         if (needs_lsq && lsqOcc >= cfg.lsqSize) {
             ++st.lsqFullStalls;
             break;
         }
 
-        RobEntry re;
-        re.seq = fe.seq;
-        re.injected = injected;
+        // Allocate the ROB tail entry (in-flight seqs stay
+        // contiguous, so the ring position follows from the seq).
+        if (robOcc == 0)
+            robHeadSeq = fseq;
+        panic_if(fseq != robHeadSeq + robOcc,
+                 "non-contiguous ROB allocation at %llu",
+                 static_cast<unsigned long long>(fseq));
+        const std::size_t pos = ringPos(fseq);
+        bitClear(robIssuedW, pos);
+        bitClear(robCompletedW, pos);
+        bitClear(robInjectedW, pos);
+        robFirstWaiter[pos] = -1;
+        robIqSlot[pos] = -1;
+        robValueReadyAt[pos] = Cycles{};
+        if (injected)
+            bitSet(robInjectedW, pos);
+
         if (port_steal || is_syscall) {
             // Injected results complete at rename (port stealing);
             // syscalls execute in the handler, not the pipeline.
-            re.issued = true;
-            re.completeAt = curCycle + 1;
-            re.valueReadyAt = curCycle + 1;
-            completions.push({re.completeAt, re.seq});
+            bitSet(robIssuedW, pos);
+            robValueReadyAt[pos] = curCycle + 1;
+            completions.push(curCycle, curCycle + 1,
+                             packCompletion(fseq, false));
         } else {
-            int slot = allocIqSlot();
-            IqSlot &qe = iqPool[slot];
-            qe.seq = fe.seq;
-            qe.injected = injected;
+            const int slot = allocIqSlot();
+            iqSeq[slot] = fseq;
+            if (injected)
+                bitSet(iqInjectedW, slot);
             if (!injected) {
-                RegId srcs[2] = {inst.src1, inst.src2};
+                const RegId srcs[2] = {inst.src1, inst.src2};
                 for (int s = 0; s < 2; ++s) {
                     if (srcs[s] == invalidReg)
                         continue;
-                    const RenameRef &ref = renameMap[srcs[s]];
-                    if (!ref.inFlight)
+                    if (!(renameInFlightW >> srcs[s] & 1))
                         continue; // value already architectural
+                    const InstSeq prod = renameProducer[srcs[s]];
                     Cycles r{};
-                    if (srcStatus(ref.producer, r)) {
-                        qe.srcReadyAt[s] = r;
+                    if (srcStatus(prod, r)) {
+                        (s == 0 ? iqSrcReady0 : iqSrcReady1)[slot] = r;
                     } else {
                         // Producer still executing: chain onto its
                         // waiter list for an issue-time wakeup.
-                        qe.pendingMask |=
-                            static_cast<std::uint8_t>(1u << s);
-                        qe.srcProd[s] = ref.producer;
-                        RobEntry &pe = robFor(ref.producer);
-                        qe.nextWaiter[s] = pe.firstWaiter;
-                        pe.firstWaiter = slot * 2 + s;
+                        const std::size_t prod_pos = robPosChecked(prod);
+                        if (s == 0) {
+                            bitSet(iqPend0W, slot);
+                            iqSrcProd0[slot] = prod;
+                            iqNextWaiter0[slot] =
+                                robFirstWaiter[prod_pos];
+                        } else {
+                            bitSet(iqPend1W, slot);
+                            iqSrcProd1[slot] = prod;
+                            iqNextWaiter1[slot] =
+                                robFirstWaiter[prod_pos];
+                        }
+                        robFirstWaiter[prod_pos] = slot * 2 + s;
                     }
                 }
             }
-            if (qe.pendingMask == 0)
-                timedReady.push({std::max(qe.srcReadyAt[0],
-                                          qe.srcReadyAt[1]),
-                                 fe.seq, slot});
-            re.iqSlot = slot;
+            if (!bitTest(iqPend0W, slot) && !bitTest(iqPend1W, slot)) {
+                const Cycles at =
+                    std::max(iqSrcReady0[slot], iqSrcReady1[slot]);
+                if (at <= curCycle) {
+                    // Operands already architectural: the entry is
+                    // issuable at the next doIssue — the same tick a
+                    // clamped wakeup would have surfaced it — so set
+                    // the ready bit directly and skip the ring.
+                    const std::size_t rp = ringPos(fseq);
+                    if (!bitTest(readyW, rp)) {
+                        bitSet(readyW, rp);
+                        ++readyCount;
+                    }
+                } else {
+                    timedReady.push(curCycle, at, {fseq, slot});
+                }
+            }
+            robIqSlot[pos] = slot;
             if (needs_lsq)
                 ++lsqOcc;
         }
 
-        if (inst.producesValue())
-            renameMap[inst.dst] = RenameRef{fe.seq, true};
+        if (fl & kDecWritesReg) {
+            renameProducer[inst.dst] = fseq;
+            renameInFlightW |= std::uint64_t{1} << inst.dst;
+        }
 
-        // Fixed-capacity RingBuffer; overflow panics before it
-        // could ever allocate. contest-lint: allow(window-phase)
-        rob.push_back(re);
-        fetchQueue.pop_front();
+        ++robOcc;
+        --fqOcc;
         ++dispatched;
     }
 }
@@ -576,22 +729,22 @@ OooCore::doFetch(TimePs now)
             auto arrival =
                 hooks->externalBranchResolve(*stalledBranch, now);
             if (arrival && *arrival <= now) {
-                InstSeq bseq = *stalledBranch;
+                const InstSeq bseq = *stalledBranch;
                 hooks->confirmEarlyResolve(bseq, now);
                 ++st.earlyResolves;
                 stalledBranch.reset();
                 fetchResumeAt = std::max(fetchResumeAt, curCycle + 1);
-                if (!rob.empty() && bseq >= rob.front().seq
-                    && bseq < rob.front().seq + rob.size()) {
-                    RobEntry &e = robFor(bseq);
-                    if (!e.completed) {
-                        e.completed = true;
-                        e.injected = true;
-                        e.issued = true;
-                        e.valueReadyAt = curCycle + 1;
-                        wakeWaiters(e);
-                        if (e.iqSlot != -1)
-                            markIqStale(e);
+                if (robOcc != 0 && bseq >= robHeadSeq
+                    && bseq < robHeadSeq + robOcc) {
+                    const std::size_t pos = ringPos(bseq);
+                    if (!bitTest(robCompletedW, pos)) {
+                        bitSet(robCompletedW, pos);
+                        bitSet(robInjectedW, pos);
+                        bitSet(robIssuedW, pos);
+                        robValueReadyAt[pos] = curCycle + 1;
+                        wakeWaiters(pos);
+                        if (robIqSlot[pos] != -1)
+                            markIqStale(bseq, robIqSlot[pos]);
                     }
                 } else {
                     // Still in the front-end pipe: complete it as an
@@ -611,8 +764,8 @@ OooCore::doFetch(TimePs now)
 
     // The fetch group's leading access probes the I-cache; a miss
     // stalls the front end while the block fills through L2.
-    if (icache && fetchQueue.size() < fetchQueueCap) {
-        Addr pc = (*trace)[fetchSeq].pc;
+    if (icache && fqOcc < fetchQueueCap) {
+        const Addr pc = trInsts[fetchSeq.count()].pc;
         auto probe = icache->access(pc, false);
         if (!probe.hit) {
             ++st.icacheMisses;
@@ -622,10 +775,16 @@ OooCore::doFetch(TimePs now)
         }
     }
 
-    unsigned fetched = 0;
-    while (fetched < cfg.width && fetchQueue.size() < fetchQueueCap
-           && fetchSeq < trace->endSeq()) {
-        const TraceInst &inst = (*trace)[fetchSeq];
+    // Batched decode: pull the whole candidate fetch group as raw
+    // pointers into the trace's pre-decoded arrays in one call.
+    const std::size_t room = fetchQueueCap - fqOcc;
+    const unsigned budget = static_cast<unsigned>(
+        std::min<std::size_t>(cfg.width, room));
+    const FetchBlock blk = trace->block(fetchSeq, budget);
+    const Cycles rename_ready = curCycle + cfg.frontEndDepth;
+    for (std::uint32_t i = 0; i < blk.count; ++i) {
+        const TraceInst &inst = blk.insts[i];
+        const std::uint8_t fl = blk.flags[i];
 
         FetchOutcome out;
         if (hooks != nullptr)
@@ -633,29 +792,30 @@ OooCore::doFetch(TimePs now)
 
         bool end_group = false;
         bool mispred = false;
+        const bool taken = fl & kDecTaken;
         if (out.injected) {
             ++st.injected;
-            if (inst.op == OpClass::BranchCond) {
+            if (fl & kDecCondBr) {
                 ++st.condBranches;
                 // The injected outcome still trains the predictor
                 // and history (hardware trains at retirement), so
                 // the core predicts well when it later takes the
                 // lead.
-                bpred.predictAndTrain(inst.pc, inst.taken, false);
+                bpred.predictAndTrain(inst.pc, taken, false);
             }
-            if (inst.isBranch() && inst.taken) {
+            if ((fl & kDecBranch) && taken) {
                 btb.lookupAndTrain(inst.pc, inst.target);
                 end_group = true;
             }
-        } else if (inst.op == OpClass::BranchCond) {
+        } else if (fl & kDecCondBr) {
             ++st.condBranches;
-            bool pred = bpred.predictAndTrain(inst.pc, inst.taken);
+            const bool pred = bpred.predictAndTrain(inst.pc, taken);
             bool btb_ok = true;
-            if (inst.taken)
+            if (taken)
                 btb_ok = btb.lookupAndTrain(inst.pc, inst.target);
-            if (pred != inst.taken) {
+            if (pred != taken) {
                 mispred = true;
-            } else if (inst.taken) {
+            } else if (taken) {
                 end_group = true;
                 if (!btb_ok) {
                     ++st.btbMissRedirects;
@@ -663,24 +823,25 @@ OooCore::doFetch(TimePs now)
                         curCycle + 1 + cfg.btbMissPenalty;
                 }
             }
-        } else if (inst.op == OpClass::BranchUncond) {
-            bool btb_ok = btb.lookupAndTrain(inst.pc, inst.target);
+        } else if (fl & kDecUncondBr) {
+            const bool btb_ok = btb.lookupAndTrain(inst.pc, inst.target);
             end_group = true;
             if (!btb_ok) {
                 ++st.btbMissRedirects;
                 fetchResumeAt = curCycle + 1 + cfg.btbMissPenalty;
             }
-        } else if (inst.op == OpClass::Syscall) {
+        } else if (fl & kDecSyscall) {
             stalledSyscall = true;
         }
 
-        // Fixed-capacity RingBuffer (see rob.push_back above).
-        // contest-lint: allow(window-phase)
-        fetchQueue.push_back(
-            FetchEntry{fetchSeq, curCycle + cfg.frontEndDepth,
-                       out.injected});
+        const std::size_t fpos = fqPos(fetchSeq);
+        fqRenameReadyAt[fpos] = rename_ready;
+        if (out.injected)
+            bitSet(fqInjectedW, fpos);
+        else
+            bitClear(fqInjectedW, fpos);
+        ++fqOcc;
         ++fetchSeq;
-        ++fetched;
 
         if (mispred) {
             ++st.mispredicts;
@@ -706,10 +867,21 @@ OooCore::nextEventCycle() const
         return curCycle;
     if (hooks != nullptr && stalledBranch)
         return curCycle; // polls external resolution every cycle
-    if (!staleIq.empty())
+    if (!staleSeqs.empty())
         return curCycle; // a pending reap mutates IQ occupancy
-    if (!rob.empty() && rob.front().completed)
+    if (robOcc != 0 && bitTest(robCompletedW, ringPos(robHeadSeq)))
         return curCycle; // commits (or replays a commit-stall hook)
+
+    // Cheap immediate-action checks run first: while the pipeline is
+    // busy, dispatch or fetch almost always acts next tick, and the
+    // answer is curCycle before the ready-mask scan or the event
+    // rings are ever consulted.
+    const DispatchBlock db = dispatchBlock();
+    if (db == DispatchBlock::None || db == DispatchBlock::ConsumesEarly)
+        return curCycle; // dispatch acts (or consumes the patch)
+    if (fetchSeq < trace->endSeq() && !stalledBranch && !stalledSyscall
+        && curCycle >= fetchResumeAt && fqOcc < fetchQueueCap)
+        return curCycle; // fetch proceeds next tick
 
     Cycles next = Cycles::max();
     auto consider = [&next](Cycles c) {
@@ -718,46 +890,47 @@ OooCore::nextEventCycle() const
     };
 
     if (!completions.empty())
-        consider(completions.top().first);
-    if (!loadReleases.empty())
-        consider(loadReleases.top());
+        consider(completions.nextAt());
     if (!mshrReleases.empty())
-        consider(mshrReleases.top());
+        consider(mshrReleases.nextAt());
     if (!timedReady.empty())
-        consider(timedReady.top().readyAt);
+        consider(timedReady.nextAt());
 
     // Issuable entries act immediately — unless every one is a load
     // blocked on a full MSHR file, which frees at
-    // mshrReleases.top() (already considered above).
-    for (const IssueReady &rec : issueReady.items()) {
-        const IqSlot &sl = iqPool[rec.slot];
-        if (!sl.inUse || sl.seq != rec.seq)
-            continue; // superseded record; nothing will happen
-        if (rob.empty() || rec.seq < rob.front().seq
-            || robFor(rec.seq).completed)
-            return curCycle; // next doIssue reaps it
-        const TraceInst &inst = (*trace)[rec.seq];
-        if (inst.op != OpClass::Load || sl.injected)
-            return curCycle; // issues next tick
-        if (hier.l1().probe(inst.addr)
-            || mshrReleases.size() < cfg.mshrs)
-            return curCycle; // issues next tick
-    }
+    // mshrReleases.nextAt() (already considered above). With the
+    // stale list empty every ready bit is a live in-window entry.
+    bool acts_now = false;
+    forEachReady(robHeadSeq, robHeadSeq + robOcc, [&](InstSeq seq) {
+        const std::size_t pos = ringPos(seq);
+        if (bitTest(robCompletedW, pos)) {
+            acts_now = true; // next doIssue reaps it
+            return false;
+        }
+        const std::uint8_t fl = trFlags[seq.count()];
+        if (!(fl & kDecLoad) || bitTest(iqInjectedW, robIqSlot[pos])) {
+            acts_now = true; // issues next tick
+            return false;
+        }
+        if (hier.l1().probe(trInsts[seq.count()].addr)
+            || mshrReleases.size() < cfg.mshrs) {
+            acts_now = true; // issues next tick
+            return false;
+        }
+        return true;
+    });
+    if (acts_now)
+        return curCycle;
 
-    switch (dispatchBlock()) {
-      case DispatchBlock::None:
-      case DispatchBlock::ConsumesEarly:
-        return curCycle; // dispatch acts (or consumes the patch)
+    switch (db) {
       case DispatchBlock::Empty:
-        if (!fetchQueue.empty())
-            consider(fetchQueue.front().renameReadyAt);
+        if (fqOcc != 0)
+            consider(fqRenameReadyAt[fqPos(fetchSeq - fqOcc)]);
         break;
-      case DispatchBlock::SyscallDrain:
-      case DispatchBlock::RobFull:
-      case DispatchBlock::IqFull:
-      case DispatchBlock::LsqFull:
-        // Unblocks through a commit, issue, or release — all
-        // bounded by the events considered above.
+      default:
+        // SyscallDrain/RobFull/IqFull/LsqFull unblock through a
+        // commit, issue, or release — all bounded by the events
+        // considered above.
         break;
     }
 
@@ -767,12 +940,9 @@ OooCore::nextEventCycle() const
             // syscall's commit — bounded above.
         } else if (curCycle < fetchResumeAt) {
             consider(fetchResumeAt);
-        } else if (fetchQueue.size() >= fetchQueueCap) {
-            // Drains through dispatch, which is blocked (else we
-            // returned curCycle above).
-        } else {
-            return curCycle; // fetch proceeds next tick
         }
+        // Else the fetch queue is full (we returned curCycle above
+        // otherwise), which drains through dispatch — bounded above.
     }
 
     if (next == Cycles::max())

@@ -17,14 +17,22 @@
  * charges the same resolution + front-end-refill penalty to baseline
  * and contested runs alike.
  *
- * Hot-path structure: the ROB and fetch queue are fixed ring buffers
- * sized by their architectural capacities, and the issue queue is a
- * slot pool driven by a wakeup network — an instruction waits on its
- * producers' waiter chains, moves to a (readyAt, seq) heap when the
- * last producer issues, and to the oldest-first issue heap when its
- * operands' time arrives, so doIssue touches only issuable entries
- * instead of scanning the whole queue. On top of that the core can
- * prove an idle window (nextEventCycle) and fast-forward through it
+ * Hot-path structure (DESIGN.md §13): all per-instruction pipeline
+ * state lives in structure-of-arrays form. The ROB and fetch queue
+ * are implicit rings — in-flight stream positions are contiguous, so
+ * an entry's index is just `seq & ringMask` and no per-entry seq is
+ * stored. Per-entry booleans (issued/completed/injected/ready) are
+ * single bits in uint64 mask words, so issue select is a
+ * find-first-set scan over the ready mask in age order instead of a
+ * heap, and a 64-entry dependence wave costs one load. The issue
+ * queue is a slot pool driven by a wakeup network — an instruction
+ * waits on its producers' waiter chains and is queued on a
+ * cycle-indexed wakeup ring when the last producer issues; when the
+ * operand time arrives its ready bit is set. Completion, LSQ-release
+ * and MSHR-release events ride the same timing-wheel structure
+ * (common/cycle_ring.hh), so per-tick event delivery is bucket reads
+ * instead of heap sifts. On top of that the core can prove an idle
+ * window (nextEventCycle) and fast-forward through it
  * (skipIdleCycles), replaying the per-cycle stall counters exactly;
  * schedulers use this to elide provably dead ticks while staying
  * bit-identical to cycle-by-cycle stepping.
@@ -38,14 +46,16 @@
 #ifndef CONTEST_CORE_OOO_CORE_HH
 #define CONTEST_CORE_OOO_CORE_HH
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "bpred/bpred.hh"
-#include "common/min_heap.hh"
-#include "common/ring_buffer.hh"
+#include "common/cycle_ring.hh"
+#include "common/soa.hh"
 #include "core/config.hh"
 #include "core/contest_iface.hh"
 #include "core/stats.hh"
@@ -188,77 +198,25 @@ class OooCore
     DataHierarchy &memory() { return hier; }
 
   private:
-    /** One reorder-buffer entry. */
-    struct RobEntry
-    {
-        InstSeq seq{};
-        bool issued = false;
-        bool completed = false;
-        bool injected = false;
-        Cycles completeAt{};
-        Cycles valueReadyAt{};
-        /** Issue-queue slot of this instruction, or -1. */
-        int iqSlot = -1;
-        /** Head of the chain of IQ slots waiting on this value
-         *  (slot * 2 + operand), or -1. */
-        int firstWaiter = -1;
-    };
-
-    /** One front-end (fetch-to-rename) pipeline entry. */
-    struct FetchEntry
-    {
-        InstSeq seq{};
-        Cycles renameReadyAt{};
-        bool injected = false;
-    };
-
-    /** One issue-queue slot (pool storage, free-listed). */
-    struct IqSlot
-    {
-        InstSeq seq{};
-        InstSeq srcProd[2] = {InstSeq{}, InstSeq{}};
-        Cycles srcReadyAt[2] = {Cycles{}, Cycles{}};
-        /** Next slot*2+operand waiting on the same producer. */
-        int nextWaiter[2] = {-1, -1};
-        /** Bit s set: operand s still waits for its producer. */
-        std::uint8_t pendingMask = 0;
-        bool injected = false;
-        bool inUse = false;
-        /** Free-list link when !inUse. */
-        int freeNext = -1;
-    };
-
-    /** Rename-map entry for one architectural register. */
-    struct RenameRef
-    {
-        InstSeq producer{};
-        bool inFlight = false;
-    };
-
-    /** Operand-time wakeup record: migrates to issueReady when
-     *  readyAt arrives. (seq, slot) revalidates against the pool. */
+    /** Operand-time wakeup record, bucketed by ready cycle; (seq,
+     *  slot) revalidates against the pool at drain. */
     struct TimedReady
     {
-        Cycles readyAt{};
         InstSeq seq{};
-        int slot = -1;
+        std::int32_t slot = -1;
 
+        /** Overflow-heap tie-break; the pair's cycle orders first
+         *  and same-cycle handlers commute, so seq alone is enough. */
         bool
         operator<(const TimedReady &o) const
         {
-            return readyAt != o.readyAt ? readyAt < o.readyAt
-                                        : seq < o.seq;
+            return seq < o.seq;
         }
     };
-
-    /** Issuable-now record, ordered oldest-first like the select. */
-    struct IssueReady
-    {
-        InstSeq seq{};
-        int slot = -1;
-
-        bool operator<(const IssueReady &o) const { return seq < o.seq; }
-    };
+    // Two records per 32B half-cacheline; a grown field would
+    // silently halve the wheel's bucket density.
+    static_assert(sizeof(TimedReady) == 16,
+                  "TimedReady must stay two-per-half-cacheline");
 
     /** Why dispatch cannot accept the fetch-queue front right now. */
     enum class DispatchBlock
@@ -278,9 +236,28 @@ class OooCore
     void doDispatch(TimePs now);
     void doFetch(TimePs now);
 
-    /** ROB entry for an in-flight stream position. */
-    RobEntry &robFor(InstSeq seq);
-    const RobEntry &robFor(InstSeq seq) const;
+    /** @name Implicit-ring position maps
+     *
+     * ROB and fetch-queue seqs are contiguous, so position is a mask
+     * of the raw stream position. robPosChecked preserves the old
+     * robFor() window panics for paths that must not see a stale or
+     * undispatched seq.
+     */
+    /** @{ */
+    std::size_t
+    ringPos(InstSeq seq) const
+    {
+        return static_cast<std::size_t>(seq.count()) & ringMask;
+    }
+
+    std::size_t
+    fqPos(InstSeq seq) const
+    {
+        return static_cast<std::size_t>(seq.count()) & fqMask;
+    }
+
+    std::size_t robPosChecked(InstSeq seq) const;
+    /** @} */
 
     /** Is the given producer's value available, and when? */
     bool srcStatus(InstSeq producer, Cycles &ready_at) const;
@@ -289,17 +266,47 @@ class OooCore
     /** @{ */
     int allocIqSlot();
     void freeIqSlot(int slot);
-    /** Move every waiter of @p producer to the timed-ready heap. */
-    void wakeWaiters(RobEntry &producer);
+    /** Move every waiter of the producer at ROB ring position
+     *  @p prod_pos to the timed-ready heap. */
+    void wakeWaiters(std::size_t prod_pos);
     /** An in-queue instruction was completed externally (early
      *  branch resolution): queue it for a scan-order reap. */
-    void markIqStale(RobEntry &entry);
+    void markIqStale(InstSeq seq, int slot);
     /** Reap stale IQ entries older than @p before (the point the
      *  old linear scan would have reached). */
     void reapStaleBefore(InstSeq before);
     /** Drop a stale slot: unchain pending operands and free it. */
     void dropStaleSlot(int slot);
     /** @} */
+
+    /**
+     * Invoke @p fn(seq) for every set ready bit with stream position
+     * in [from, to), oldest first. The ring maps the range onto at
+     * most two linear bit segments. @p fn returns false to stop.
+     */
+    template <typename Fn>
+    void
+    forEachReady(InstSeq from, InstSeq to, Fn &&fn) const
+    {
+        if (!(from < to))
+            return;
+        const auto span =
+            static_cast<std::size_t>((to - from).count());
+        const std::size_t pos0 = ringPos(from);
+        const std::size_t lin = std::min(span, ringCap - pos0);
+        const auto relay = [&](std::size_t base_pos, InstSeq base_seq,
+                               std::size_t count) {
+            return scanBits(readyW, base_pos, base_pos + count,
+                            [&](std::size_t p) {
+                                // contest-lint: allow(unknown-call)
+                                return fn(base_seq + (p - base_pos));
+                            });
+        };
+        if (!relay(pos0, from, lin))
+            return;
+        if (span > lin)
+            relay(0, from + lin, span - lin);
+    }
 
     /** Classify the dispatch stage's view of the fetch-queue front. */
     DispatchBlock dispatchBlock() const;
@@ -318,38 +325,104 @@ class OooCore
     InjectionStyle style = InjectionStyle::PortSteal;
     RetireCallback retireCb;
 
+    /** Batched decode: raw bases of the trace's instruction and
+     *  pre-decoded flags arrays (the trace is immutable). */
+    const TraceInst *trInsts = nullptr;
+    const std::uint8_t *trFlags = nullptr;
+
     Cycles curCycle{};
     InstSeq fetchSeq{};
     InstSeq numRetired{};
 
-    RingBuffer<FetchEntry> fetchQueue;
-    std::size_t fetchQueueCap;
-    RingBuffer<RobEntry> rob;
-
-    /** @name Issue queue */
+    /** @name ROB (structure-of-arrays over an implicit ring)
+     *
+     * ringCap is a power of two with 2*width+2 slack beyond robSize:
+     * an early-resolved entry can commit while its IQ slot is still
+     * awaiting its reap point, and by the reap the head may have
+     * advanced up to width in the commit tick plus width in the next
+     * tick's commit stage — the slack keeps such a stale seq's bit
+     * position distinct from every live entry's.
+     */
     /** @{ */
-    std::vector<IqSlot> iqPool;
-    int iqFreeHead = -1;
-    unsigned iqCount = 0;
-    MinHeap<TimedReady> timedReady;
-    MinHeap<IssueReady> issueReady;
-    /** Per-cycle scratch for port/MSHR-blocked pops (no realloc). */
-    std::vector<IssueReady> deferScratch;
-    /** Externally completed in-queue entries awaiting their reap
-     *  point, sorted by seq (almost always empty or a singleton). */
-    std::vector<IssueReady> staleIq;
+    std::size_t ringCap = 0;
+    std::size_t ringMask = 0;
+    InstSeq robHeadSeq{};
+    std::size_t robOcc = 0;
+    SoaVec<Cycles> robValueReadyAt;
+    /** Issue-queue slot of each entry, or -1. */
+    SoaVec<std::int32_t> robIqSlot;
+    /** Head of the chain of IQ slots waiting on each entry's value
+     *  (slot * 2 + operand), or -1. */
+    SoaVec<std::int32_t> robFirstWaiter;
+    SoaVec<std::uint64_t> robIssuedW;
+    SoaVec<std::uint64_t> robCompletedW;
+    SoaVec<std::uint64_t> robInjectedW;
+    /** Bit set: the entry sits in the IQ with all operands timed in
+     *  — the issue select scans this word array oldest-first. */
+    SoaVec<std::uint64_t> readyW;
     /** @} */
 
-    std::vector<RenameRef> renameMap;
+    /** @name Front-end (fetch-to-rename) pipeline ring */
+    /** @{ */
+    std::size_t fetchQueueCap = 0;
+    std::size_t fqCap = 0;
+    std::size_t fqMask = 0;
+    std::size_t fqOcc = 0;
+    SoaVec<Cycles> fqRenameReadyAt;
+    SoaVec<std::uint64_t> fqInjectedW;
+    /** @} */
+
+    /** @name Issue-queue slot pool (structure-of-arrays) */
+    /** @{ */
+    SoaVec<InstSeq> iqSeq;
+    SoaVec<InstSeq> iqSrcProd0;
+    SoaVec<InstSeq> iqSrcProd1;
+    SoaVec<Cycles> iqSrcReady0;
+    SoaVec<Cycles> iqSrcReady1;
+    /** Next slot*2+operand waiting on the same producer, or -1. */
+    SoaVec<std::int32_t> iqNextWaiter0;
+    SoaVec<std::int32_t> iqNextWaiter1;
+    /** Free-list link when the in-use bit is clear. */
+    SoaVec<std::int32_t> iqFreeNext;
+    /** Bit set: the operand still waits for its producer. */
+    SoaVec<std::uint64_t> iqPend0W;
+    SoaVec<std::uint64_t> iqPend1W;
+    SoaVec<std::uint64_t> iqInjectedW;
+    SoaVec<std::uint64_t> iqInUseW;
+    int iqFreeHead = -1;
+    unsigned iqCount = 0;
+    CycleRing<TimedReady> timedReady;
+    /** Set bits in readyW (lets doIssue skip a scan-free tick). */
+    unsigned readyCount = 0;
+    /** Externally completed in-queue entries awaiting their reap
+     *  point, sorted by seq (almost always empty or a singleton);
+     *  parallel arrays. */
+    std::vector<InstSeq> staleSeqs;
+    std::vector<std::int32_t> staleSlots;
+    /** @} */
+
+    /** @name Rename map (producer per architectural register; the
+     *  in-flight flags are one mask word — numArchRegs is 64). */
+    /** @{ */
+    SoaVec<InstSeq> renameProducer;
+    std::uint64_t renameInFlightW = 0;
+    /** @} */
 
     unsigned lsqOcc = 0;
-    /** Completion times of in-flight loads (LSQ release). */
-    MinHeap<Cycles> loadReleases;
     /** Data-return times of outstanding misses (MSHR release). */
-    MinHeap<Cycles> mshrReleases;
-    /** (completeAt, seq) of issued-but-incomplete instructions. */
-    using CompletionEvent = std::pair<Cycles, InstSeq>;
-    MinHeap<CompletionEvent> completions;
+    CycleRing<std::uint8_t> mshrReleases;
+    /** One completion event, packed into a single word: bit 0 set
+     *  when the instruction is a load whose LSQ slot releases the
+     *  cycle its data returns — the same cycle the completion fires
+     *  — so the release rides the completion instead of its own
+     *  event ring; the remaining bits are the instruction seq. */
+    static constexpr std::uint64_t
+    packCompletion(InstSeq seq, bool lsq_release)
+    {
+        return seq.count() << 1 | (lsq_release ? 1 : 0);
+    }
+    /** Completion events of issued-but-incomplete instructions. */
+    CycleRing<std::uint64_t> completions;
 
     /** @name Fetch-stall state */
     /** @{ */

@@ -95,9 +95,14 @@ struct TraceInst
     }
 };
 
-static_assert(sizeof(TraceInst) <= 32,
-              "TraceInst is streamed by fetch every cycle; keep it "
-              "within 32 bytes");
+static_assert(sizeof(TraceInst) == 24,
+              "TraceInst is streamed by fetch every cycle; a size "
+              "change shifts every block-fetch stride — repack before "
+              "growing");
+static_assert(alignof(TraceInst) == 8,
+              "TraceInst arrays are indexed by raw stream position; "
+              "keep natural 8-byte alignment so no padding appears "
+              "between records");
 
 } // namespace contest
 

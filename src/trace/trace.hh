@@ -6,11 +6,13 @@
 #ifndef CONTEST_TRACE_TRACE_HH
 #define CONTEST_TRACE_TRACE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "trace/decode.hh"
 #include "trace/instr.hh"
 
 namespace contest
@@ -58,6 +60,7 @@ class Trace
     {
         insts.reserve(n);
         phases.reserve(n);
+        flags_.reserve(n);
     }
 
     /** Append one instruction produced by the given phase id.
@@ -69,6 +72,7 @@ class Trace
     {
         insts.push_back(inst);
         phases.push_back(phase_id);
+        flags_.push_back(decodeFlags(inst));
     }
 
     /** Number of instructions in the trace. */
@@ -91,6 +95,35 @@ class Trace
      *  fetch/retire counters compare without leaving the unit. */
     InstSeq endSeq() const { return InstSeq{insts.size()}; }
 
+    /** Raw base of the instruction array (batched-decode access). */
+    const TraceInst *data() const { return insts.data(); }
+
+    /** Raw base of the pre-decoded flags array, parallel to data(). */
+    const std::uint8_t *decodedFlags() const { return flags_.data(); }
+
+    /** Pre-decoded flags of the instruction at position @p seq. */
+    std::uint8_t
+    flagsOf(InstSeq seq) const
+    {
+        return flags_[static_cast<std::size_t>(seq.count())];
+    }
+
+    /**
+     * Up to @p max_count pre-decoded instructions starting at stream
+     * position @p seq, clipped to the end of the trace. The block
+     * aliases the trace arrays: no copying, valid while the trace
+     * lives.
+     */
+    FetchBlock
+    block(InstSeq seq, std::uint32_t max_count) const
+    {
+        const auto i = static_cast<std::size_t>(seq.count());
+        const std::size_t n =
+            std::min<std::size_t>(max_count, insts.size() - i);
+        return FetchBlock{insts.data() + i, flags_.data() + i,
+                          static_cast<std::uint32_t>(n)};
+    }
+
     /** Generator phase id of the i-th instruction. */
     std::uint8_t phaseOf(std::size_t i) const { return phases[i]; }
 
@@ -110,6 +143,8 @@ class Trace
     std::string name_;
     std::vector<TraceInst> insts;
     std::vector<std::uint8_t> phases;
+    /** Pre-decoded flags byte per instruction, parallel to insts. */
+    std::vector<std::uint8_t> flags_;
 };
 
 /** Shared ownership alias; traces are immutable once generated. */

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <queue>
+#include <vector>
 
 namespace contest
 {
@@ -51,6 +52,21 @@ struct BadCounters
         if (performed < merged)
             panic("bad state");
     }
+};
+
+struct HotEntry
+{
+    std::uint32_t dest = 0;
+    std::uint32_t flags = 0;
+};
+
+struct BadLayout
+{
+    // core-soa: array-of-structs of a locally-defined per-entry
+    // record, and the std::vector<bool> bit proxy (both fire only
+    // when linted under a src/core/ path).
+    std::vector<HotEntry> entries;
+    std::vector<bool> readyFlags;
 };
 
 // Suppressed findings: the allow comment must silence the rule on

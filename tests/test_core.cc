@@ -320,6 +320,94 @@ TEST(Core, PaletteConfigsAllRunAShortTrace)
 }
 
 
+TEST(Core, WakeupMasksSpanMultipleWords)
+{
+    // More than 64 producers in flight at once: the ready/issued/
+    // completed ring masks (one bit per ring position, ringCap =
+    // nextPow2(robSize + slack) = 256 here) must operate across
+    // word boundaries. 120 independent cold misses all fit in the
+    // ROB/LSQ/MSHRs and the L1 ports drain them into the memory
+    // system well before the first reply, so all 120 loads are
+    // outstanding simultaneously.
+    auto cfg = testConfig();
+    cfg.memAccessCycles = Cycles{400};
+    // One-cycle fill gap so the bus does not stagger the replies.
+    cfg.memBandwidthBytesPerNs = 256.0;
+    cfg.width = 8;
+    cfg.robSize = 200;
+    cfg.iqSize = 64;
+    cfg.lsqSize = 160;
+    cfg.mshrs = 128;
+    std::vector<TraceInst> insts;
+    for (int i = 0; i < 120; ++i) {
+        TraceInst ld;
+        ld.op = OpClass::Load;
+        ld.dst = static_cast<RegId>(1 + (i % 60));
+        ld.addr = 0x80000 + static_cast<Addr>(i) * 0x1000;
+        ld.pc = 0x1000;
+        insts.push_back(ld);
+    }
+    // Waiters pending on the multi-word producer set: one consumer
+    // per architectural register, woken by the last load writing it.
+    for (int i = 0; i < 60; ++i)
+        insts.push_back(alu(63, static_cast<RegId>(1 + i)));
+    OooCore core(cfg, makeTrace(insts));
+    InstSeq expected{};
+    core.setRetireCallback([&](InstSeq seq, TimePs) {
+        EXPECT_EQ(seq, expected);
+        ++expected;
+    });
+    Cycles cycles = runToCompletion(core);
+    EXPECT_EQ(core.retired(), insts.size());
+    // One overlapped memory round trip (~410 cycles) plus issue and
+    // drain. Two serialized waves (only <=64 overlapped misses)
+    // would exceed 850 cycles.
+    EXPECT_GE(cycles, 410u);
+    EXPECT_LE(cycles, 700u);
+    EXPECT_EQ(core.memory().l1().misses(), 120u);
+}
+
+TEST(Core, RingIndicesWrapWithEntriesInFlight)
+{
+    // A small ROB (ringCap = nextPow2(24 + 2*2 + 2) = 32) over a
+    // long trace wraps the position ring dozens of times, and the
+    // periodic independent cold misses keep the ROB full so the
+    // in-flight window straddles the wrap boundary on most laps.
+    // Retirement must stay in program order throughout.
+    auto cfg = testConfig();
+    cfg.width = 2;
+    cfg.robSize = 24;
+    cfg.iqSize = 12;
+    cfg.lsqSize = 8;
+    std::vector<TraceInst> insts;
+    insts.push_back(alu(1));
+    for (int i = 1; i < 2000; ++i) {
+        if (i % 30 == 15) {
+            TraceInst ld;
+            ld.op = OpClass::Load;
+            ld.dst = 62;
+            ld.addr = 0x90000 + static_cast<Addr>(i) * 0x1000;
+            ld.pc = 0x1000;
+            insts.push_back(ld);
+        }
+        insts.push_back(alu(static_cast<RegId>(1 + (i % 60)),
+                            static_cast<RegId>(1 + ((i - 1) % 60))));
+    }
+    OooCore core(cfg, makeTrace(insts));
+    InstSeq expected{};
+    core.setRetireCallback([&](InstSeq seq, TimePs) {
+        EXPECT_EQ(seq, expected);
+        ++expected;
+    });
+    Cycles cycles = runToCompletion(core);
+    EXPECT_EQ(core.retired(), insts.size());
+    EXPECT_EQ(expected, insts.size());
+    // The serial ALU chain alone costs 2 cycles per instruction.
+    EXPECT_GE(cycles, 3900u);
+    // The misses behind the chain fill the ROB across wrap points.
+    EXPECT_GT(core.stats().robFullStalls, 0u);
+}
+
 TEST(Core, ICacheOffByDefaultAndPerfect)
 {
     std::vector<TraceInst> insts;

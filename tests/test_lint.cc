@@ -195,6 +195,50 @@ TEST(LintCoreContainer, AllowCommentSuppresses)
             .empty());
 }
 
+TEST(LintCoreSoa, FlagsVectorBoolInCoreOnly)
+{
+    const char *decl = "std::vector<bool> robCompleted;\n";
+    EXPECT_TRUE(fired(lintFile("src/core/ooo_core.hh", decl),
+                      "core-soa"));
+    // Outside src/core/ the proxy container is tolerated.
+    EXPECT_FALSE(fired(lintFile("src/contest/unit.hh", decl),
+                       "core-soa"));
+}
+
+TEST(LintCoreSoa, FlagsContainersOfLocalPerEntryStructs)
+{
+    const char *decl = "struct RobEntry {\n"
+                       "    int dest;\n"
+                       "    int flags;\n"
+                       "};\n"
+                       "std::vector<RobEntry> rob;\n"
+                       "SoaVec<RobEntry> robShadow;\n";
+    const auto rules = rulesIn(lintFile("src/core/ooo_core.hh", decl));
+    EXPECT_EQ(std::count(rules.begin(), rules.end(),
+                         std::string("core-soa")),
+              2);
+    // Containers of foreign scalar-like types (Strong<> quantities,
+    // config records defined elsewhere) are the intended layout.
+    EXPECT_TRUE(lintFile("src/core/ooo_core.cc",
+                         "SoaVec<InstSeq> iqSeq;\n"
+                         "std::vector<InstSeq> staleSeqs;\n")
+                    .empty());
+    // A forward declaration is not a per-entry record definition.
+    EXPECT_FALSE(fired(lintFile("src/core/ooo_core.hh",
+                                "struct RobEntry;\n"
+                                "std::vector<RobEntry> rob;\n"),
+                       "core-soa"));
+}
+
+TEST(LintCoreSoa, AllowCommentSuppresses)
+{
+    EXPECT_TRUE(
+        lintFile("src/core/ooo_core.cc",
+                 "// contest-lint: allow(core-soa)\n"
+                 "std::vector<bool> coldReplayMask;\n")
+            .empty());
+}
+
 TEST(LintCoreContainer, FixtureContentTripsUnderCorePath)
 {
     std::ifstream in(std::string(CONTEST_LINT_FIXTURE_DIR)
@@ -204,12 +248,19 @@ TEST(LintCoreContainer, FixtureContentTripsUnderCorePath)
     ss << in.rdbuf();
     EXPECT_TRUE(fired(lintFile("src/core/bad_example.hh", ss.str()),
                       "core-container"));
-    // Under its own path the fixture must stay core-container-free
-    // (the CI fixture acceptance check counts on the other rules).
+    EXPECT_TRUE(fired(lintFile("src/core/bad_example.hh", ss.str()),
+                      "core-soa"));
+    // Under its own path the fixture must stay free of the
+    // core-scoped rules (the CI fixture acceptance check counts on
+    // the other rules).
     EXPECT_FALSE(
         fired(lintFile("tests/lint_fixtures/bad_example.hh",
                        ss.str()),
               "core-container"));
+    EXPECT_FALSE(
+        fired(lintFile("tests/lint_fixtures/bad_example.hh",
+                       ss.str()),
+              "core-soa"));
 }
 
 // ---- window-phase call-graph engine ----------------------------

@@ -147,6 +147,41 @@ TEST(SkipEquivalence, SingleCoreActuallySkips)
     EXPECT_LT(core.idleSkipped(), core.stats().cycles);
 }
 
+TEST(SkipEquivalence, MaskEdgeConfigs)
+{
+    // Ring-mask edge cases under skipping: a >64-entry window whose
+    // ready/completed masks span multiple words ("wide"), and a tiny
+    // window whose ring positions wrap dozens of times per run
+    // ("wrap"). Skipping must stay invisible for both.
+    CoreConfig wide = coreConfigByName("gcc"); // robSize 256
+    wide.name = "wide";
+    CoreConfig wrap = coreConfigByName("gzip");
+    wrap.name = "wrap";
+    wrap.robSize = 24;
+    wrap.iqSize = 12;
+    wrap.lsqSize = 8;
+    wrap.validate();
+    for (std::uint64_t seed : {2009ull, 7ull}) {
+        for (const char *bench : {"mcf", "crafty"}) {
+            auto trace = makeBenchmarkTrace(bench, seed, 15000);
+            for (const CoreConfig *cfg : {&wide, &wrap}) {
+                auto fast = withSkipMode(false, [&] {
+                    return runSingle(*cfg, trace);
+                });
+                auto ref = withSkipMode(true, [&] {
+                    return runSingle(*cfg, trace);
+                });
+                std::string what = std::string(bench) + " on "
+                    + cfg->name + " seed " + std::to_string(seed);
+                EXPECT_EQ(fast.timePs, ref.timePs) << what;
+                expectSameStats(fast.stats, ref.stats, what.c_str());
+                expectSameEnergy(fast.energy, ref.energy,
+                                 what.c_str());
+            }
+        }
+    }
+}
+
 TEST(SkipEquivalence, ContestSeedSweep)
 {
     for (std::uint64_t seed : {2009ull, 7ull}) {

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Append a BENCH_throughput run to the committed perf trajectory.
+
+BENCH_history.json (repo root) is the checked-in, append-only record
+of the suite's throughput scalars — one entry per PR — so the perf
+trajectory lives in the repo instead of only in CI logs. The CI
+perf-smoke job runs this script after BENCH_throughput and uploads
+the appended file as an artifact; the PR author checks the new entry
+in (the alternative, a CI-side commit, would race concurrent PRs).
+
+Usage:
+    tools/bench_history.py <BENCH_throughput.json> [--label TEXT]
+        [--history PATH]
+
+The entry records the benchmark's meta block (trace length, seed,
+jobs, git revision) plus every scalar, and is skipped when the
+history's newest entry already names the same git revision (re-runs
+on one commit should not duplicate entries).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="append BENCH_throughput scalars to "
+                    "BENCH_history.json")
+    ap.add_argument("result", type=Path,
+                    help="BENCH_throughput.json produced by "
+                         "contest_bench")
+    ap.add_argument("--label", default="",
+                    help="free-form tag for the entry (e.g. the PR "
+                         "title)")
+    ap.add_argument("--history",
+                    type=Path,
+                    default=Path(__file__).resolve().parent.parent
+                    / "BENCH_history.json",
+                    help="history file to append to (default: repo "
+                         "root BENCH_history.json)")
+    args = ap.parse_args()
+
+    result = json.loads(args.result.read_text())
+    if result.get("name") != "BENCH_throughput":
+        print(f"error: {args.result} is not a BENCH_throughput "
+              "artifact", file=sys.stderr)
+        return 1
+
+    history = []
+    if args.history.exists():
+        history = json.loads(args.history.read_text())
+        if not isinstance(history, list):
+            print(f"error: {args.history} is not a JSON array",
+                  file=sys.stderr)
+            return 1
+
+    entry = {
+        "label": args.label,
+        "meta": result.get("meta", {}),
+        "scalars": result.get("scalars", {}),
+    }
+
+    git = entry["meta"].get("git", "")
+    if history and git and history[-1].get("meta", {}).get("git") == git:
+        print(f"history already ends at {git}; not appending")
+        return 0
+
+    history.append(entry)
+    args.history.write_text(json.dumps(history, indent=2) + "\n")
+    mean = entry["scalars"].get("mean_mticks_per_s")
+    print(f"appended entry #{len(history)} ({git or 'no git rev'}"
+          f"{', ' + args.label if args.label else ''}): "
+          f"mean {mean:.2f} Mticks/s" if mean is not None else
+          f"appended entry #{len(history)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

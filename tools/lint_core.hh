@@ -22,6 +22,11 @@
  *                          src/core/: the per-tick hot path uses the
  *                          fixed-capacity RingBuffer and MinHeap
  *                          from common/
+ *  - core-soa              no std::vector<bool> and no containers of
+ *                          locally-defined per-entry structs (AoS) in
+ *                          src/core/: hot state is parallel SoaVec
+ *                          field arrays plus uint64 mask words
+ *                          (DESIGN.md §13)
  *
  * The window-phase discipline rules (window-phase, unknown-call) —
  * the transitive successor of the old one-hop cross-core-mutation
@@ -447,6 +452,77 @@ lintFile(const std::string &path, const std::string &content)
                                  "RingBuffer / MinHeap from common/ "
                                  "(fixed capacity, no per-tick "
                                  "allocation)");
+            }
+        }
+    }
+
+    // ---- core-soa ----------------------------------------------
+    // The SoA refactor (DESIGN.md §13) replaced the per-entry
+    // RobEntry/IqSlot structs with parallel packed field arrays and
+    // mask words. Reintroducing an array-of-structs for hot state —
+    // a std::vector/SoaVec of a struct defined in the same file — or
+    // the bit-proxy std::vector<bool> silently undoes the layout.
+    // Intentional cold-path uses carry an allow-comment.
+    if (path.rfind("src/core/", 0) == 0
+        || path.rfind("core/", 0) == 0) {
+        // Struct/class types defined in this file (skipping forward
+        // declarations): containers of these are per-entry records.
+        std::vector<std::string> localStructs;
+        for (const std::string &l : code) {
+            for (const char *kw : {"struct", "class"}) {
+                std::size_t pos = 0;
+                const std::size_t kwLen = std::string(kw).size();
+                while ((pos = l.find(kw, pos)) != std::string::npos) {
+                    const bool ws = pos == 0 || !isIdentChar(l[pos - 1]);
+                    const bool we = pos + kwLen >= l.size()
+                        || !isIdentChar(l[pos + kwLen]);
+                    if (!ws || !we) {
+                        pos += kwLen;
+                        continue;
+                    }
+                    const std::string name =
+                        nextIdentifier(l, pos + kwLen);
+                    std::size_t after = l.find(name, pos + kwLen);
+                    after = after == std::string::npos
+                        ? l.size() : after + name.size();
+                    while (after < l.size() && l[after] == ' ')
+                        ++after;
+                    // `struct X;` forward-declares; anything else
+                    // (brace, base list, end of line) defines.
+                    if (!name.empty()
+                        && (after >= l.size() || l[after] != ';'))
+                        localStructs.push_back(name);
+                    pos += kwLen;
+                }
+            }
+        }
+        for (std::size_t i = 0; i < code.size(); ++i) {
+            const std::string &l = code[i];
+            if (l.find("std::vector<bool>") != std::string::npos)
+                report(i + 1, "core-soa",
+                       "std::vector<bool> on the core hot path; use "
+                       "SoaVec<uint64_t> mask words with "
+                       "bitSet/bitTest/scanBits");
+            for (const char *tpl : {"std::vector<", "SoaVec<"}) {
+                std::size_t pos = 0;
+                while ((pos = l.find(tpl, pos)) != std::string::npos) {
+                    if (pos > 0 && isIdentChar(l[pos - 1])) {
+                        ++pos;
+                        continue;
+                    }
+                    const std::size_t open =
+                        pos + std::string(tpl).size();
+                    const std::string elem = nextIdentifier(l, open);
+                    for (const std::string &s : localStructs)
+                        if (elem == s)
+                            report(i + 1, "core-soa",
+                                   "container of per-entry struct '"
+                                       + elem + "' (AoS) on the core "
+                                     "hot path; split the struct into "
+                                     "parallel SoaVec field arrays "
+                                     "(DESIGN.md §13)");
+                    pos = open;
+                }
             }
         }
     }
