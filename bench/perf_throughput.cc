@@ -139,6 +139,36 @@ runThroughput(ExperimentContext &ctx)
             art.scalar("contest_speedup_4_lanes",
                        sec > 0.0 ? contest_seq_sec / sec : 0.0);
         }
+        if (jobs > 1) {
+            const WindowStats &w = sys.windowStats();
+            if (tl != nullptr && w.active())
+                tl->recordWindowStats(bench + "@gcc+twolf/j"
+                                          + std::to_string(jobs),
+                                      w);
+            if (jobs == 4 && w.active()) {
+                // Commit the 4-lane run's overhead split as scalars
+                // so BENCH_history tracks the window schedule, not
+                // just the end-to-end speedup.
+                art.scalar("win4_windows",
+                           static_cast<double>(w.windows));
+                art.scalar("win4_window_ticks",
+                           static_cast<double>(w.windowTicks));
+                art.scalar("win4_mean_window_ticks",
+                           w.meanWindowTicks());
+                art.scalar("win4_seq_steps",
+                           static_cast<double>(w.seqSteps));
+                art.scalar("win4_burst_steps",
+                           static_cast<double>(w.burstSteps));
+                art.scalar("win4_degenerate_fallbacks",
+                           static_cast<double>(w.degenerateFallbacks));
+                art.scalar("win4_final_cap_ticks",
+                           static_cast<double>(w.finalCapTicks));
+                art.scalar("win4_oracle_sec", w.oracleSec);
+                art.scalar("win4_horizon_sec", w.horizonSec);
+                art.scalar("win4_lane_sec", w.laneSec);
+                art.scalar("win4_commit_sec", w.commitSec);
+            }
+        }
     }
 
     art.scalar("mean_mticks_per_s",

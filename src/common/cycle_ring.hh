@@ -16,6 +16,14 @@
  * queuing delay) spill into a small overflow heap, so no bound on
  * event latency is assumed.
  *
+ * Bucket storage is one shared node pool threaded through intrusive
+ * per-bucket chains. Per-bucket vectors would re-allocate whenever
+ * any single bucket hit a new depth — a warm-up that never ends,
+ * since the pool of buckets is large and rarely-deep ones keep
+ * being hit; the shared pool's high-water mark is the *total*
+ * simultaneous in-flight events, a structural bound the caller can
+ * pre-reserve at init.
+ *
  * Drain order within one cycle is bucket insertion order, not the
  * heap's (cycle, payload) order; every user's per-cycle handler is
  * commutative (setting ready bits, counting releases), which is what
@@ -52,14 +60,26 @@ template <typename T>
 class CycleRing
 {
   public:
-    /** Size the ring to cover at least @p min_span cycles ahead. */
+    /**
+     * Size the ring to cover at least @p min_span cycles ahead and
+     * pre-reserve the event pool for @p reserve_events simultaneous
+     * events. Events live in one shared node pool threaded through
+     * per-bucket intrusive lists, so bucket capacity never warms up
+     * bucket-by-bucket the way per-bucket vectors would: reserving
+     * the caller's structural in-flight bound (ROB, IQ, LSQ size)
+     * makes every steady-state push allocation-free from the first
+     * tick.
+     */
     void
-    init(std::size_t min_span)
+    init(std::size_t min_span, std::size_t reserve_events = 0)
     {
         span = nextPow2(min_span);
         posMask = span - 1;
-        buckets.resize(span);
+        bucketHead.assign(span, -1);
+        bucketTail.assign(span, -1);
         occW.assign(maskWords(span), 0);
+        poolVal.reserve(reserve_events);
+        poolNext.reserve(reserve_events);
     }
 
     bool empty() const { return ringCount + overflow.size() == 0; }
@@ -89,11 +109,28 @@ class CycleRing
         } else {
             const std::size_t p =
                 static_cast<std::size_t>(at.count()) & posMask;
-            // Per-core bucket storage: capacity persists across ring
-            // laps, so steady-state pushes never allocate, and the
-            // rare growth touches only this core's own vectors.
-            // contest-lint: allow(window-phase)
-            buckets[p].push_back(v);
+            // Take a pool node (the free list covers the structural
+            // in-flight bound after init; growth is a first-lap
+            // rarity) and append it to the bucket's chain — tail
+            // insertion keeps delivery in push order.
+            std::int32_t idx = freeHead;
+            if (idx >= 0) {
+                freeHead = poolNext[static_cast<std::size_t>(idx)];
+                poolVal[static_cast<std::size_t>(idx)] = v;
+            } else {
+                idx = static_cast<std::int32_t>(poolVal.size());
+                // contest-lint: allow(window-phase)
+                poolVal.push_back(v);
+                // contest-lint: allow(window-phase)
+                poolNext.push_back(-1);
+            }
+            poolNext[static_cast<std::size_t>(idx)] = -1;
+            if (bucketTail[p] >= 0)
+                poolNext[static_cast<std::size_t>(bucketTail[p])] =
+                    idx;
+            else
+                bucketHead[p] = idx;
+            bucketTail[p] = idx;
             bitSet(occW, p);
             ++ringCount;
         }
@@ -168,13 +205,26 @@ class CycleRing
             const auto base = static_cast<std::size_t>(
                 drainedUpTo.count());
             auto deliver = [&](std::size_t p) {
-                for (T &v : buckets[p])
+                // Walk the bucket's chain in push order, returning
+                // each node to the free list after its value and
+                // successor are extracted — a handler may push (and
+                // so reuse the node) for a later cycle immediately.
+                std::int32_t i = bucketHead[p];
+                while (i >= 0) {
+                    const auto u = static_cast<std::size_t>(i);
+                    const T v = poolVal[u];
+                    const std::int32_t nx = poolNext[u];
+                    poolNext[u] = freeHead;
+                    freeHead = i;
+                    --ringCount;
                     // Generic callback: every in-tree handler is a
                     // lambda the engine analyzes at its definition.
                     // contest-lint: allow(unknown-call)
                     fn(v);
-                ringCount -= buckets[p].size();
-                buckets[p].clear();
+                    i = nx;
+                }
+                bucketHead[p] = -1;
+                bucketTail[p] = -1;
                 bitClear(occW, p);
                 delivered = true;
                 return ringCount != 0;
@@ -223,12 +273,24 @@ class CycleRing
     {
         if (ringCount != 0) {
             auto wipe = [&](std::size_t p) {
-                buckets[p].clear();
+                bucketHead[p] = -1;
+                bucketTail[p] = -1;
                 return true;
             };
             scanBits(occW, 0, span, wipe);
             std::fill(occW.begin(), occW.end(), 0);
             ringCount = 0;
+        }
+        // Rebuild the free list over the whole pool (dropped and
+        // free nodes alike); a refork is rare enough that O(pool)
+        // is irrelevant.
+        for (std::size_t i = 0; i < poolNext.size(); ++i)
+            poolNext[i] = static_cast<std::int32_t>(i) + 1;
+        if (!poolNext.empty()) {
+            poolNext.back() = -1;
+            freeHead = 0;
+        } else {
+            freeHead = -1;
         }
         overflow.clear();
         drainedUpTo = now;
@@ -241,7 +303,14 @@ class CycleRing
     std::size_t posMask = 0;
     Cycles drainedUpTo{};
     std::size_t ringCount = 0;
-    std::vector<std::vector<T>> buckets;
+    /** Event node pool: values + free-list / bucket-chain links. */
+    std::vector<T> poolVal;
+    std::vector<std::int32_t> poolNext;
+    std::int32_t freeHead = -1;
+    /** Per-bucket chain bounds into the pool (-1 = empty). Tail
+     *  insertion preserves push order within a cycle. */
+    SoaVec<std::int32_t> bucketHead;
+    SoaVec<std::int32_t> bucketTail;
     SoaVec<std::uint64_t> occW;
     MinHeap<std::pair<Cycles, T>> overflow;
     /** Min pending cycle; lazily recomputed after a drain. */

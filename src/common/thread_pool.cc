@@ -240,7 +240,7 @@ ContestWorkerGroup::drainLanes(std::uint64_t my_epoch)
                     claim, claim + 1, std::memory_order_relaxed))
                 break;
         }
-        (*taskFn)(claim & lane_mask);
+        taskFn(claim & lane_mask);
         lanesDone.fetch_add(1, std::memory_order_release);
     }
 }
@@ -275,8 +275,7 @@ ContestWorkerGroup::workerLoop()
 }
 
 void
-ContestWorkerGroup::run(std::size_t n,
-                        const std::function<void(std::size_t)> &fn)
+ContestWorkerGroup::run(std::size_t n, LaneFn fn)
 {
     if (n == 0)
         return;
@@ -289,21 +288,31 @@ ContestWorkerGroup::run(std::size_t n,
     const std::uint64_t e =
         epoch.load(std::memory_order_relaxed) + 1;
     taskN = n;
-    taskFn = &fn;
+    taskFn = fn;
     lanesDone.store(0, std::memory_order_relaxed);
-    laneClaim.store(e << laneBits, std::memory_order_relaxed);
+    // Lane 0 is pre-claimed for the owner: the claim word starts at
+    // 1, so workers never touch it and the owner runs it without any
+    // CAS traffic.
+    laneClaim.store((e << laneBits) | 1, std::memory_order_relaxed);
     epoch.store(e, std::memory_order_release);
     if (sleepers.load(std::memory_order_relaxed) > 0) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_all();
     }
 
-    // The owner drains lanes too, then waits for stragglers; the
-    // acquire pairs with each lane's release increment so the cores'
-    // window-local state is visible before the boundary commit.
+    // The owner runs its reserved lane, drains leftovers, then waits
+    // for stragglers; the acquire pairs with each worker lane's
+    // release increment so the cores' window-local state is visible
+    // before the boundary commit. Only the n-1 worker-claimable lanes
+    // count toward lanesDone — lane 0 finished on this thread. Spin
+    // hot briefly before yielding: lanes are a few microseconds long,
+    // and a premature yield can stall the commit a full timeslice.
+    fn(0);
     drainLanes(e);
-    while (lanesDone.load(std::memory_order_acquire) < n)
-        std::this_thread::yield();
+    unsigned spins = 0;
+    while (lanesDone.load(std::memory_order_acquire) < n - 1)
+        if (++spins >= 256)
+            std::this_thread::yield();
 }
 
 } // namespace contest

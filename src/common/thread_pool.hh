@@ -27,10 +27,45 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace contest
 {
+
+/**
+ * Non-owning reference to a callable invoked as fn(lane). Two words,
+ * trivially copyable, and never allocates — unlike std::function,
+ * whose construction heap-allocates once the captures outgrow the
+ * small-object buffer. The referent must outlive every call; the
+ * windowed contest loop passes a stack lambda that lives for the
+ * duration of the dispatch, which is exactly that contract.
+ */
+class LaneFn
+{
+  public:
+    LaneFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, LaneFn>>>
+    LaneFn(F &&f)
+        : obj(const_cast<void *>(
+              static_cast<const void *>(std::addressof(f)))),
+          call([](void *o, std::size_t i) {
+              (*static_cast<std::remove_reference_t<F> *>(o))(i);
+          })
+    {
+    }
+
+    void operator()(std::size_t i) const { call(obj, i); }
+
+    explicit operator bool() const { return call != nullptr; }
+
+  private:
+    void *obj = nullptr;
+    void (*call)(void *, std::size_t) = nullptr;
+};
 
 /** Fixed-size pool executing indexed batches of independent tasks. */
 class ThreadPool
@@ -134,9 +169,14 @@ void releaseContestWorkers(unsigned granted);
  *
  * The owner calls run(n, fn): fn(0..n-1) executes across the workers
  * and the calling thread, and run() returns when all lanes finished.
- * Lane indices are claimed from an atomic counter, and every lane
+ * The caller always executes lane 0 inline (no claim traffic, and it
+ * never just barrier-waits while holding runnable work); workers
+ * claim the remaining lanes from an atomic counter. Every lane
  * writes only its own core's state, so results are independent of
- * which thread runs which lane.
+ * which thread runs which lane. The whole dispatch is a single
+ * release (the epoch publish) / acquire (the lanes-done spin) pair
+ * per window and performs no heap allocation — fn is a non-owning
+ * LaneFn, not a std::function.
  */
 class ContestWorkerGroup
 {
@@ -156,8 +196,9 @@ class ContestWorkerGroup
     }
 
     /** Run fn(0) .. fn(n-1) across the group and the calling thread;
-     *  returns when every lane has completed. fn must not throw. */
-    void run(std::size_t n, const std::function<void(std::size_t)> &fn);
+     *  returns when every lane has completed. fn must not throw and
+     *  must outlive the call (it is not copied). */
+    void run(std::size_t n, LaneFn fn);
 
   private:
     /** Lane-claim word layout: epoch in the high bits, next
@@ -178,7 +219,7 @@ class ContestWorkerGroup
     /** Set while any worker sleeps on cv (spin timed out). */
     std::atomic<unsigned> sleepers{0};
     std::size_t taskN = 0;
-    const std::function<void(std::size_t)> *taskFn = nullptr;
+    LaneFn taskFn;
     std::mutex mu;
     std::condition_variable cv;
     std::vector<std::thread> threads;

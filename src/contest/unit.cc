@@ -309,6 +309,21 @@ CoreContestUnit::appendWindowEvent(bool is_store, std::uint64_t arg)
     winEvArg.push_back(arg);
 }
 
+bool
+CoreContestUnit::reserveWindowLogs(std::size_t ticks,
+                                   std::size_t events)
+{
+    const bool grew = ticks > winTickAt.capacity()
+        || events > winEvArg.capacity()
+        || events / 64 + 1 > winEvStoreW.capacity();
+    winTickAt.reserve(ticks);
+    winTickSkipped.reserve(ticks);
+    winTickEvEnd.reserve(ticks);
+    winEvArg.reserve(events);
+    winEvStoreW.reserve(events / 64 + 1);
+    return grew;
+}
+
 void
 CoreContestUnit::recordTick(TimePs at, Cycles skipped)
 {

@@ -88,6 +88,19 @@ class CoreContestUnit : public ContestHooks, public WindowPhased
     /** Record one executed tick (called by the window lane loop). */
     void recordTick(TimePs at, Cycles skipped);
 
+    /**
+     * Pre-reserve the window logs for at most @p ticks executed
+     * ticks and @p events deferred events, so the lane loop performs
+     * no heap allocation even before the buffers have grown to their
+     * high-water mark (clear() already preserves capacity across
+     * windows; this covers the first window at each new size).
+     * Returns true when some log's capacity actually grew — the
+     * steady-state allocation probe classifies such a window as
+     * warm-up, since a new high-water mark is by definition not
+     * steady state.
+     */
+    bool reserveWindowLogs(std::size_t ticks, std::size_t events);
+
     /** @name Last window's logs (structure-of-arrays)
      *
      * The tick log is three parallel arrays (global time, idle
@@ -102,6 +115,9 @@ class CoreContestUnit : public ContestHooks, public WindowPhased
     /** @{ */
     std::size_t windowTickCount() const { return winTickAt.size(); }
     TimePs windowTickAt(std::size_t i) const { return winTickAt[i]; }
+    /** The packed tick-time array itself, for the commit merge's
+     *  inner scan (valid until the next beginWindow/reserve). */
+    const TimePs *windowTickData() const { return winTickAt.data(); }
     Cycles
     windowTickSkipped(std::size_t i) const
     {

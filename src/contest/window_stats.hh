@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Counters describing how one windowed contested run spent its time
+ * (DESIGN.md §14). The scheduler's decisions — window sizes, cap
+ * growth, degenerate fallbacks, hysteresis bursts — are a function of
+ * the simulated timeline only, so every counter here is identical
+ * across worker counts; only the wall-clock split changes. That is
+ * what makes the block a committable artifact: a perf regression in
+ * the schedule shows up as a counter diff, not a noisy timing diff.
+ */
+
+#ifndef CONTEST_CONTEST_WINDOW_STATS_HH
+#define CONTEST_CONTEST_WINDOW_STATS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace contest
+{
+
+/** Per-run window-scheduling counters and wall-time split. */
+struct WindowStats
+{
+    /** log2 histogram buckets for per-window tick counts: bucket b
+     *  holds windows with bit_width(ticks) == b, i.e. ticks in
+     *  [2^(b-1), 2^b); the last bucket absorbs everything larger. */
+    static constexpr unsigned kHistBuckets = 21;
+
+    /** Windows successfully executed and committed. */
+    std::uint64_t windows = 0;
+    /** Core ticks executed inside windows (summed over lanes). */
+    std::uint64_t windowTicks = 0;
+    /** Lane executions (one per core with an edge inside a window). */
+    std::uint64_t laneRuns = 0;
+    /** Sequential oracle steps taken outside windows. */
+    std::uint64_t seqSteps = 0;
+    /** Subset of seqSteps taken inside hysteresis bursts. */
+    std::uint64_t burstSteps = 0;
+    /** Window attempts whose horizon was degenerate (W1 <= t0). */
+    std::uint64_t degenerateFallbacks = 0;
+    /** Window attempts skipped without computing a horizon because
+     *  the step is inherently sequential (due interrupt, empty
+     *  calendar). */
+    std::uint64_t seqRequiredFallbacks = 0;
+    /** Times the adaptive per-window tick cap doubled. */
+    std::uint64_t capGrowths = 0;
+    /** The adaptive cap's value when the run finished. */
+    std::uint64_t finalCapTicks = 0;
+    /** Horizon terms recomputed vs. reused from the signature cache. */
+    std::uint64_t horizonRecomputes = 0;
+    std::uint64_t horizonReuses = 0;
+
+    /** Histogram of committed window lengths in ticks (see above). */
+    std::uint64_t ticksHist[kHistBuckets] = {};
+
+    /** @name Wall-clock split (seconds); the only fields that vary
+     *  with the worker count. */
+    /** @{ */
+    double oracleSec = 0.0;  //!< sequential steps (incl. bursts)
+    double horizonSec = 0.0; //!< windowHorizon computation
+    double laneSec = 0.0;    //!< parallel lane execution (dispatch
+                             //!< to last lane done, owner's view)
+    double commitSec = 0.0;  //!< deferred-event replay + calendar
+    /** @} */
+
+    /** @name Steady-state allocation probe (test hook; zero unless a
+     *  probe was armed via ContestSystem::setAllocProbe). */
+    /** @{ */
+    std::uint64_t steadyWindows = 0; //!< windows probed after warmup
+    std::uint64_t steadyAllocs = 0;  //!< heap allocations they made
+    /** @} */
+
+    /** Whether this run took the windowed path at all. */
+    bool active() const { return windows + degenerateFallbacks > 0; }
+
+    /** Histogram bucket for a window of @p ticks ticks. */
+    static unsigned
+    bucketOf(std::uint64_t ticks)
+    {
+        unsigned b = static_cast<unsigned>(std::bit_width(ticks));
+        return b < kHistBuckets ? b : kHistBuckets - 1;
+    }
+
+    void
+    recordWindow(std::uint64_t ticks, std::uint64_t lanes)
+    {
+        ++windows;
+        windowTicks += ticks;
+        laneRuns += lanes;
+        ++ticksHist[bucketOf(ticks)];
+    }
+
+    /** Mean committed window length in ticks (0 when no windows). */
+    double
+    meanWindowTicks() const
+    {
+        return windows ? static_cast<double>(windowTicks)
+                             / static_cast<double>(windows)
+                       : 0.0;
+    }
+};
+
+} // namespace contest
+
+#endif // CONTEST_CONTEST_WINDOW_STATS_HH

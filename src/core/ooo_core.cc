@@ -88,9 +88,13 @@ OooCore::OooCore(const CoreConfig &core_config, TracePtr trace_ptr,
         cfg.schedDepth.count() + cfg.wakeupLatency.count()
         + cfg.l1d.latency.count() + cfg.l2.latency.count()
         + cfg.memAccessCycles.count()) + 256;
-    timedReady.init(event_span);
-    completions.init(event_span);
-    mshrReleases.init(event_span);
+    // Pool reservations are the structural in-flight bounds: wakeup
+    // events are per IQ operand, completion events per ROB entry,
+    // MSHR releases per LSQ slot — so steady-state pushes never
+    // allocate (the zero-alloc window criterion, DESIGN.md §14).
+    timedReady.init(event_span, 2 * cfg.iqSize + 8);
+    completions.init(event_span, cfg.robSize + 8);
+    mshrReleases.init(event_span, cfg.lsqSize + 8);
     staleSeqs.reserve(cfg.iqSize);
     staleSlots.reserve(cfg.iqSize);
     renameProducer.assign(numArchRegs, InstSeq{});

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "common/env.hh"
 #include "common/log.hh"
@@ -110,6 +111,7 @@ currentArtifactMeta()
     m.seed = benchSeed();
     m.jobs = defaultJobs();
     m.fast = benchFastMode();
+    m.cpus = std::thread::hardware_concurrency();
     m.git = git_describe;
     return m;
 }
@@ -172,6 +174,7 @@ FigureArtifact::toJson() const
     m.set("seed", JsonValue::number(static_cast<double>(meta.seed)));
     m.set("jobs", JsonValue::number(meta.jobs));
     m.set("fast", JsonValue::boolean(meta.fast));
+    m.set("cpus", JsonValue::number(meta.cpus));
     m.set("git", JsonValue::str(meta.git));
     root.set("meta", std::move(m));
 
@@ -276,6 +279,11 @@ FigureArtifact::fromJson(const JsonValue &v, std::string *error)
     a.meta.seed = static_cast<std::uint64_t>(seed_v->asNumber());
     a.meta.jobs = static_cast<unsigned>(jobs_v->asNumber());
     a.meta.fast = fast_v->asBool();
+    // Absent in artifacts written before the field existed; keep
+    // them loadable (0 = unknown machine).
+    if (const JsonValue *cpus_v = meta_v->find("cpus");
+        cpus_v != nullptr && cpus_v->isNumber())
+        a.meta.cpus = static_cast<unsigned>(cpus_v->asNumber());
     a.meta.git = git_v->asString();
 
     for (const auto &s : scalars_v->members()) {

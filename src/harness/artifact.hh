@@ -73,6 +73,12 @@ struct ArtifactMeta
     std::uint64_t seed = 0;
     unsigned jobs = 1;
     bool fast = false;
+    /** Hardware threads on the producing machine (0 = unknown);
+     *  informational only (never compared). Wall-clock scalars —
+     *  the contest_speedup_* family above all — are meaningless
+     *  without it: a 4-lane "speedup" below 1.0 on a 1-CPU box is
+     *  overhead accounting, not a parallelism verdict. */
+    unsigned cpus = 0;
     /** `git describe --always --dirty` of the producing tree;
      *  informational only (never compared). */
     std::string git;

@@ -162,10 +162,18 @@ Runner::contested(const std::string &bench,
 
         if (disk != nullptr)
             disk->storeContest(disk_key, entry->result);
-        if (timeline_ != nullptr)
+        if (timeline_ != nullptr) {
             timeline_->record(SimTimeline::Kind::Contest,
                               contestLabel(bench, cores), queued,
                               start, SimTimeline::now(), false);
+            // WindowStats live on the system, not the cached result:
+            // they describe this machine's execution, so persisting
+            // them alongside the bit-exact ContestResult would be
+            // wrong. Read them off the live system instead.
+            if (sys.windowStats().active())
+                timeline_->recordWindowStats(
+                    contestLabel(bench, cores), sys.windowStats());
+        }
     });
     return entry->result;
 }

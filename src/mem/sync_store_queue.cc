@@ -16,6 +16,7 @@ SyncStoreQueue::SyncStoreQueue(unsigned num_cores,
     fatal_if(num_cores == 0, "SyncStoreQueue needs at least one core");
     fatal_if(queue_capacity == 0,
              "SyncStoreQueue capacity must be non-zero");
+    pendingAddrs.resize(cap, 0);
 }
 
 bool
@@ -49,17 +50,21 @@ SyncStoreQueue::performStore(CoreId core, Addr addr)
 
     std::size_t offset =
         static_cast<std::size_t>((index - pendingBase).count());
-    if (offset == pendingAddrs.size()) {
-        // First core to reach this store: record its address.
-        pendingAddrs.push_back(addr);
+    if (offset == pendingCount) {
+        // First core to reach this store: record its address. The
+        // canAccept panic above keeps the un-merged span below cap,
+        // so the slot is free.
+        pendingAddrs[(pendingHead + offset) % cap] = addr;
+        ++pendingCount;
     } else {
-        panic_if(offset > pendingAddrs.size(),
+        panic_if(offset > pendingCount,
                  "SyncStoreQueue: core %u skipped a store", core);
-        panic_if(pendingAddrs[offset] != addr,
+        const Addr seen = pendingAddrs[(pendingHead + offset) % cap];
+        panic_if(seen != addr,
                  "SyncStoreQueue: redundant store streams diverge at "
                  "store %llu (0x%llx vs 0x%llx)",
                  static_cast<unsigned long long>(index.count()),
-                 static_cast<unsigned long long>(pendingAddrs[offset]),
+                 static_cast<unsigned long long>(seen),
                  static_cast<unsigned long long>(addr));
     }
 
@@ -124,11 +129,13 @@ SyncStoreQueue::tryMerge()
         return;
 
     while (numMerged < frontier) {
-        panic_if(pendingAddrs.empty(),
+        panic_if(pendingCount == 0,
                  "SyncStoreQueue: merge frontier beyond recorded stores");
-        mergedSinceDrain.push_back(
-            MergedStore{numMerged, pendingAddrs.front()});
-        pendingAddrs.pop_front();
+        if (recordMerged)
+            mergedSinceDrain.push_back(
+                MergedStore{numMerged, pendingAddrs[pendingHead]});
+        pendingHead = (pendingHead + 1) % cap;
+        --pendingCount;
         ++pendingBase;
         ++numMerged;
     }

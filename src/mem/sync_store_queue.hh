@@ -23,7 +23,6 @@
 #define CONTEST_MEM_SYNC_STORE_QUEUE_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/types.hh"
@@ -85,8 +84,18 @@ class SyncStoreQueue
     StoreSeq mergedCount() const { return numMerged; }
 
     /**
+     * Record merged stores for later drainMerged() retrieval. Off by
+     * default: recording grows an unbounded log that nothing in a
+     * normal contested run ever drains, and it would put a heap
+     * allocation on the windowed commit path. Tests that verify the
+     * merged stream switch it on before running.
+     */
+    void setRecordMerged(bool record) { recordMerged = record; }
+
+    /**
      * Drain and return stores merged since the last call (the shared
-     * level consumes these; tests verify the stream).
+     * level consumes these; tests verify the stream). Only populated
+     * while setRecordMerged(true) is in effect.
      */
     std::vector<MergedStore> drainMerged();
 
@@ -99,11 +108,22 @@ class SyncStoreQueue
     std::size_t cap;
     std::vector<StoreSeq> performed;
     std::vector<bool> active;
-    /** Addresses of stores seen but not yet merged, oldest first. */
-    std::deque<Addr> pendingAddrs;
-    /** Stream index of pendingAddrs.front(). */
+    /**
+     * Addresses of stores seen but not yet merged: a ring of
+     * exactly @p cap slots, allocated once at construction. The
+     * un-merged span is bounded by the capacity (canAccept stalls
+     * the leader at cap outstanding), so the ring never wraps onto
+     * live entries and performStore never allocates.
+     */
+    std::vector<Addr> pendingAddrs;
+    /** Ring slot holding the oldest un-merged store. */
+    std::size_t pendingHead = 0;
+    /** Un-merged stores currently buffered. */
+    std::size_t pendingCount = 0;
+    /** Stream index of the oldest un-merged store. */
     StoreSeq pendingBase{};
     StoreSeq numMerged{};
+    bool recordMerged = false;
     std::vector<MergedStore> mergedSinceDrain;
 };
 

@@ -183,6 +183,7 @@ TEST(Hierarchy, WriteThroughStorePropagatesToL2)
 TEST(SyncStoreQueue, MergesAtTheSlowestCore)
 {
     SyncStoreQueue q(2, 8);
+    q.setRecordMerged(true);
     q.performStore(0, 0xA0);
     q.performStore(0, 0xB0);
     EXPECT_EQ(q.mergedCount(), 0u); // core 1 has not performed any

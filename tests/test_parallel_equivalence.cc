@@ -232,6 +232,32 @@ TEST(ParallelEquivalence, NoSkipInteraction)
     expectSameContest(seq, par, "no-skip interaction");
 }
 
+TEST(ParallelEquivalence, AdaptiveCapSweep)
+{
+    // The adaptive quantum is schedule-only: whatever maxWindowTicks
+    // the scheduler is allowed to grow toward — from degenerate-small
+    // windows to one effectively unbounded — the committed results
+    // must stay bit-identical to the sequential oracle.
+    auto trace = makeBenchmarkTrace("gcc", 2009, 15000);
+    for (std::uint64_t cap :
+         {std::uint64_t{64}, std::uint64_t{4096},
+          std::uint64_t{1} << 20}) {
+        auto run = [&] {
+            ContestConfig cfg;
+            cfg.maxWindowTicks = cap;
+            ContestSystem sys({coreConfigByName("twolf"),
+                               coreConfigByName("gzip")},
+                              trace, cfg);
+            return sys.run();
+        };
+        auto seq = withContestJobs(1, run);
+        auto par = withContestJobs(4, run);
+        std::string what =
+            "maxWindowTicks " + std::to_string(cap);
+        expectSameContest(seq, par, what.c_str());
+    }
+}
+
 TEST(ParallelEquivalence, WindowsActuallyUsed)
 {
     // Cover both window regimes explicitly: a homogeneous pair whose

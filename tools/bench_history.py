@@ -10,18 +10,50 @@ in (the alternative, a CI-side commit, would race concurrent PRs).
 
 Usage:
     tools/bench_history.py <BENCH_throughput.json> [--label TEXT]
-        [--history PATH]
+        [--history PATH] [--check]
 
 The entry records the benchmark's meta block (trace length, seed,
 jobs, git revision) plus every scalar, and is skipped when the
 history's newest entry already names the same git revision (re-runs
-on one commit should not duplicate entries).
+on one commit should not duplicate entries). Dirty-tree revisions
+("<rev>-dirty") are normalized: the clean rev is recorded with a
+separate `"dirty": true` flag, so a rerun on the clean tree is still
+recognized as the same commit.
+
+--check compares the new entry against the previous one and prints
+GitHub `::warning::` annotations for contest_speedup_* values below
+1.0 and for a mean_mticks_per_s drop of more than 10%. Checks never
+fail the run (exit 0): perf-smoke is a shared-runner measurement, so
+the annotation makes a slowdown visible without gating on noise.
 """
 
 import argparse
 import json
 import sys
 from pathlib import Path
+
+
+def split_git_rev(rev):
+    """Return (clean_rev, dirty) for a git describe-style revision."""
+    if rev.endswith("-dirty"):
+        return rev[: -len("-dirty")], True
+    return rev, False
+
+
+def check_entry(entry, previous):
+    """Yield warning strings comparing entry against previous."""
+    scalars = entry.get("scalars", {})
+    for key, value in sorted(scalars.items()):
+        if key.startswith("contest_speedup_") and value < 1.0:
+            yield (f"{key} = {value:.3f} < 1.0: the windowed "
+                   "contest path is a net slowdown at this lane "
+                   "count")
+    if previous is not None:
+        prev_mean = previous.get("scalars", {}).get("mean_mticks_per_s")
+        mean = scalars.get("mean_mticks_per_s")
+        if prev_mean and mean is not None and mean < 0.9 * prev_mean:
+            yield (f"mean_mticks_per_s regressed >10%: "
+                   f"{prev_mean:.2f} -> {mean:.2f}")
 
 
 def main() -> int:
@@ -40,6 +72,10 @@ def main() -> int:
                     / "BENCH_history.json",
                     help="history file to append to (default: repo "
                          "root BENCH_history.json)")
+    ap.add_argument("--check", action="store_true",
+                    help="emit ::warning:: annotations for speedups "
+                         "< 1.0 and >10%% mean-rate regressions "
+                         "(never fails the run)")
     args = ap.parse_args()
 
     result = json.loads(args.result.read_text())
@@ -58,14 +94,29 @@ def main() -> int:
 
     entry = {
         "label": args.label,
-        "meta": result.get("meta", {}),
+        "meta": dict(result.get("meta", {})),
         "scalars": result.get("scalars", {}),
     }
 
-    git = entry["meta"].get("git", "")
-    if history and git and history[-1].get("meta", {}).get("git") == git:
-        print(f"history already ends at {git}; not appending")
-        return 0
+    git, dirty = split_git_rev(entry["meta"].get("git", ""))
+    entry["meta"]["git"] = git
+    if dirty:
+        entry["meta"]["dirty"] = True
+
+    previous = history[-1] if history else None
+    if previous is not None and git:
+        # Compare clean revs on both sides: old entries may predate
+        # the dirty-flag split and still carry "<rev>-dirty".
+        prev_git, _ = split_git_rev(
+            previous.get("meta", {}).get("git", ""))
+        if prev_git == git:
+            print(f"history already ends at {git}; not appending")
+            if args.check:
+                for warning in check_entry(entry,
+                                           history[-2] if
+                                           len(history) > 1 else None):
+                    print(f"::warning::BENCH_history: {warning}")
+            return 0
 
     history.append(entry)
     args.history.write_text(json.dumps(history, indent=2) + "\n")
@@ -74,6 +125,10 @@ def main() -> int:
           f"{', ' + args.label if args.label else ''}): "
           f"mean {mean:.2f} Mticks/s" if mean is not None else
           f"appended entry #{len(history)}")
+
+    if args.check:
+        for warning in check_entry(entry, previous):
+            print(f"::warning::BENCH_history: {warning}")
     return 0
 
 
