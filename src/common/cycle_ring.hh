@@ -30,8 +30,8 @@
  * keeps the replacement bit-identical.
  */
 
-#ifndef COMMON_CYCLE_RING_HH
-#define COMMON_CYCLE_RING_HH
+#ifndef CONTEST_COMMON_CYCLE_RING_HH
+#define CONTEST_COMMON_CYCLE_RING_HH
 
 #include <algorithm>
 #include <cstdint>
@@ -320,4 +320,4 @@ class CycleRing
 
 } // namespace contest
 
-#endif // COMMON_CYCLE_RING_HH
+#endif // CONTEST_COMMON_CYCLE_RING_HH

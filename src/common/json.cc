@@ -307,7 +307,23 @@ class Parser
     const std::string &src;
     std::string *err;
     std::size_t pos = 0;
+    int depth = 0;
     bool failed = false;
+
+    /** Guard one container level; fails past maxParseDepth. */
+    bool
+    enter()
+    {
+        if (++depth > JsonValue::maxParseDepth) {
+            fail("nesting deeper than "
+                 + std::to_string(JsonValue::maxParseDepth)
+                 + " levels");
+            return false;
+        }
+        return true;
+    }
+
+    void leave() { --depth; }
 
     void
     fail(const std::string &why)
@@ -470,6 +486,16 @@ class Parser
     JsonValue
     arrayValue()
     {
+        if (!enter())
+            return {};
+        JsonValue v = arrayBody();
+        leave();
+        return v;
+    }
+
+    JsonValue
+    arrayBody()
+    {
         ++pos; // '['
         JsonValue v = JsonValue::array();
         skipWs();
@@ -489,6 +515,16 @@ class Parser
 
     JsonValue
     objectValue()
+    {
+        if (!enter())
+            return {};
+        JsonValue v = objectBody();
+        leave();
+        return v;
+    }
+
+    JsonValue
+    objectBody()
     {
         ++pos; // '{'
         JsonValue v = JsonValue::object();

@@ -78,9 +78,20 @@ class JsonValue
     std::string dump(int indent = 2) const;
 
     /**
+     * Containers deeper than this fail to parse. The limit keeps a
+     * hostile document (e.g. one megabyte of '[') from exhausting
+     * the recursive-descent parser's stack — the contest service
+     * daemon parses untrusted network input with this function, so
+     * malformed input must fail with an error, never a crash.
+     */
+    static constexpr int maxParseDepth = 64;
+
+    /**
      * Parse a complete JSON document. On failure returns a null
      * value and, when @p error is non-null, stores a message with
-     * the byte offset of the problem.
+     * the byte offset of the problem. Never panics: malformed
+     * documents, truncated input, and over-deep nesting all report
+     * through @p error.
      */
     static JsonValue parse(const std::string &text,
                            std::string *error = nullptr);

@@ -13,8 +13,8 @@
  * dependence wave is tested with a single load.
  */
 
-#ifndef COMMON_SOA_HH
-#define COMMON_SOA_HH
+#ifndef CONTEST_COMMON_SOA_HH
+#define CONTEST_COMMON_SOA_HH
 
 #include <bit>
 #include <cstddef>
@@ -134,7 +134,7 @@ scanBits(const SoaVec<std::uint64_t> &w, std::size_t begin,
         const std::size_t base = wi << 6;
         if (base < begin)
             word &= ~std::uint64_t{0} << (begin - base);
-        if (end - base < 64)
+        if ((end - base) < 64)
             word &= (std::uint64_t{1} << (end - base)) - 1;
         while (word) {
             const int b = std::countr_zero(word);
@@ -153,4 +153,4 @@ scanBits(const SoaVec<std::uint64_t> &w, std::size_t begin,
 
 } // namespace contest
 
-#endif // COMMON_SOA_HH
+#endif // CONTEST_COMMON_SOA_HH

@@ -94,10 +94,10 @@ struct ContestConfig
      * attempts double the burst up to maxSeqBurstTicks; a committed
      * window resets it.
      */
-    std::uint64_t seqBurstTicks = 32;
+    std::uint64_t seqBurstTicks = 32;  // contest-lint: allow(bare-u64-quantity)
 
     /** Upper limit of the hysteresis burst length. */
-    std::uint64_t maxSeqBurstTicks = 4096;
+    std::uint64_t maxSeqBurstTicks = 4096;  // contest-lint: allow(bare-u64-quantity)
 
     /** @} */
 

@@ -502,7 +502,7 @@ ContestSystem::executeWindow(RunState &rs, ContestWorkerGroup &group)
             // plus width store commits.
             const OooCore &core = *cores[c];
             const std::uint64_t span = (w1 - edge).count();
-            const std::uint64_t period = core.periodPs().count();
+            const std::uint64_t period = core.periodPs().count();  // contest-lint: allow(bare-u64-quantity)
             const std::size_t max_lane_ticks =
                 static_cast<std::size_t>((span + period - 1)
                                          / period);

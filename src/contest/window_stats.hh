@@ -33,7 +33,7 @@ struct WindowStats
     /** Lane executions (one per core with an edge inside a window). */
     std::uint64_t laneRuns = 0;
     /** Sequential oracle steps taken outside windows. */
-    std::uint64_t seqSteps = 0;
+    std::uint64_t seqSteps = 0;  // contest-lint: allow(bare-u64-quantity)
     /** Subset of seqSteps taken inside hysteresis bursts. */
     std::uint64_t burstSteps = 0;
     /** Window attempts whose horizon was degenerate (W1 <= t0). */
@@ -41,7 +41,7 @@ struct WindowStats
     /** Window attempts skipped without computing a horizon because
      *  the step is inherently sequential (due interrupt, empty
      *  calendar). */
-    std::uint64_t seqRequiredFallbacks = 0;
+    std::uint64_t seqRequiredFallbacks = 0;  // contest-lint: allow(bare-u64-quantity)
     /** Times the adaptive per-window tick cap doubled. */
     std::uint64_t capGrowths = 0;
     /** The adaptive cap's value when the run finished. */

@@ -45,7 +45,7 @@ Runner::Runner(std::uint64_t trace_len, std::uint64_t seed,
              static_cast<unsigned long long>(trace_len));
     // Steady-state sizes of the full suite (11 benches x 11 cores
     // singles, a few hundred distinct contests); reserving up front
-    // keeps the structure mutex's critical section to a probe that
+    // keeps each shard mutex's critical section to a probe that
     // never rehashes.
     traces.reserve(32);
     singles.reserve(256);
@@ -56,8 +56,7 @@ TracePtr
 Runner::trace(const std::string &bench, std::uint64_t trace_len)
 {
     const std::uint64_t use_len = trace_len != 0 ? trace_len : len;
-    TraceEntry *entry = entryFor(
-        traces,
+    TraceEntry *entry = traces.entryFor(
         HashedKey(bench + '\x1f' + std::to_string(use_len)));
     std::call_once(entry->once, [&] {
         entry->value = makeBenchmarkTrace(bench, seed_, use_len);
@@ -70,7 +69,7 @@ Runner::single(const std::string &bench, const std::string &core)
 {
     auto queued = SimTimeline::now();
     SingleEntry *entry =
-        entryFor(singles, HashedKey(singleMemoKey(bench, core)));
+        singles.entryFor(HashedKey(singleMemoKey(bench, core)));
     std::call_once(entry->once, [&] {
         auto start = SimTimeline::now();
         LoggedRun &run = entry->run;
@@ -141,7 +140,7 @@ Runner::contested(const std::string &bench,
     std::string key = ResultCache::contestKey(bench, cores, config,
                                               seed_, use_len);
     ContestEntry *entry =
-        entryFor(contests, HashedKey(std::move(key)));
+        contests.entryFor(HashedKey(std::move(key)));
     std::call_once(entry->once, [&] {
         auto start = SimTimeline::now();
         const std::string disk_key = ResultCache::contestKey(

@@ -9,6 +9,7 @@
 #ifndef CONTEST_HARNESS_RUNNER_HH
 #define CONTEST_HARNESS_RUNNER_HH
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -44,13 +45,16 @@ struct LoggedRun
  * contested (benchmark, ordered cores, contest config) result — is
  * simulated exactly once per process.
  *
- * The runner is safe to use from the thread pool: the memoization
- * maps are guarded by a mutex held only for the lookup/insert (never
- * across a simulation), and each entry carries a per-key once-latch
- * so two threads never simulate the same keyed run — the second
- * requester blocks until the first finishes. Because every
- * simulation is self-contained and writes only its own cache slot,
- * results are bit-identical for any job count, including 1.
+ * The runner is safe to use from many threads at once — the suite
+ * scheduler's pool and, since the contest service daemon, an
+ * arbitrary number of concurrent independent requests. Each memo map
+ * is sharded by key digest: a lookup locks only its shard's mutex,
+ * held only for the lookup/insert (never across a simulation), and
+ * each entry carries a per-key once-latch so two threads never
+ * simulate the same keyed run — the second requester blocks until
+ * the first finishes. Because every simulation is self-contained and
+ * writes only its own cache slot, results are bit-identical for any
+ * job count, including 1.
  *
  * The maps are unordered, keyed by canonical key strings whose
  * 64-bit digest is computed once per lookup (HashedKey); buckets are
@@ -200,20 +204,52 @@ class Runner
         ContestResult result;
     };
 
-    /** Find-or-create the entry for @p key in @p map, holding the
-     *  structure mutex only for the lookup/insert. */
+    /**
+     * A memo map split into shards, each with its own structure
+     * mutex, so concurrent requests for different keys contend only
+     * when their digests collide modulo the shard count. Entries are
+     * heap-allocated and never erased, so a pointer returned by
+     * entryFor() stays valid for the runner's lifetime even while
+     * other threads grow the shard.
+     */
     template <typename Entry>
-    Entry *
-    entryFor(std::unordered_map<HashedKey, std::unique_ptr<Entry>,
-                                HashedKeyHash> &map,
-             HashedKey key)
+    class MemoShards
     {
-        std::lock_guard<std::mutex> lock(cacheMu);
-        auto &slot = map[std::move(key)];
-        if (!slot)
-            slot = std::make_unique<Entry>();
-        return slot.get();
-    }
+      public:
+        /** Find-or-create the entry for @p key, holding only the
+         *  owning shard's mutex for the lookup/insert. */
+        Entry *
+        entryFor(HashedKey key)
+        {
+            Shard &s = shards[key.hash & (kShards - 1)];
+            std::lock_guard<std::mutex> lock(s.mu);
+            auto &slot = s.map[std::move(key)];
+            if (!slot)
+                slot = std::make_unique<Entry>();
+            return slot.get();
+        }
+
+        /** Reserve buckets for @p total entries across all shards. */
+        void
+        reserve(std::size_t total)
+        {
+            for (Shard &s : shards)
+                s.map.reserve(total / kShards + 1);
+        }
+
+      private:
+        static constexpr std::size_t kShards = 16;
+        static_assert((kShards & (kShards - 1)) == 0,
+                      "shard selection masks the key digest");
+
+        struct Shard
+        {
+            std::mutex mu;
+            std::unordered_map<HashedKey, std::unique_ptr<Entry>,
+                               HashedKeyHash> map;
+        };
+        std::array<Shard, kShards> shards;
+    };
 
     std::uint64_t len;
     std::uint64_t seed_;
@@ -226,14 +262,10 @@ class Runner
     std::atomic<std::uint64_t> contestsDone{0};
     std::atomic<std::uint64_t> contestDiskHitCount{0};
 
-    /** Guards the maps' structure only; entries latch themselves. */
-    std::mutex cacheMu;
-    std::unordered_map<HashedKey, std::unique_ptr<TraceEntry>,
-                       HashedKeyHash> traces;
-    std::unordered_map<HashedKey, std::unique_ptr<SingleEntry>,
-                       HashedKeyHash> singles;
-    std::unordered_map<HashedKey, std::unique_ptr<ContestEntry>,
-                       HashedKeyHash> contests;
+    /** Sharded memo maps; entries latch themselves. */
+    MemoShards<TraceEntry> traces;
+    MemoShards<SingleEntry> singles;
+    MemoShards<ContestEntry> contests;
     std::once_flag matrixOnce;
     std::unique_ptr<IptMatrix> cachedMatrix;
 };

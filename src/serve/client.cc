@@ -1,0 +1,69 @@
+#include "serve/client.hh"
+
+namespace contest
+{
+
+bool
+ServeClient::connect(const ServeTarget &target, std::string *error)
+{
+    close();
+    fd = connectTo(target, error);
+    return fd >= 0;
+}
+
+bool
+ServeClient::send(const JsonValue &request, std::string *error)
+{
+    if (fd < 0) {
+        if (error != nullptr)
+            *error = "not connected to a contest service";
+        return false;
+    }
+    if (!sendAll(fd, encodeFrame(request.dump(0)))) {
+        if (error != nullptr)
+            *error = "send failed (connection lost)";
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::recv(JsonValue &response, std::string *error)
+{
+    if (fd < 0) {
+        if (error != nullptr)
+            *error = "not connected to a contest service";
+        return false;
+    }
+    std::string payload;
+    if (!recvFrame(fd, decoder, payload, error)) {
+        close();
+        return false;
+    }
+    std::string parseError;
+    response = JsonValue::parse(payload, &parseError);
+    if (!parseError.empty()) {
+        if (error != nullptr)
+            *error = "invalid JSON from server: " + parseError;
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::call(const JsonValue &request, JsonValue &response,
+                  std::string *error)
+{
+    return send(request, error) && recv(response, error);
+}
+
+void
+ServeClient::close()
+{
+    closeFd(fd);
+    fd = -1;
+    decoder = FrameDecoder();
+}
+
+} // namespace contest

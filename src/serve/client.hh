@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal blocking client for the contest service: connect to a
+ * ServeTarget, send one JSON request per call, read one JSON
+ * response. Shared by the contest_load generator, the serving
+ * benchmark, and the protocol tests. All failures come back as
+ * error strings — a vanished or misbehaving server must never
+ * panic the client.
+ */
+
+#ifndef CONTEST_SERVE_CLIENT_HH
+#define CONTEST_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "serve/frame.hh"
+#include "serve/socket.hh"
+
+namespace contest
+{
+
+/** One blocking connection to a contest service. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient() { close(); }
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Connect; @return false with @p error filled. */
+    bool connect(const ServeTarget &target, std::string *error);
+
+    /** Whether connect() succeeded and no I/O error occurred. */
+    bool connected() const { return fd >= 0; }
+
+    /** Send one request document (framed, compact). */
+    bool send(const JsonValue &request, std::string *error);
+
+    /** Receive one response document. */
+    bool recv(JsonValue &response, std::string *error);
+
+    /** send() then recv(): one synchronous round-trip. */
+    bool call(const JsonValue &request, JsonValue &response,
+              std::string *error);
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    /** The raw fd (tests poke partial writes through it). */
+    int rawFd() const { return fd; }
+
+  private:
+    int fd = -1;
+    FrameDecoder decoder;
+};
+
+} // namespace contest
+
+#endif // CONTEST_SERVE_CLIENT_HH

@@ -1,0 +1,64 @@
+#include "serve/frame.hh"
+
+#include "common/log.hh"
+
+namespace contest
+{
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    fatal_if(payload.size() > kMaxFramePayload,
+             "frame payload of %zu bytes exceeds the %u-byte protocol "
+             "limit",
+             payload.size(), kMaxFramePayload);
+    const auto n = static_cast<std::uint32_t>(payload.size());
+    std::string out;
+    out.reserve(4 + payload.size());
+    out += static_cast<char>((n >> 24) & 0xFF);
+    out += static_cast<char>((n >> 16) & 0xFF);
+    out += static_cast<char>((n >> 8) & 0xFF);
+    out += static_cast<char>(n & 0xFF);
+    out += payload;
+    return out;
+}
+
+void
+FrameDecoder::feed(const char *data, std::size_t n)
+{
+    buf.append(data, n);
+}
+
+FrameDecoder::Status
+FrameDecoder::next(std::string &payload)
+{
+    if (poisoned)
+        return Status::Oversized;
+    if (buffered() < 4)
+        return Status::NeedMore;
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(buf.data() + consumed);
+    const std::uint32_t n = (static_cast<std::uint32_t>(p[0]) << 24)
+                            | (static_cast<std::uint32_t>(p[1]) << 16)
+                            | (static_cast<std::uint32_t>(p[2]) << 8)
+                            | static_cast<std::uint32_t>(p[3]);
+    if (n > kMaxFramePayload) {
+        // The declared length is garbage, so every later byte
+        // position is too: there is no resynchronization point.
+        poisoned = true;
+        return Status::Oversized;
+    }
+    if (buffered() < 4 + static_cast<std::size_t>(n))
+        return Status::NeedMore;
+    payload.assign(buf, consumed + 4, n);
+    consumed += 4 + static_cast<std::size_t>(n);
+    // Compact once the dead prefix dominates, so a long-lived
+    // connection does not grow its buffer without bound.
+    if (consumed > 4096 && consumed * 2 > buf.size()) {
+        buf.erase(0, consumed);
+        consumed = 0;
+    }
+    return Status::Frame;
+}
+
+} // namespace contest

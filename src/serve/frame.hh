@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Length-prefixed frame codec for the contest service protocol.
+ *
+ * Every message on the wire is one frame: a 4-byte big-endian
+ * payload length followed by that many bytes of UTF-8 JSON. The
+ * FrameDecoder is a pure byte-stream machine — it accepts input in
+ * arbitrary chunks (a partial read, several pipelined frames in one
+ * buffer) and yields complete payloads — so the framing logic is
+ * unit-testable without a socket, and both the daemon and the client
+ * share one implementation.
+ *
+ * A length prefix above kMaxFramePayload poisons the stream: the
+ * decoder reports Oversized from then on, because once the declared
+ * length is untrustworthy there is no way to find the next frame
+ * boundary. The daemon answers with a structured error and closes
+ * the connection.
+ */
+
+#ifndef CONTEST_SERVE_FRAME_HH
+#define CONTEST_SERVE_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace contest
+{
+
+/** Hard cap on one frame's payload bytes (8 MiB). Large enough for
+ *  any artifact response, small enough that a hostile length prefix
+ *  cannot make the daemon buffer gigabytes. */
+constexpr std::uint32_t kMaxFramePayload = 8u << 20;
+
+/** Wrap @p payload as one wire frame (4-byte big-endian length +
+ *  bytes); fatal() when the payload exceeds kMaxFramePayload. */
+std::string encodeFrame(const std::string &payload);
+
+/** Incremental decoder of a length-prefixed frame stream. */
+class FrameDecoder
+{
+  public:
+    enum class Status
+    {
+        NeedMore,  //!< no complete frame buffered yet
+        Frame,     //!< one payload extracted
+        Oversized, //!< length prefix above kMaxFramePayload; sticky
+    };
+
+    /** Append @p n raw bytes from the stream. */
+    void feed(const char *data, std::size_t n);
+
+    /**
+     * Extract the next complete frame's payload into @p payload.
+     * Call repeatedly until it stops returning Frame — one feed()
+     * may complete several pipelined frames.
+     */
+    Status next(std::string &payload);
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t buffered() const { return buf.size() - consumed; }
+
+  private:
+    std::string buf;
+    std::size_t consumed = 0;
+    bool poisoned = false;
+};
+
+} // namespace contest
+
+#endif // CONTEST_SERVE_FRAME_HH

@@ -1,0 +1,221 @@
+#include "serve/loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/rng.hh"
+#include "serve/client.hh"
+
+namespace contest
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Read the server's executed-simulation counters via `stats`. */
+bool
+probeSims(const ServeTarget &target, std::uint64_t &singles,
+          std::uint64_t &contests, std::string *error)
+{
+    ServeClient client;
+    if (!client.connect(target, error))
+        return false;
+    JsonValue req = JsonValue::object();
+    req.set("kind", JsonValue::str("stats"));
+    JsonValue resp;
+    if (!client.call(req, resp, error))
+        return false;
+    if (!resp.isObject()) {
+        if (error != nullptr)
+            *error = "stats response is not a JSON object";
+        return false;
+    }
+    const JsonValue *server = resp.find("server");
+    const JsonValue *sims =
+        server != nullptr && server->isObject()
+            ? server->find("sims")
+            : nullptr;
+    if (sims == nullptr || !sims->isObject()) {
+        if (error != nullptr)
+            *error = "stats response lacks server.sims counters";
+        return false;
+    }
+    const JsonValue *s = sims->find("singles_executed");
+    const JsonValue *c = sims->find("contests_executed");
+    if (s == nullptr || !s->isNumber() || c == nullptr
+        || !c->isNumber()) {
+        if (error != nullptr)
+            *error = "stats response lacks executed-sim counts";
+        return false;
+    }
+    singles = static_cast<std::uint64_t>(s->asNumber());
+    contests = static_cast<std::uint64_t>(c->asNumber());
+    return true;
+}
+
+/** Outcome of one client thread. */
+struct ClientTally
+{
+    std::uint64_t sent = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t warm = 0;
+    std::vector<double> latencyMs;
+};
+
+/** Build the @p k-th request of @p client's deterministic stream. */
+JsonValue
+mixRequest(const LoadSpec &spec, Rng &rng)
+{
+    JsonValue req = JsonValue::object();
+    const std::string &bench =
+        spec.benches[rng.below(spec.benches.size())];
+    if (spec.cores.size() >= 2 && rng.chance(spec.contestFraction)) {
+        req.set("kind", JsonValue::str("contest"));
+        req.set("bench", JsonValue::str(bench));
+        const std::size_t a = rng.below(spec.cores.size());
+        std::size_t b = rng.below(spec.cores.size() - 1);
+        if (b >= a)
+            ++b;
+        JsonValue cores = JsonValue::array();
+        cores.push(JsonValue::str(spec.cores[a]));
+        cores.push(JsonValue::str(spec.cores[b]));
+        req.set("cores", std::move(cores));
+    } else {
+        req.set("kind", JsonValue::str("single"));
+        req.set("bench", JsonValue::str(bench));
+        req.set("core", JsonValue::str(
+                            spec.cores[rng.below(
+                                spec.cores.size())]));
+    }
+    return req;
+}
+
+void
+clientLoop(const LoadSpec &spec, unsigned client, ClientTally &tally)
+{
+    ServeClient conn;
+    std::string error;
+    if (!conn.connect(spec.target, &error)) {
+        tally.errors = spec.requestsPerClient;
+        return;
+    }
+    // One independent, reproducible stream per (mix seed, client).
+    Rng rng(spec.mixSeed
+            ^ (0x9E3779B97F4A7C15ull * (client + 1)));
+    const Clock::time_point phaseStart = Clock::now();
+    for (unsigned k = 0; k < spec.requestsPerClient; ++k) {
+        if (spec.openLoopRps > 0.0) {
+            const auto due =
+                phaseStart
+                + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        static_cast<double>(k)
+                        / spec.openLoopRps));
+            std::this_thread::sleep_until(due);
+        }
+        const JsonValue req = mixRequest(spec, rng);
+        const Clock::time_point sentAt = Clock::now();
+        JsonValue resp;
+        ++tally.sent;
+        if (!conn.call(req, resp, &error)) {
+            ++tally.errors;
+            if (!conn.connect(spec.target, &error))
+                return; // server gone; stop this client
+            continue;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now()
+                                                      - sentAt)
+                .count();
+        const JsonValue *ok =
+            resp.isObject() ? resp.find("ok") : nullptr;
+        if (ok != nullptr && ok->isBool() && ok->asBool()) {
+            ++tally.ok;
+            tally.latencyMs.push_back(ms);
+            const JsonValue *timing = resp.find("timing");
+            const JsonValue *warm =
+                timing != nullptr && timing->isObject()
+                    ? timing->find("warm")
+                    : nullptr;
+            if (warm != nullptr && warm->isBool()
+                && warm->asBool())
+                ++tally.warm;
+        } else {
+            ++tally.errors;
+        }
+    }
+}
+
+} // namespace
+
+double
+LoadPhase::percentileMs(double p) const
+{
+    if (latencyMs.empty())
+        return 0.0;
+    const double rank =
+        std::ceil(std::max(0.0, std::min(100.0, p)) / 100.0
+                  * static_cast<double>(latencyMs.size()));
+    const std::size_t idx =
+        rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    return latencyMs[std::min(idx, latencyMs.size() - 1)];
+}
+
+bool
+runLoadPhase(const LoadSpec &spec, LoadPhase &out, std::string *error)
+{
+    if (spec.benches.empty() || spec.cores.empty()) {
+        if (error != nullptr)
+            *error = "load spec needs at least one benchmark and "
+                     "one core type";
+        return false;
+    }
+    std::uint64_t singlesBefore = 0;
+    std::uint64_t contestsBefore = 0;
+    if (!probeSims(spec.target, singlesBefore, contestsBefore,
+                   error))
+        return false;
+
+    std::vector<ClientTally> tallies(spec.clients);
+    const Clock::time_point start = Clock::now();
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(spec.clients);
+        for (unsigned c = 0; c < spec.clients; ++c)
+            threads.emplace_back([&spec, c, &tallies] {
+                clientLoop(spec, c, tallies[c]);
+            });
+        for (std::thread &t : threads)
+            t.join();
+    }
+    out.wallSec =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    for (const ClientTally &t : tallies) {
+        out.sent += t.sent;
+        out.ok += t.ok;
+        out.errors += t.errors;
+        out.warmResponses += t.warm;
+        out.latencyMs.insert(out.latencyMs.end(),
+                             t.latencyMs.begin(),
+                             t.latencyMs.end());
+    }
+    std::sort(out.latencyMs.begin(), out.latencyMs.end());
+
+    std::uint64_t singlesAfter = 0;
+    std::uint64_t contestsAfter = 0;
+    if (!probeSims(spec.target, singlesAfter, contestsAfter, error))
+        return false;
+    out.simsDuring = singlesAfter - singlesBefore;
+    out.contestsDuring = contestsAfter - contestsBefore;
+    return true;
+}
+
+} // namespace contest

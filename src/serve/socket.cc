@@ -1,0 +1,224 @@
+#include "serve/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace contest
+{
+
+namespace
+{
+
+void
+setError(std::string *error, const std::string &what)
+{
+    if (error != nullptr)
+        *error = what + ": " + std::strerror(errno);
+}
+
+/** Fill a sockaddr_un; false when the path does not fit. */
+bool
+unixAddress(const std::string &path, sockaddr_un &addr,
+            std::string *error)
+{
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (error != nullptr)
+            *error = "unix socket path '" + path + "' exceeds "
+                     + std::to_string(sizeof(addr.sun_path) - 1)
+                     + " bytes";
+        return false;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+void
+tcpAddress(int port, sockaddr_in &addr)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    // Loopback only: the daemon speaks an unauthenticated protocol,
+    // so it must never listen on an external interface.
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+}
+
+} // namespace
+
+std::string
+ServeTarget::describe() const
+{
+    if (!unixPath.empty())
+        return "unix:" + unixPath;
+    return "tcp:127.0.0.1:" + std::to_string(port);
+}
+
+int
+listenOn(ServeTarget &target, std::string *error)
+{
+    if (!target.unixPath.empty()) {
+        sockaddr_un addr{};
+        if (!unixAddress(target.unixPath, addr, error))
+            return -1;
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            setError(error, "socket(AF_UNIX)");
+            return -1;
+        }
+        ::unlink(target.unixPath.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            setError(error, "bind('" + target.unixPath + "')");
+            closeFd(fd);
+            return -1;
+        }
+        if (::listen(fd, 64) != 0) {
+            setError(error, "listen('" + target.unixPath + "')");
+            closeFd(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    sockaddr_in addr{};
+    tcpAddress(target.port, addr);
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, "socket(AF_INET)");
+        return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        setError(error,
+                 "bind(127.0.0.1:" + std::to_string(target.port)
+                     + ")");
+        closeFd(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        setError(error, "listen(tcp)");
+        closeFd(fd);
+        return -1;
+    }
+    // Resolve an ephemeral bind so callers can report (and clients
+    // reach) the actual port.
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len)
+        == 0)
+        target.port = ntohs(addr.sin_port);
+    return fd;
+}
+
+int
+connectTo(const ServeTarget &target, std::string *error)
+{
+    if (!target.unixPath.empty()) {
+        sockaddr_un addr{};
+        if (!unixAddress(target.unixPath, addr, error))
+            return -1;
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            setError(error, "socket(AF_UNIX)");
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            setError(error, "connect('" + target.unixPath + "')");
+            closeFd(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    sockaddr_in addr{};
+    tcpAddress(target.port, addr);
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, "socket(AF_INET)");
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setError(error,
+                 "connect(127.0.0.1:" + std::to_string(target.port)
+                     + ")");
+        closeFd(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+acceptClient(int listen_fd)
+{
+    return ::accept(listen_fd, nullptr, nullptr);
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+recvFrame(int fd, FrameDecoder &decoder, std::string &payload,
+          std::string *error)
+{
+    for (;;) {
+        switch (decoder.next(payload)) {
+          case FrameDecoder::Status::Frame:
+            return true;
+          case FrameDecoder::Status::Oversized:
+            if (error != nullptr)
+                *error = "oversized frame (length prefix above "
+                         + std::to_string(kMaxFramePayload)
+                         + " bytes)";
+            return false;
+          case FrameDecoder::Status::NeedMore:
+            break;
+        }
+        char buf[65536];
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n == 0) {
+            if (error != nullptr)
+                *error = "connection closed by peer";
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, "recv");
+            return false;
+        }
+        decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace contest

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Thin POSIX socket helpers for the contest service: Unix-domain and
+ * loopback-TCP listeners, client connects, and frame-aware send and
+ * receive loops that tolerate partial reads and writes. Everything
+ * reports failures through an error string — never panic/fatal —
+ * because every caller is either the long-lived daemon (which must
+ * survive any peer behaviour) or a client with a user to talk to.
+ */
+
+#ifndef CONTEST_SERVE_SOCKET_HH
+#define CONTEST_SERVE_SOCKET_HH
+
+#include <string>
+
+#include "serve/frame.hh"
+
+namespace contest
+{
+
+/** Where a server listens or a client connects: a Unix socket path
+ *  when unixPath is non-empty, else 127.0.0.1:port. */
+struct ServeTarget
+{
+    std::string unixPath;
+    int port = -1;
+
+    bool valid() const { return !unixPath.empty() || port >= 0; }
+
+    /** "unix:<path>" or "tcp:127.0.0.1:<port>" for messages. */
+    std::string describe() const;
+};
+
+/**
+ * Bind and listen on @p target. A pre-existing socket file at a Unix
+ * path is unlinked first (a stale file from a killed daemon would
+ * otherwise make the address unbindable). TCP port 0 binds an
+ * ephemeral port; the bound port is written back to
+ * @p target.port.
+ *
+ * @return the listening fd, or -1 with @p error filled
+ */
+int listenOn(ServeTarget &target, std::string *error);
+
+/** Connect to @p target. @return fd, or -1 with @p error filled. */
+int connectTo(const ServeTarget &target, std::string *error);
+
+/** Accept one client; -1 on failure (including EINTR). */
+int acceptClient(int listen_fd);
+
+/** Best-effort close (ignores errors; -1 fds are skipped). */
+void closeFd(int fd);
+
+/** Write all of @p data, looping over partial writes and EINTR.
+ *  SIGPIPE is suppressed (a vanished peer must not kill the
+ *  daemon). @return false on any unrecoverable write error. */
+bool sendAll(int fd, const std::string &data);
+
+/**
+ * Read until @p decoder yields one complete frame; the payload goes
+ * to @p payload. Extra bytes (pipelined frames) stay buffered in the
+ * decoder for the next call.
+ *
+ * @return false on EOF, read error, or an oversized frame, with
+ *         @p error describing which
+ */
+bool recvFrame(int fd, FrameDecoder &decoder, std::string &payload,
+               std::string *error);
+
+} // namespace contest
+
+#endif // CONTEST_SERVE_SOCKET_HH

@@ -125,6 +125,60 @@ TEST(Json, ParserRejectsMalformedDocuments)
     }
 }
 
+TEST(Json, ParserBoundsNestingDepth)
+{
+    // One level under the limit parses; one level over fails with an
+    // error instead of exhausting the stack (the daemon feeds the
+    // parser untrusted network bytes).
+    auto nested = [](int levels) {
+        std::string doc(static_cast<std::size_t>(levels), '[');
+        doc += "1";
+        doc.append(static_cast<std::size_t>(levels), ']');
+        return doc;
+    };
+    std::string err;
+    JsonValue ok = JsonValue::parse(
+        nested(JsonValue::maxParseDepth), &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_TRUE(ok.isArray());
+
+    JsonValue over = JsonValue::parse(
+        nested(JsonValue::maxParseDepth + 1), &err);
+    EXPECT_FALSE(err.empty());
+    EXPECT_NE(err.find("nesting"), std::string::npos) << err;
+    EXPECT_TRUE(over.isNull());
+
+    // A megabyte of '[' — the classic parser-killer — must also
+    // fail cleanly, and fast.
+    JsonValue bomb = JsonValue::parse(
+        std::string(1u << 20, '['), &err);
+    EXPECT_FALSE(err.empty());
+    EXPECT_TRUE(bomb.isNull());
+
+    // Deep objects hit the same bound as deep arrays.
+    std::string obj_doc;
+    for (int i = 0; i < JsonValue::maxParseDepth + 1; ++i)
+        obj_doc += "{\"k\":";
+    JsonValue deep_obj = JsonValue::parse(obj_doc, &err);
+    EXPECT_FALSE(err.empty());
+    EXPECT_TRUE(deep_obj.isNull());
+}
+
+TEST(Json, ParserRejectsTruncatedNetworkFrames)
+{
+    // Prefixes of a valid document — what a connection drop
+    // mid-frame would hand the daemon — must all error cleanly.
+    const std::string doc =
+        "{\"kind\": \"contest\", \"cores\": [\"gcc\", \"twolf\"]}";
+    for (std::size_t cut = 1; cut < doc.size(); ++cut) {
+        std::string err;
+        JsonValue v = JsonValue::parse(doc.substr(0, cut), &err);
+        EXPECT_FALSE(err.empty())
+            << "accepted prefix: " << doc.substr(0, cut);
+        EXPECT_TRUE(v.isNull());
+    }
+}
+
 TEST(Json, ParserHandlesUnicodeEscapes)
 {
     std::string err;

@@ -166,6 +166,42 @@ TEST(LintNakedNew, FlagsRawNewButNotIdentifiers)
                     .empty());
 }
 
+TEST(LintNakedNew, OperatorNewAndIncludesAreNotExpressions)
+{
+    // <new> in an include directive and operator-new overloads /
+    // allocator-internal calls are not owning new-expressions.
+    EXPECT_TRUE(lintFile("src/core/x.cc",
+                         "#include <new>\n"
+                         "void *operator new(std::size_t n);\n"
+                         "void *p = ::operator new(n, alignment);\n")
+                    .empty());
+    // A real new-expression next to them still fires.
+    EXPECT_TRUE(fired(lintFile("src/core/x.cc",
+                               "#include <new>\n"
+                               "auto *p = new Widget();\n"),
+                      "naked-new"));
+}
+
+TEST(LintStrip, DigitSeparatorIsNotACharLiteral)
+{
+    // 20'000 must not open a character literal: before the fix the
+    // stripper swallowed everything to the next quote, hiding the
+    // following lines from every rule and shifting reported line
+    // numbers (which made allow-comments miss their findings).
+    auto v = lintFile("src/core/x.cc",
+                      "TimePs handlerPs{20'000};\n"
+                      "int filler = 0;\n"
+                      "std::uint64_t fetchSeq = 0;\n");
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "bare-u64-quantity");
+    EXPECT_EQ(v[0].line, 3u);
+    // A genuine char literal still strips: the quoted 'new' must
+    // not fire, and the one after the literal must.
+    EXPECT_TRUE(lintFile("src/core/x.cc",
+                         "char c = 'x'; // 'new' in a char context\n")
+                    .empty());
+}
+
 TEST(LintCoreContainer, FlagsDequeAndPriorityQueueInCoreOnly)
 {
     const char *decl = "std::deque<FetchEntry> fetchQueue;\n"

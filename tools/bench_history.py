@@ -1,36 +1,46 @@
 #!/usr/bin/env python3
-"""Append a BENCH_throughput run to the committed perf trajectory.
+"""Append a benchmark run to the committed perf trajectory.
 
 BENCH_history.json (repo root) is the checked-in, append-only record
-of the suite's throughput scalars — one entry per PR — so the perf
-trajectory lives in the repo instead of only in CI logs. The CI
-perf-smoke job runs this script after BENCH_throughput and uploads
-the appended file as an artifact; the PR author checks the new entry
-in (the alternative, a CI-side commit, would race concurrent PRs).
+of the suite's wall-clock benchmark scalars — one entry per PR and
+benchmark — so the perf trajectory lives in the repo instead of only
+in CI logs. Two artifacts are accepted: BENCH_throughput (the
+simulator-rate benchmark, CI perf-smoke) and BENCH_serving (the
+contest-service benchmark, CI serve-smoke). The CI jobs run this
+script after their benchmark and upload the appended file as an
+artifact; the PR author checks the new entry in (the alternative, a
+CI-side commit, would race concurrent PRs).
 
 Usage:
-    tools/bench_history.py <BENCH_throughput.json> [--label TEXT]
+    tools/bench_history.py <BENCH_*.json> [--label TEXT]
         [--history PATH] [--check]
 
-The entry records the benchmark's meta block (trace length, seed,
-jobs, git revision) plus every scalar, and is skipped when the
-history's newest entry already names the same git revision (re-runs
-on one commit should not duplicate entries). Dirty-tree revisions
-("<rev>-dirty") are normalized: the clean rev is recorded with a
-separate `"dirty": true` flag, so a rerun on the clean tree is still
-recognized as the same commit.
+The entry records the benchmark's name and meta block (trace length,
+seed, jobs, git revision) plus every scalar, and is skipped when the
+history already holds an entry for the same (git revision, benchmark
+name) pair — re-runs on one commit should not duplicate entries.
+Dirty-tree revisions ("<rev>-dirty") are normalized: the clean rev is
+recorded with a separate `"dirty": true` flag, so a rerun on the
+clean tree is still recognized as the same commit.
 
---check compares the new entry against the previous one and prints
-GitHub `::warning::` annotations for contest_speedup_* values below
-1.0 and for a mean_mticks_per_s drop of more than 10%. Checks never
-fail the run (exit 0): perf-smoke is a shared-runner measurement, so
-the annotation makes a slowdown visible without gating on noise.
+--check compares the new entry against the previous same-name entry
+and prints GitHub `::warning::` annotations for regressions:
+contest_speedup_* below 1.0 (downgraded to `::notice::` when the run
+had only one CPU — a single-core runner cannot show a parallel
+speedup, so the miss is expected, not a regression), a
+mean_mticks_per_s drop of more than 10%, serving_warm_speedup_*
+below 5.0, and serving_warm_sims_* above 0 (a warm request that
+simulates means the memoization broke). Checks never fail the run
+(exit 0): both benchmarks are shared-runner measurements, so the
+annotation makes a slowdown visible without gating on noise.
 """
 
 import argparse
 import json
 import sys
 from pathlib import Path
+
+ACCEPTED_NAMES = ("BENCH_throughput", "BENCH_serving")
 
 
 def split_git_rev(rev):
@@ -41,28 +51,62 @@ def split_git_rev(rev):
 
 
 def check_entry(entry, previous):
-    """Yield warning strings comparing entry against previous."""
+    """Yield (level, message) pairs comparing entry against previous."""
     scalars = entry.get("scalars", {})
+    single_cpu = entry.get("meta", {}).get("cpus") == 1
     for key, value in sorted(scalars.items()):
         if key.startswith("contest_speedup_") and value < 1.0:
-            yield (f"{key} = {value:.3f} < 1.0: the windowed "
-                   "contest path is a net slowdown at this lane "
-                   "count")
+            if single_cpu:
+                yield ("notice",
+                       f"{key} = {value:.3f} < 1.0 on a 1-CPU "
+                       "runner: expected, the windowed lanes have "
+                       "no core to run on")
+            else:
+                yield ("warning",
+                       f"{key} = {value:.3f} < 1.0: the windowed "
+                       "contest path is a net slowdown at this lane "
+                       "count")
+        if key.startswith("serving_warm_speedup_") and value < 5.0:
+            yield ("warning",
+                   f"{key} = {value:.2f} < 5.0: warm requests "
+                   "should be far cheaper than cold ones")
+        if key.startswith("serving_warm_sims_") and value > 0:
+            yield ("warning",
+                   f"{key} = {value:.0f} > 0: a warm request "
+                   "re-simulated; the Runner memoization is not "
+                   "deduplicating identical requests")
     if previous is not None:
         prev_mean = previous.get("scalars", {}).get("mean_mticks_per_s")
         mean = scalars.get("mean_mticks_per_s")
         if prev_mean and mean is not None and mean < 0.9 * prev_mean:
-            yield (f"mean_mticks_per_s regressed >10%: "
+            yield ("warning",
+                   f"mean_mticks_per_s regressed >10%: "
                    f"{prev_mean:.2f} -> {mean:.2f}")
+
+
+def print_checks(entry, previous):
+    for level, message in check_entry(entry, previous):
+        print(f"::{level}::BENCH_history: {message}")
+
+
+def last_with_name(history, name):
+    """The newest history entry for a benchmark name, or None.
+
+    Entries written before the name field existed are
+    BENCH_throughput runs.
+    """
+    for entry in reversed(history):
+        if entry.get("name", "BENCH_throughput") == name:
+            return entry
+    return None
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(
-        description="append BENCH_throughput scalars to "
-                    "BENCH_history.json")
+        description="append BENCH_throughput / BENCH_serving scalars "
+                    "to BENCH_history.json")
     ap.add_argument("result", type=Path,
-                    help="BENCH_throughput.json produced by "
-                         "contest_bench")
+                    help="BENCH_*.json produced by contest_bench")
     ap.add_argument("--label", default="",
                     help="free-form tag for the entry (e.g. the PR "
                          "title)")
@@ -73,15 +117,15 @@ def main() -> int:
                     help="history file to append to (default: repo "
                          "root BENCH_history.json)")
     ap.add_argument("--check", action="store_true",
-                    help="emit ::warning:: annotations for speedups "
-                         "< 1.0 and >10%% mean-rate regressions "
-                         "(never fails the run)")
+                    help="emit ::warning:: / ::notice:: annotations "
+                         "for regressions (never fails the run)")
     args = ap.parse_args()
 
     result = json.loads(args.result.read_text())
-    if result.get("name") != "BENCH_throughput":
-        print(f"error: {args.result} is not a BENCH_throughput "
-              "artifact", file=sys.stderr)
+    name = result.get("name")
+    if name not in ACCEPTED_NAMES:
+        print(f"error: {args.result} is not one of "
+              f"{', '.join(ACCEPTED_NAMES)}", file=sys.stderr)
         return 1
 
     history = []
@@ -94,6 +138,7 @@ def main() -> int:
 
     entry = {
         "label": args.label,
+        "name": name,
         "meta": dict(result.get("meta", {})),
         "scalars": result.get("scalars", {}),
     }
@@ -103,32 +148,36 @@ def main() -> int:
     if dirty:
         entry["meta"]["dirty"] = True
 
-    previous = history[-1] if history else None
+    previous = last_with_name(history, name)
     if previous is not None and git:
         # Compare clean revs on both sides: old entries may predate
         # the dirty-flag split and still carry "<rev>-dirty".
         prev_git, _ = split_git_rev(
             previous.get("meta", {}).get("git", ""))
         if prev_git == git:
-            print(f"history already ends at {git}; not appending")
+            print(f"history already has a {name} entry at {git}; "
+                  "not appending")
             if args.check:
-                for warning in check_entry(entry,
-                                           history[-2] if
-                                           len(history) > 1 else None):
-                    print(f"::warning::BENCH_history: {warning}")
+                older = last_with_name(
+                    history[: history.index(previous)], name)
+                print_checks(entry, older)
             return 0
 
     history.append(entry)
     args.history.write_text(json.dumps(history, indent=2) + "\n")
     mean = entry["scalars"].get("mean_mticks_per_s")
-    print(f"appended entry #{len(history)} ({git or 'no git rev'}"
-          f"{', ' + args.label if args.label else ''}): "
-          f"mean {mean:.2f} Mticks/s" if mean is not None else
-          f"appended entry #{len(history)}")
+    if mean is not None:
+        detail = f"mean {mean:.2f} Mticks/s"
+    else:
+        warm = entry["scalars"].get("serving_warm_rps_j4")
+        detail = (f"warm {warm:.1f} req/s at 4 jobs"
+                  if warm is not None else "no headline scalar")
+    print(f"appended {name} entry #{len(history)} "
+          f"({git or 'no git rev'}"
+          f"{', ' + args.label if args.label else ''}): {detail}")
 
     if args.check:
-        for warning in check_entry(entry, previous):
-            print(f"::warning::BENCH_history: {warning}")
+        print_checks(entry, previous)
     return 0
 
 

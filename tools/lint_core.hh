@@ -96,7 +96,18 @@ stripCommentsAndStrings(const std::string &src)
             } else if (c == '"') {
                 st = St::Str;
             } else if (c == '\'') {
-                st = St::Chr;
+                // A quote between two alphanumerics is a digit
+                // separator (1'000'000, 0xFF'FF), not a character
+                // literal: treating it as one would swallow every
+                // line up to the next quote and silently hide code
+                // from all rules.
+                const bool separator =
+                    i > 0
+                    && std::isalnum(
+                        static_cast<unsigned char>(src[i - 1]))
+                    && std::isalnum(static_cast<unsigned char>(n));
+                if (!separator)
+                    st = St::Chr;
             }
             break;
           case St::Line:
@@ -420,12 +431,28 @@ lintFile(const std::string &path, const std::string &content)
     // ---- naked-new ---------------------------------------------
     for (std::size_t i = 0; i < code.size(); ++i) {
         const std::string &l = code[i];
+        // Preprocessor lines cannot hold a new-expression (the
+        // header <new> is the classic false positive).
+        const std::size_t first = l.find_first_not_of(" \t");
+        if (first != std::string::npos && l[first] == '#')
+            continue;
         std::size_t pos = 0;
         while ((pos = l.find("new", pos)) != std::string::npos) {
             bool word_start = pos == 0 || !isIdentChar(l[pos - 1]);
             bool word_end =
                 pos + 3 >= l.size() || !isIdentChar(l[pos + 3]);
-            if (word_start && word_end)
+            // `operator new` — an overload definition or a direct
+            // allocator-internals call — is not a new-expression;
+            // the rule targets owning `new T(...)`.
+            std::size_t back = pos;
+            while (back > 0 && std::isspace(
+                                   static_cast<unsigned char>(
+                                       l[back - 1])))
+                --back;
+            const bool after_operator =
+                back >= 8 && l.compare(back - 8, 8, "operator") == 0
+                && (back == 8 || !isIdentChar(l[back - 9]));
+            if (word_start && word_end && !after_operator)
                 report(i + 1, "naked-new",
                        "raw 'new' expression; use std::make_unique / "
                        "std::make_shared so ownership is explicit");
